@@ -1,0 +1,27 @@
+# Convenience targets for the Dolos reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure (plus CSV/JSON under results/).
+experiments:
+	$(PYTHON) -m repro.harness all --export results
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

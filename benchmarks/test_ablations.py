@@ -1,0 +1,135 @@
+"""Ablations beyond the paper's figures (DESIGN.md section 6).
+
+* Mi-SU MAC-latency sweep: how sensitive is Dolos to the Mi-SU engine?
+* ADR deferred-op cost: how much WPQ does Post-WPQ-MiSU trade away?
+* Write-coalescing on/off (Section 4.5's tag array).
+* Cross pairing: eager backend with Post-WPQ (the paper only pairs
+  each backend with all three designs at one budget).
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    ADRConfig,
+    ControllerKind,
+    MiSUDesign,
+    SecurityConfig,
+    eager_config,
+)
+from repro.harness.runner import run_trace, speedup
+from repro.harness.tables import render_table
+from repro.workloads import generate_trace
+
+WORKLOAD = "hashmap"
+
+
+def _trace(transactions, seed):
+    return generate_trace(WORKLOAD, transactions, 1024, seed)
+
+
+def test_misu_mac_latency_sweep(benchmark, bench_transactions, bench_seed):
+    """Dolos speedup as the Mi-SU MAC engine gets slower.
+
+    The whole design rests on Mi-SU being much cheaper than Ma-SU; as
+    mac_latency grows the advantage must shrink monotonically-ish.
+    """
+    trace = _trace(bench_transactions, bench_seed)
+
+    def sweep():
+        rows = []
+        for mac_latency in (80, 160, 320, 640):
+            security = SecurityConfig(mac_latency=mac_latency)
+            baseline = run_trace(
+                eager_config(
+                    controller=ControllerKind.PRE_WPQ_SECURE, security=security
+                ),
+                trace, WORKLOAD, bench_transactions,
+            )
+            dolos = run_trace(
+                eager_config(security=security), trace, WORKLOAD, bench_transactions
+            )
+            rows.append([f"mac={mac_latency}", speedup(baseline, dolos)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(["Mi-SU MAC latency", "speedup"], rows,
+                              "Ablation: MAC-latency sweep"))
+    # All configurations still gain (Ma-SU latency scales too).
+    assert all(row[1] > 1.0 for row in rows)
+
+
+def test_adr_deferred_cost_sweep(benchmark, bench_transactions, bench_seed):
+    """Post-WPQ-MiSU vs the ADR energy reserved for its deferred MAC."""
+    trace = _trace(bench_transactions, bench_seed)
+
+    def sweep():
+        rows = []
+        for cost in (1, 2, 4):
+            adr = ADRConfig(deferred_mac_entry_cost=cost)
+            config = eager_config(misu_design=MiSUDesign.POST_WPQ, adr=adr)
+            run = run_trace(config, trace, WORKLOAD, bench_transactions)
+            rows.append(
+                [f"cost={cost}", config.wpq_entries, run.cycles,
+                 run.retries_per_kwr]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["deferred cost", "wpq entries", "cycles", "retries/KWR"], rows,
+        "Ablation: ADR deferred-op reservation"))
+    # More reserved energy -> smaller queue -> more retries.
+    assert rows[0][1] > rows[-1][1]
+    assert rows[0][3] <= rows[-1][3]
+
+
+def test_write_coalescing_ablation(benchmark, bench_transactions, bench_seed):
+    """Section 4.5's volatile tag array: coalescing must never hurt."""
+    trace = generate_trace("redis", bench_transactions, 512, bench_seed)
+
+    def compare():
+        on = run_trace(eager_config(), trace, "redis", bench_transactions)
+        off = run_trace(
+            eager_config(wpq_coalescing=False), trace, "redis", bench_transactions
+        )
+        return on, off
+
+    on, off = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(
+        f"\ncoalescing on : {on.cycles:>12,} cycles "
+        f"({on.stats.get('wpq.coalesced_total', 0)} merges)"
+        f"\ncoalescing off: {off.cycles:>12,} cycles"
+    )
+    assert on.cycles <= off.cycles
+
+
+def test_design_budget_matrix(benchmark, bench_seed):
+    """All three designs across ADR budgets — the full design space."""
+    transactions = 80
+    trace = _trace(transactions, bench_seed)
+
+    def sweep():
+        rows = []
+        for budget in (16, 32):
+            adr = ADRConfig(budget_entries=budget)
+            baseline = run_trace(
+                eager_config(controller=ControllerKind.PRE_WPQ_SECURE, adr=adr),
+                trace, WORKLOAD, transactions,
+            )
+            row = [f"budget={budget}"]
+            for design in MiSUDesign:
+                run = run_trace(
+                    eager_config(misu_design=design, adr=adr),
+                    trace, WORKLOAD, transactions,
+                )
+                row.append(speedup(baseline, run))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["budget", "Full", "Partial", "Post"], rows,
+        "Ablation: design x ADR budget"))
+    # Bigger budgets help every design.
+    for column in (1, 2, 3):
+        assert rows[1][column] >= rows[0][column] - 0.05

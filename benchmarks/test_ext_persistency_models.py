@@ -1,0 +1,83 @@
+"""Extension bench: persistency-model and workload-breadth sweeps.
+
+* Strict vs epoch persistency: strict persistency (every flush blocks
+  until persisted) is the worst case for pre-WPQ security and hence the
+  best case for Dolos — the gain roughly doubles.
+* Extra WHISPER workloads (memcached, echo) beyond the paper's six:
+  the speedup band generalizes.
+* Seed sensitivity: the headline number with a confidence interval.
+"""
+
+from repro.config import ControllerKind, CoreConfig, SimConfig
+from repro.harness.multiseed import compare
+from repro.harness.runner import run_trace, speedup
+from repro.harness.tables import render_table
+from repro.workloads import EXTRA_WORKLOADS, generate_trace
+
+
+def test_strict_vs_epoch_persistency(benchmark, bench_seed):
+    transactions = 100
+    trace = generate_trace("hashmap", transactions, 1024, bench_seed)
+
+    def sweep():
+        rows = []
+        for model in ("epoch", "strict"):
+            core = CoreConfig(persist_model=model)
+            baseline = run_trace(
+                SimConfig().with_(
+                    controller=ControllerKind.PRE_WPQ_SECURE, core=core
+                ),
+                trace, "hashmap", transactions,
+            )
+            dolos = run_trace(
+                SimConfig().with_(core=core), trace, "hashmap", transactions
+            )
+            rows.append([model, speedup(baseline, dolos)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["persist model", "Dolos speedup"], rows,
+        "Ablation: persistency model"))
+    epoch_gain = rows[0][1]
+    strict_gain = rows[1][1]
+    assert strict_gain > epoch_gain > 1.0
+
+
+def test_extra_whisper_workloads(benchmark, bench_transactions, bench_seed):
+    """memcached + echo: the speedup band extends beyond the paper's six."""
+
+    def sweep():
+        rows = []
+        for name in EXTRA_WORKLOADS:
+            trace = generate_trace(name, bench_transactions, 1024, bench_seed)
+            baseline = run_trace(
+                SimConfig().with_(controller=ControllerKind.PRE_WPQ_SECURE),
+                trace, name, bench_transactions,
+            )
+            dolos = run_trace(SimConfig(), trace, name, bench_transactions)
+            rows.append(
+                [name, speedup(baseline, dolos), dolos.retries_per_kwr]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["workload", "speedup", "retries/KWR"], rows,
+        "Extension: extra WHISPER workloads"))
+    for name, gain, _retries in rows:
+        assert 1.2 < gain < 2.6, (name, gain)
+
+
+def test_seed_sensitivity(benchmark):
+    """Headline speedup with a 95% confidence interval across seeds."""
+
+    def run():
+        baseline = SimConfig().with_(controller=ControllerKind.PRE_WPQ_SECURE)
+        return compare(baseline, SimConfig(), "hashmap", transactions=60, seeds=5)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nhashmap Dolos speedup across seeds: {stats}")
+    assert stats.mean > 1.3
+    # Trace-generation noise is small relative to the effect.
+    assert stats.ci95() < 0.25

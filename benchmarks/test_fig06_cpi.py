@@ -1,0 +1,26 @@
+"""Figure 6: CPI with security before vs after the WPQ.
+
+Paper: 2.1x average slowdown when the security unit sits in front of
+the WPQ (Fig 5-b) relative to the hypothetical post-WPQ design
+(Fig 5-c).
+"""
+
+from repro.harness.experiments import fig06_cpi
+
+
+def test_fig06_cpi(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig06_cpi,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    # Pre-WPQ security slows every workload down...
+    for row in result.rows:
+        workload, pre_cpi, post_cpi, slowdown = row
+        assert slowdown > 1.0, row
+        assert pre_cpi > post_cpi
+    # ...by roughly the paper's 2.1x on average.
+    assert 1.3 < result.summary["mean slowdown"] < 2.6

@@ -1,0 +1,31 @@
+"""Figure 12: speedup of the three Mi-SU designs, eager Merkle update.
+
+Paper: 1.66x / 1.66x / 1.59x average for Full / Partial / Post at
+1024 B transactions, with NStore:YCSB the biggest winner.
+"""
+
+from repro.harness.experiments import fig12_speedup_eager
+
+
+def test_fig12_speedup_eager(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig12_speedup_eager,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    means = {
+        "full": result.summary["mean Full-WPQ-MiSU"],
+        "partial": result.summary["mean Partial-WPQ-MiSU"],
+        "post": result.summary["mean Post-WPQ-MiSU"],
+    }
+    # Every workload gains under every design.
+    for row in result.rows:
+        assert all(value > 1.0 for value in row[1:]), row
+    # Average speedups in the paper's band (1.66/1.66/1.59 +- tolerance).
+    for label, mean in means.items():
+        assert 1.3 < mean < 2.1, (label, mean)
+    # Post trails the other designs on average (smaller WPQ).
+    assert means["post"] <= means["partial"] + 0.05

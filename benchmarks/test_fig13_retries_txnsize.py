@@ -1,0 +1,24 @@
+"""Figure 13: re-tries/KWR vs transaction size (Partial-WPQ-MiSU).
+
+Paper: retries rise with transaction size — large transactions fill the
+13-entry WPQ and arrivals start bouncing.
+"""
+
+from repro.harness.experiments import TRANSACTION_SIZES, fig13_retries_txnsize
+
+
+def test_fig13_retries_vs_txnsize(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig13_retries_txnsize,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    for row in result.rows:
+        workload, *series = row
+        # Monotone-ish growth: the largest size must retry more than the
+        # smallest, and the series' maximum must sit at the large end.
+        assert series[-1] >= series[0], row
+        assert max(series) == max(series[-2:]), row

@@ -1,0 +1,26 @@
+"""Figure 14: Dolos speedup vs transaction size (Partial-WPQ-MiSU).
+
+Paper: higher speedups for small transactions (the WPQ buffers the
+whole burst), but even 2048 B transactions still gain.
+"""
+
+from repro.harness.experiments import TRANSACTION_SIZES, fig14_speedup_txnsize
+
+
+def test_fig14_speedup_vs_txnsize(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig14_speedup_txnsize,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    # Every workload at every size still gains.
+    for row in result.rows:
+        workload, *series = row
+        assert all(value > 1.0 for value in series), row
+    # On average, small transactions gain at least as much as 2048B.
+    small_mean = result.summary[f"mean @{TRANSACTION_SIZES[0]}B"]
+    large_mean = result.summary[f"mean @{TRANSACTION_SIZES[-1]}B"]
+    assert small_mean >= large_mean - 0.1

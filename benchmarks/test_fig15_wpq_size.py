@@ -1,0 +1,32 @@
+"""Figure 15: speedup vs WPQ size (Partial-WPQ-MiSU).
+
+Paper: 1.66x / 1.85x / 1.87x / 1.88x at 13 / 28 / 57 / 113 entries,
+retries 201.3 / 29.0 / 13.6 / 11.1 — the speedup grows with the queue
+and saturates by ~28 entries.
+"""
+
+from repro.harness.experiments import fig15_wpq_size
+
+
+def test_fig15_wpq_size(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig15_wpq_size,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    speedups = [
+        result.summary[f"mean speedup @wpq={s}"] for s in (13, 28, 57, 113)
+    ]
+    retries = [
+        result.summary[f"mean retries/KWR @wpq={s}"] for s in (13, 28, 57, 113)
+    ]
+    # Speedup grows with WPQ size...
+    assert speedups[1] >= speedups[0]
+    # ...and saturates: 28 -> 113 adds little.
+    assert speedups[3] - speedups[1] < 0.35
+    # Retries collapse once the queue stops filling.
+    assert retries[1] < retries[0] / 2
+    assert retries[3] <= retries[1]

@@ -1,0 +1,43 @@
+"""Figure 16: speedup of the three Mi-SU designs, lazy ToC update.
+
+Paper: 1.044x / 1.079x / 1.071x average for Full / Partial / Post —
+far below the eager-mode 1.66x because the Phoenix backend leaves
+little pre-WPQ latency to remove; Full is the laggard because its two
+Mi-SU MACs are no longer negligible against a fast backend.
+"""
+
+from repro.harness.experiments import fig12_speedup_eager, fig16_speedup_lazy
+
+
+def test_fig16_speedup_lazy(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        fig16_speedup_lazy,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    full = result.summary["mean Full-WPQ-MiSU"]
+    partial = result.summary["mean Partial-WPQ-MiSU"]
+    post = result.summary["mean Post-WPQ-MiSU"]
+    # Gains exist on average but are small compared with eager mode.
+    for mean in (full, partial, post):
+        assert 0.95 < mean < 1.45, (full, partial, post)
+    assert partial > 1.0
+    # Full trails Partial (the paper's distinctive lazy-mode result).
+    assert full < partial
+    # Post trails Partial too: its one-outstanding-deferred-op rule
+    # serializes acceptance, which a fast lazy backend exposes (our
+    # model makes this sharper than the paper's 1.071; see
+    # EXPERIMENTS.md known-deltas).
+    assert post < partial
+
+
+def test_lazy_gains_below_eager(bench_transactions, bench_seed):
+    lazy = fig16_speedup_lazy(transactions=bench_transactions, seed=bench_seed)
+    eager = fig12_speedup_eager(transactions=bench_transactions, seed=bench_seed)
+    assert (
+        lazy.summary["mean Partial-WPQ-MiSU"]
+        < eager.summary["mean Partial-WPQ-MiSU"]
+    )

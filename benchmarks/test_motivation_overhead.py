@@ -1,0 +1,26 @@
+"""Section 1/3 motivation: the cost of secure persistence.
+
+Paper: persistent workloads lose 52% performance on average (up to
+61%) under a state-of-the-art secure NVM controller, relative to an
+ideal where a write persists as soon as it leaves the caches.
+"""
+
+from repro.harness.experiments import motivation_overhead
+
+
+def test_motivation_overhead(benchmark, bench_transactions, bench_seed):
+    result = benchmark.pedantic(
+        motivation_overhead,
+        kwargs={"transactions": bench_transactions, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    for row in result.rows:
+        workload, ideal_cycles, secure_cycles, slowdown, overhead_pct = row
+        assert slowdown > 1.0
+        # Overhead is substantial for every workload (paper: up to 61%).
+        assert overhead_pct > 15.0, row
+    # Mean slowdown near the paper's ~2.1x (1-1/0.48).
+    assert 1.4 < result.summary["mean slowdown"] < 2.8

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Crash-consistency demo: persist, power-fail, recover, verify.
+
+Drives a Dolos controller with real data bytes, yanks the power while
+writes are still sitting in the WPQ, and then boots a fresh security
+unit from only what survived (NVM + persistent registers + keys):
+
+1. the ADR drain flushes the Mi-SU-protected WPQ image to NVM;
+2. recovery verifies the image (per-entry MACs against the internally
+   recovered pad counters), decrypts it with the old boot epoch's pads,
+   and replays it through the Ma-SU;
+3. every persisted key-value pair reads back, decrypted and
+   integrity-verified, through the recovered Ma-SU;
+4. an attacker who tampers with the drained image is caught.
+"""
+
+import hashlib
+
+from repro import MiSUDesign, SimConfig
+from repro.attacks import WPQImageSpoofAttack, run_wpq_attack
+from repro.core.controller import DolosController
+from repro.core.requests import WriteKind, WriteRequest
+from repro.engine import Simulator
+from repro.recovery import crash_system, recover_system
+
+HEAP_BASE = 0x2_0000_0000
+
+
+def value_for(key: int) -> bytes:
+    return hashlib.blake2b(f"value-{key}".encode(), digest_size=32).digest() * 2
+
+
+def main() -> None:
+    config = SimConfig().with_(misu_design=MiSUDesign.PARTIAL_WPQ)
+    sim = Simulator()
+    controller = DolosController(sim, config)
+    controller.start()
+
+    print("Writing 30 key-value pairs through the Dolos controller...")
+    oracle = {}
+    for key in range(30):
+        address = HEAP_BASE + key * 64
+        data = value_for(key)
+        oracle[address] = data
+        controller.submit_write(WriteRequest(address, WriteKind.PERSIST, data=data))
+
+    # Run just long enough that some writes are fully re-secured by the
+    # Ma-SU and others are still only Mi-SU-protected in the WPQ.
+    sim.run(until=6000)
+    persisted = controller.stats.get("persist.completed")
+    in_wpq = controller.wpq.occupancy
+    print(f"  persisted: {persisted}, still in WPQ at crash: {in_wpq}")
+
+    print("\nPOWER FAILURE — ADR drains the WPQ image to NVM")
+    image = crash_system(controller, oracle)
+    print(f"  drained records: {len(image.drained)}")
+
+    print("\nRebooting: recovering Mi-SU + Ma-SU state...")
+    report = recover_system(image)
+    print(f"  WPQ entries replayed      : {report.wpq_entries_recovered}")
+    print(f"  cleared entries skipped   : {report.wpq_entries_skipped_cleared}")
+    print(f"  counters from Anubis shadow: {report.counters_restored_from_shadow}")
+    print(f"  integrity root verified   : {report.tree_root_verified}")
+    print(f"  new boot epoch (WPQ key rotated): {report.new_boot_epoch}")
+
+    print("\nVerifying every persisted value through the recovered Ma-SU...")
+    verified = 0
+    for address, data in oracle.items():
+        try:
+            if report.masu.secure_read(address) == data:
+                verified += 1
+        except Exception:
+            pass  # writes that never reached the persistence domain
+    print(f"  verified: {verified}/{persisted} persisted writes intact")
+
+    print("\nReplaying the crash with a tampered WPQ image...")
+    sim2 = Simulator()
+    controller2 = DolosController(sim2, config)
+    controller2.start()
+    for address, data in oracle.items():
+        controller2.submit_write(WriteRequest(address, WriteKind.PERSIST, data=data))
+    sim2.run(until=6000)
+    image2 = crash_system(controller2, oracle)
+    victim_slot = image2.drained[0].slot
+    outcome = run_wpq_attack(image2, WPQImageSpoofAttack(victim_slot))
+    print(f"  spoofed slot {victim_slot}: detected = {outcome.detected}")
+    print(f"  detector said: {outcome.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space sweep: Mi-SU variants x WPQ budgets x update schemes.
+
+Reproduces the paper's design-space exploration on one workload:
+for each ADR budget (16..64 entry-flushes) and each Mi-SU design,
+report the speedup over the Pre-WPQ-Secure baseline with the same
+budget, under both eager-Merkle-tree and lazy-ToC Ma-SU backends.
+
+A beyond-paper prediction falls out of the sweep: Post-WPQ-MiSU stops
+scaling with the ADR budget.  Its "at most one outstanding deferred
+secure op" rule (Section 4.3) serializes insert acceptance at roughly
+one MAC latency per write, which is invisible while the small queue's
+retries dominate (the paper's only Post configuration) but becomes the
+bottleneck once the queue is large enough to never fill — where
+Partial-WPQ keeps climbing, Post flatlines.
+"""
+
+import time
+
+from repro import ControllerKind, MiSUDesign, SimConfig, eager_config, lazy_config
+from repro.config import ADRConfig
+from repro.harness.runner import run_trace
+from repro.harness.tables import render_table
+from repro.workloads import generate_trace
+
+WORKLOAD = "btree"
+TRANSACTIONS = 250
+BUDGETS = (16, 32, 64)
+DESIGNS = (MiSUDesign.FULL_WPQ, MiSUDesign.PARTIAL_WPQ, MiSUDesign.POST_WPQ)
+
+
+def main() -> None:
+    started = time.time()
+    trace = generate_trace(WORKLOAD, TRANSACTIONS, 1024, seed=1)
+    print(f"Workload: {WORKLOAD}, {TRANSACTIONS} transactions of 1024B\n")
+
+    for scheme_name, factory in (("eager/MT", eager_config), ("lazy/ToC", lazy_config)):
+        rows = []
+        for budget in BUDGETS:
+            adr = ADRConfig(budget_entries=budget)
+            baseline = run_trace(
+                factory(controller=ControllerKind.PRE_WPQ_SECURE, adr=adr),
+                trace,
+                WORKLOAD,
+                TRANSACTIONS,
+            )
+            row = [f"budget={budget}"]
+            for design in DESIGNS:
+                config = factory(misu_design=design, adr=adr)
+                run = run_trace(config, trace, WORKLOAD, TRANSACTIONS)
+                row.append(
+                    f"{baseline.cycles / run.cycles:.2f}x "
+                    f"(wpq={config.wpq_entries}, r/KWR={run.retries_per_kwr:.0f})"
+                )
+            rows.append(row)
+        print(
+            render_table(
+                ["ADR budget", "Full-WPQ", "Partial-WPQ", "Post-WPQ"],
+                rows,
+                title=f"Speedup over Pre-WPQ-Secure — {scheme_name} backend",
+            )
+        )
+        print()
+    print(f"[swept {len(BUDGETS) * (len(DESIGNS) + 1) * 2} simulations "
+          f"in {time.time() - started:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: how much does Dolos speed up a persistent application?
+
+Runs the WHISPER-style persistent hashmap under three memory
+controllers — the state-of-the-art secure baseline (security before the
+WPQ), Dolos (Partial-WPQ-MiSU), and the non-secure ideal — and prints
+cycles, CPI and speedups.
+"""
+
+import time
+
+from repro import ControllerKind, SimConfig, run_workload, speedup
+
+TRANSACTIONS = 300
+
+
+def main() -> None:
+    configs = {
+        "Pre-WPQ-Secure (baseline)": SimConfig().with_(
+            controller=ControllerKind.PRE_WPQ_SECURE
+        ),
+        "Dolos (Partial-WPQ-MiSU)": SimConfig(),
+        "Non-secure ideal": SimConfig().with_(
+            controller=ControllerKind.NON_SECURE_IDEAL
+        ),
+    }
+
+    print(f"Simulating {TRANSACTIONS} hashmap transactions (1024B each)...\n")
+    results = {}
+    for label, config in configs.items():
+        started = time.time()
+        results[label] = run_workload(config, "hashmap", TRANSACTIONS)
+        run = results[label]
+        print(
+            f"{label:28s} {run.cycles:>12,} cycles  CPI {run.cpi:6.2f} "
+            f"({time.time() - started:.1f}s to simulate)"
+        )
+
+    baseline = results["Pre-WPQ-Secure (baseline)"]
+    dolos = results["Dolos (Partial-WPQ-MiSU)"]
+    ideal = results["Non-secure ideal"]
+    print()
+    print(f"Dolos speedup over baseline : {speedup(baseline, dolos):.2f}x "
+          "(paper: ~1.66x average)")
+    print(f"Baseline overhead vs ideal  : {baseline.cycles / ideal.cycles:.2f}x "
+          "(paper: ~2.1x / 52% overhead)")
+    print(f"Dolos WPQ retries per KWR   : {dolos.retries_per_kwr:.1f}")
+
+
+if __name__ == "__main__":
+    main()

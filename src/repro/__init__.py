@@ -1,0 +1,53 @@
+"""Dolos reproduction: ADR-aware split security for persistent memory.
+
+Reproduces *Dolos: Improving the Performance of Persistent Applications
+in ADR-Supported Secure Memory* (Han, Tuck, Awad — MICRO 2021) as a
+pure-Python discrete-event simulation plus functional security model.
+
+Quickstart::
+
+    from repro import SimConfig, ControllerKind, run_workload, speedup
+
+    base = SimConfig().with_(controller=ControllerKind.PRE_WPQ_SECURE)
+    dolos = SimConfig()  # ControllerKind.DOLOS, Partial-WPQ-MiSU
+    slow = run_workload(base, "hashmap", transactions=500)
+    fast = run_workload(dolos, "hashmap", transactions=500)
+    print(f"Dolos speedup: {speedup(slow, fast):.2f}x")
+"""
+
+from repro.config import (
+    ADRConfig,
+    CacheConfig,
+    ControllerKind,
+    CoreConfig,
+    MiSUDesign,
+    NVMConfig,
+    SecurityConfig,
+    SimConfig,
+    TreeUpdateScheme,
+    eager_config,
+    lazy_config,
+)
+from repro.harness.runner import RunResult, run_trace, run_workload, speedup
+from repro.instrumentation import Timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADRConfig",
+    "CacheConfig",
+    "ControllerKind",
+    "CoreConfig",
+    "MiSUDesign",
+    "NVMConfig",
+    "RunResult",
+    "SecurityConfig",
+    "SimConfig",
+    "Timeline",
+    "TreeUpdateScheme",
+    "eager_config",
+    "lazy_config",
+    "run_trace",
+    "run_workload",
+    "speedup",
+]

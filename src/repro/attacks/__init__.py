@@ -1,0 +1,40 @@
+"""Attack models from the threat model (Section 4.1).
+
+External attackers can snoop the bus, scan the module, and tamper with
+NVM content: **spoofing** (overwrite with arbitrary bytes), **replay**
+(roll a location back to an old value, including its MAC), and
+**relocation** (move one location's content to another).  The WPQ image
+drained on a crash is equally attackable.
+
+:mod:`repro.attacks.models` builds these as operations on an
+:class:`~repro.mem.nvm.NVMDevice`; :mod:`repro.attacks.verify` replays
+reads/recovery and asserts detection.
+"""
+
+from repro.attacks.models import (
+    Attack,
+    CounterRollbackAttack,
+    DataRelocationAttack,
+    DataReplayAttack,
+    DataSpoofAttack,
+    MACForgeAttack,
+    WPQImageRelocationAttack,
+    WPQImageReplayAttack,
+    WPQImageSpoofAttack,
+)
+from repro.attacks.verify import AttackOutcome, run_read_attack, run_wpq_attack
+
+__all__ = [
+    "Attack",
+    "AttackOutcome",
+    "CounterRollbackAttack",
+    "DataRelocationAttack",
+    "DataReplayAttack",
+    "DataSpoofAttack",
+    "MACForgeAttack",
+    "WPQImageRelocationAttack",
+    "WPQImageReplayAttack",
+    "WPQImageSpoofAttack",
+    "run_read_attack",
+    "run_wpq_attack",
+]

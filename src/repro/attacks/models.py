@@ -1,0 +1,180 @@
+"""Concrete attack implementations.
+
+Each attack mutates NVM state the way an off-chip adversary could —
+data lines, stored MACs, counter blocks, or the drained WPQ image —
+while leaving everything inside the TCB (registers, keys, on-chip
+state) untouched.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.core.masu import COUNTER_REGION, MajorSecurityUnit
+from repro.mem.nvm import NVMDevice
+from repro.security.data_mac import REGION as DATA_MAC_REGION
+from repro.wpq.adr import WPQ_IMAGE_REGION, WPQ_MAC_REGION
+
+
+class Attack(ABC):
+    """An off-chip tampering action against persistent state."""
+
+    name: str = ""
+
+    @abstractmethod
+    def apply(self, nvm: NVMDevice) -> None:
+        """Mutate the NVM image."""
+
+
+# ----------------------------------------------------------------------
+# Run-time data attacks (detected on secure_read)
+# ----------------------------------------------------------------------
+class DataSpoofAttack(Attack):
+    """Overwrite a data line with attacker-chosen bytes."""
+
+    name = "data-spoof"
+
+    def __init__(self, address: int, payload: bytes = b"\xee" * 64) -> None:
+        self.address = address
+        self.payload = payload
+
+    def apply(self, nvm: NVMDevice) -> None:
+        nvm.tamper_line(self.address, self.payload)
+
+
+class DataReplayAttack(Attack):
+    """Roll a line (and its MAC) back to a previously captured version.
+
+    The attacker must have snapshotted the old (ciphertext, MAC) pair;
+    the counter's tree protection is what defeats the replay.
+    """
+
+    name = "data-replay"
+
+    def __init__(self, address: int) -> None:
+        self.address = address
+        self._old_line: Optional[bytes] = None
+        self._old_mac: Optional[bytes] = None
+
+    def snapshot(self, nvm: NVMDevice) -> None:
+        """Capture the current version (run before the victim updates)."""
+        self._old_line = nvm.read_line(self.address)
+        self._old_mac = nvm.region_read(DATA_MAC_REGION, NVMDevice.line_address(self.address))
+
+    def apply(self, nvm: NVMDevice) -> None:
+        if self._old_line is None or self._old_mac is None:
+            raise RuntimeError("replay attack needs a snapshot first")
+        nvm.tamper_line(self.address, self._old_line)
+        nvm.region_write(
+            DATA_MAC_REGION, NVMDevice.line_address(self.address), self._old_mac
+        )
+
+
+class DataRelocationAttack(Attack):
+    """Copy one line's (ciphertext, MAC) over another location."""
+
+    name = "data-relocation"
+
+    def __init__(self, source: int, target: int) -> None:
+        self.source = source
+        self.target = target
+
+    def apply(self, nvm: NVMDevice) -> None:
+        line = nvm.read_line(self.source)
+        mac = nvm.region_read(DATA_MAC_REGION, NVMDevice.line_address(self.source))
+        if line is None or mac is None:
+            raise RuntimeError("relocation source has no content")
+        nvm.tamper_line(self.target, line)
+        nvm.region_write(DATA_MAC_REGION, NVMDevice.line_address(self.target), mac)
+
+
+class MACForgeAttack(Attack):
+    """Overwrite a stored data MAC with attacker bytes."""
+
+    name = "mac-forge"
+
+    def __init__(self, address: int, mac: bytes = b"\x5a" * 8) -> None:
+        self.address = address
+        self.mac = mac
+
+    def apply(self, nvm: NVMDevice) -> None:
+        nvm.region_write(DATA_MAC_REGION, NVMDevice.line_address(self.address), self.mac)
+
+
+class CounterRollbackAttack(Attack):
+    """Roll a stored counter block back to an old snapshot.
+
+    Detected at recovery: the rebuilt tree root will not match the
+    persistent root register.
+    """
+
+    name = "counter-rollback"
+
+    def __init__(self, page: int) -> None:
+        self.page = page
+        self._old: Optional[bytes] = None
+
+    def snapshot(self, nvm: NVMDevice) -> None:
+        self._old = nvm.region_read(COUNTER_REGION, self.page)
+
+    def apply(self, nvm: NVMDevice) -> None:
+        if self._old is None:
+            raise RuntimeError("rollback attack needs a snapshot first")
+        nvm.region_write(COUNTER_REGION, self.page, self._old)
+
+
+# ----------------------------------------------------------------------
+# WPQ-image attacks (detected at recovery)
+# ----------------------------------------------------------------------
+class WPQImageSpoofAttack(Attack):
+    """Overwrite one drained WPQ record's ciphertext."""
+
+    name = "wpq-spoof"
+
+    def __init__(self, slot: int, payload: bytes = b"\x66" * 72) -> None:
+        self.slot = slot
+        self.payload = payload
+
+    def apply(self, nvm: NVMDevice) -> None:
+        existing = nvm.region_read(WPQ_IMAGE_REGION, self.slot)
+        if existing is None:
+            raise RuntimeError(f"no drained record in slot {self.slot}")
+        header = existing[: struct.calcsize("<QQ?")]
+        nvm.region_write(WPQ_IMAGE_REGION, self.slot, header + self.payload)
+
+
+class WPQImageReplayAttack(Attack):
+    """Replace a drained record with one from an older drain."""
+
+    name = "wpq-replay"
+
+    def __init__(self, slot: int, old_record_payload: bytes, old_mac: Optional[bytes]) -> None:
+        self.slot = slot
+        self.old_payload = old_record_payload
+        self.old_mac = old_mac
+
+    def apply(self, nvm: NVMDevice) -> None:
+        nvm.region_write(WPQ_IMAGE_REGION, self.slot, self.old_payload)
+        if self.old_mac is not None:
+            nvm.region_write(WPQ_MAC_REGION, self.slot, self.old_mac)
+
+
+class WPQImageRelocationAttack(Attack):
+    """Swap two drained WPQ records (including their MAC records)."""
+
+    name = "wpq-relocation"
+
+    def __init__(self, slot_a: int, slot_b: int) -> None:
+        self.slot_a = slot_a
+        self.slot_b = slot_b
+
+    def apply(self, nvm: NVMDevice) -> None:
+        image = nvm.region(WPQ_IMAGE_REGION)
+        macs = nvm.region(WPQ_MAC_REGION)
+        if self.slot_a not in image or self.slot_b not in image:
+            raise RuntimeError("both slots must hold drained records")
+        image[self.slot_a], image[self.slot_b] = image[self.slot_b], image[self.slot_a]
+        if self.slot_a in macs and self.slot_b in macs:
+            macs[self.slot_a], macs[self.slot_b] = macs[self.slot_b], macs[self.slot_a]

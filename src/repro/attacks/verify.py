@@ -1,0 +1,54 @@
+"""Attack → detection verification harness.
+
+Two attack surfaces, two detectors:
+
+* run-time data attacks are detected by :meth:`MajorSecurityUnit.secure_read`
+  (MAC or tree-path mismatch);
+* WPQ-image and counter attacks are detected by
+  :func:`repro.recovery.recover.recover_system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attacks.models import Attack
+from repro.core.masu import IntegrityError, MajorSecurityUnit
+from repro.recovery.crash import CrashImage
+from repro.recovery.recover import RecoveryError, RecoveryMode, recover_system
+
+
+@dataclass
+class AttackOutcome:
+    """What happened when the tampered state was consumed."""
+
+    attack: str
+    detected: bool
+    detail: str = ""
+
+
+def run_read_attack(
+    masu: MajorSecurityUnit, attack: Attack, victim_address: int
+) -> AttackOutcome:
+    """Apply ``attack`` then read ``victim_address`` through the Ma-SU."""
+    attack.apply(masu.nvm)
+    try:
+        masu.secure_read(victim_address)
+    except IntegrityError as err:
+        return AttackOutcome(attack.name, detected=True, detail=str(err))
+    return AttackOutcome(attack.name, detected=False, detail="read verified clean")
+
+
+def run_wpq_attack(
+    image: CrashImage,
+    attack: Attack,
+    mode: RecoveryMode = RecoveryMode.ANUBIS,
+) -> AttackOutcome:
+    """Apply ``attack`` to a crash image, then attempt recovery."""
+    attack.apply(image.nvm)
+    try:
+        recover_system(image, mode)
+    except (RecoveryError, IntegrityError) as err:
+        return AttackOutcome(attack.name, detected=True, detail=str(err))
+    return AttackOutcome(attack.name, detected=False, detail="recovery succeeded")

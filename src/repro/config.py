@@ -1,0 +1,336 @@
+"""Simulation configuration — Table 1 of the paper plus Dolos knobs.
+
+All latencies are in **core cycles** at the paper's 4 GHz clock
+(1 ns = 4 cycles).  The defaults reproduce Table 1:
+
+* Core: 1-core x86 OoO, 4 GHz
+* L1 2 cycles / 32 KB / 2-way; L2 20 cycles / 512 KB / 8-way;
+  LLC 32 cycles / 8 MB / 16-way
+* PCM: 150 ns read (600 cycles), 500 ns write (2000 cycles), 16 GB
+* Counter cache 128 KB 4-way; MT cache 256 KB 8-way (64 B blocks)
+* AES latency 40 cycles; MAC 160 cycles
+* Ma-SU hash: 160x10 eager, 160x4 lazy
+* 8-ary Merkle tree (eager) / 8-ary ToC (lazy)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+CACHELINE_BYTES = 64
+#: WPQ entries carry a 64 B cacheline plus an 8 B address tag (the paper's
+#: 72-byte WPQ entry in Table 3).
+WPQ_ENTRY_BYTES = 72
+#: Partial/Post designs store per-entry MACs (8 B) alongside: 80 B pads.
+WPQ_ENTRY_WITH_MAC_BYTES = 80
+MAC_BYTES = 8
+CYCLES_PER_NS = 4
+
+
+class MiSUDesign(enum.Enum):
+    """The three Mi-SU design options of Section 4.3."""
+
+    #: Design option 1 — counter-mode pad + 2 MAC computations (entry MAC +
+    #: WPQ-tree root) before insertion.  Full 16-entry WPQ usable.
+    FULL_WPQ = "full-wpq"
+    #: Design option 2 — BMT-style single MAC before insertion; 8/9 of the
+    #: WPQ usable (MAC flush consumes ADR energy).
+    PARTIAL_WPQ = "partial-wpq"
+    #: Design option 3 — MAC deferred until after commit; ADR reserves the
+    #: energy of one in-flight MAC, shrinking the WPQ further.
+    POST_WPQ = "post-wpq"
+
+
+class TreeUpdateScheme(enum.Enum):
+    """Ma-SU integrity-tree update policy (Section 4.4)."""
+
+    #: Eager update of an 8-ary Merkle tree root per write (Anubis AGIT).
+    EAGER = "eager"
+    #: Lazy ToC (SGX-style) with a shadow tree over the metadata cache
+    #: (Phoenix).
+    LAZY = "lazy"
+
+
+class ControllerKind(enum.Enum):
+    """The memory-controller organisations of Figure 5."""
+
+    #: Fig 5-a / 5-b: all security operations before WPQ insertion
+    #: (state-of-the-art baseline, "Pre-WPQ-Secure").
+    PRE_WPQ_SECURE = "pre-wpq-secure"
+    #: Fig 5-c: hypothetical — security after WPQ, infeasible ADR budget.
+    POST_WPQ_HYPOTHETICAL = "post-wpq-hypothetical"
+    #: Fig 5-d: Dolos (Mi-SU before WPQ, Ma-SU after).
+    DOLOS = "dolos"
+    #: Non-secure ideal: persisted on WPQ arrival, zero security cost.
+    NON_SECURE_IDEAL = "non-secure-ideal"
+    #: Secure eADR: the persistence domain includes the caches, so a
+    #: persist completes at the cache; security runs lazily behind a
+    #: large buffer.  Needs a non-standard battery (the alternative the
+    #: paper's intro rejects on cost grounds) — modeled for comparison.
+    EADR_SECURE = "eadr-secure"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    latency: int
+    line_bytes: int = CACHELINE_BYTES
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: size not a multiple of line size")
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.associativity:
+            raise ValueError(f"{self.name}: lines not divisible by associativity")
+
+
+@dataclass(frozen=True)
+class NVMConfig:
+    """PCM-like NVM device timing (Table 1)."""
+
+    size_bytes: int = 16 << 30
+    read_latency: int = 150 * CYCLES_PER_NS  # 600 cycles
+    write_latency: int = 500 * CYCLES_PER_NS  # 2000 cycles
+    #: Independent bank/partition parallelism of the DIMM (PCM devices
+    #: expose many concurrently writable partitions; write bandwidth is
+    #: num_banks / write_latency lines per cycle).
+    num_banks: int = 16
+    #: Cycles for the device to accept a write command + data burst.
+    #: Acceptance (not media completion) is when a drained WPQ entry's
+    #: slot can be reclaimed — the data is then inside the non-volatile
+    #: device.  Media write latency still occupies the bank.
+    accept_latency: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+
+
+@dataclass(frozen=True)
+class SecurityConfig:
+    """Crypto-engine latencies and metadata-cache geometry (Table 1)."""
+
+    aes_latency: int = 40
+    mac_latency: int = 160
+    #: Initiation interval of the Ma-SU/back-end security pipeline: a
+    #: new write's metadata update can begin this many cycles after the
+    #: previous one (eager-update MAC chains pipeline across writes as
+    #: in Freij et al. [10]); the per-write *latency* stays the full
+    #: hash-chain latency below.
+    eager_issue_interval: int = 200
+    #: Lazy/Phoenix back-end interval: the parallel AES-GCM engines
+    #: accept writes faster than the serialized eager chain.
+    lazy_issue_interval: int = 80
+    #: Initiation interval of the Mi-SU MAC engine: the hash unit is
+    #: pipelined (160 cycles is its latency/depth, not its occupancy),
+    #: so back-to-back inserts follow each other quickly.  Post-WPQ is
+    #: the exception by design: its "one outstanding deferred op" rule
+    #: serializes acceptance at ~one MAC latency per insert.
+    misu_issue_interval: int = 8
+    counter_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("counter$", 128 << 10, 4, 2)
+    )
+    mt_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("mt$", 256 << 10, 8, 2)
+    )
+    tree_arity: int = 8
+    tree_update: TreeUpdateScheme = TreeUpdateScheme.EAGER
+    #: Number of serialized MAC computations Ma-SU performs per write.
+    #: Table 1: 10 for eager Merkle-tree update, 4 for lazy ToC update.
+    eager_mac_count: int = 10
+    lazy_mac_count: int = 4
+    #: MACs exposed on the *persist critical path* in lazy/Phoenix mode:
+    #: the parallel AES-GCM engines update the ToC levels concurrently,
+    #: so only the (small) serialized shadow-tree root path gates the
+    #: write's crash consistency.  Eager mode exposes the full chain.
+    lazy_critical_macs: int = 2
+    #: Back-end optimizations (paper Section 6: Dolos composes with
+    #: prior secure-NVM work — these switches exercise that claim).
+    #: Write deduplication (Zuo et al.): cancel duplicate writebacks.
+    enable_dedup: bool = False
+    #: DEUCE partial re-encryption (Young et al.): endurance tracking.
+    enable_deuce: bool = False
+    #: Morphable counters (Saileshwar et al.): pages per counter block
+    #: beyond the baseline (1 disables; 2+ multiplies counter-cache reach).
+    morphable_coverage: int = 1
+
+    @property
+    def masu_issue_interval(self) -> int:
+        """Back-end initiation interval for the active update scheme."""
+        if self.tree_update is TreeUpdateScheme.EAGER:
+            return self.eager_issue_interval
+        return self.lazy_issue_interval
+
+    @property
+    def masu_hash_latency(self) -> int:
+        """Total serialized hash latency in Ma-SU for one write."""
+        count = (
+            self.eager_mac_count
+            if self.tree_update is TreeUpdateScheme.EAGER
+            else self.lazy_mac_count
+        )
+        return self.mac_latency * count
+
+    @property
+    def masu_critical_hash_latency(self) -> int:
+        """Hash latency on the persist critical path for one write.
+
+        Eager Merkle-tree updates serialize the whole chain before the
+        write is crash consistent; lazy ToC (Phoenix) exposes only the
+        shadow-root path while parallel engines handle the rest.
+        """
+        if self.tree_update is TreeUpdateScheme.EAGER:
+            return self.mac_latency * self.eager_mac_count
+        return self.mac_latency * self.lazy_critical_macs
+
+
+@dataclass(frozen=True)
+class ADRConfig:
+    """Asynchronous DRAM Refresh energy-budget model.
+
+    The standard ADR budget is expressed as the energy to flush
+    ``budget_entries`` 72-byte WPQ entries to NVM.  Design options spend
+    that budget differently:
+
+    * Full-WPQ-MiSU flushes only WPQ entries -> all 16 usable.
+    * Partial-WPQ-MiSU must also flush the per-entry MACs (1/9 of the
+      bytes) -> 8/9 of the entries usable.
+    * Post-WPQ-MiSU additionally reserves the energy of one in-flight
+      MAC computation + its flush -> fewer entries still.
+    """
+
+    budget_entries: int = 16
+    #: Energy of one deferred MAC computation expressed in flushable
+    #: entry-equivalents.  Calibrated so a 16-entry budget yields the
+    #: paper's 10-entry Post-WPQ-MiSU queue.
+    deferred_mac_entry_cost: int = 2
+
+    def usable_entries(self, design: MiSUDesign) -> int:
+        """WPQ entries usable under ``design`` with this ADR budget.
+
+        Reproduces the paper's 16 / 13 / 10 split for the default
+        16-entry budget.
+        """
+        if design is MiSUDesign.FULL_WPQ:
+            return self.budget_entries
+        # Partial: ~8/9 of the WPQ holds entries, the rest holds MACs.
+        # The paper's reported sizes (13/28/57/113 usable for budgets of
+        # 16/32/64/128) mix rounding directions, so we pin those four
+        # and fall back to the 8/9 rule elsewhere.
+        paper_sizes = {16: 13, 32: 28, 64: 57, 128: 113}
+        partial = paper_sizes.get(
+            self.budget_entries, (self.budget_entries * 8) // 9
+        )
+        if design is MiSUDesign.PARTIAL_WPQ:
+            return partial
+        # Post: additionally reserve budget for one delayed secure op
+        # (one MAC computation + flush of its result).
+        post = partial - self.deferred_mac_entry_cost - 1
+        return max(1, post)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Trace-driven core timing model.
+
+    The paper simulates a 4 GHz OoO x86 core.  We model instruction-level
+    parallelism with ``ipc`` for non-memory work and an out-of-order
+    window that lets independent work overlap memory latency, while
+    persist barriers (flush + fence) expose the WPQ-insertion latency
+    exactly as gem5 would.
+    """
+
+    frequency_ghz: float = 4.0
+    #: Cycles of non-memory work charged per generic instruction.
+    ipc: float = 2.0
+    #: Max cache misses the core can overlap (MSHR-style).
+    mlp: int = 8
+    #: Persistency model: "epoch" (default; flushes pipeline until the
+    #: next fence, the clwb/sfence model the paper assumes) or
+    #: "strict" (every clwb synchronously waits for persist completion
+    #: — the worst case for pre-WPQ security, the best case for Dolos).
+    persist_model: str = "epoch"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level configuration bundle."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1", 32 << 10, 2, 2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 512 << 10, 8, 20)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 8 << 20, 16, 32)
+    )
+    nvm: NVMConfig = field(default_factory=NVMConfig)
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    adr: ADRConfig = field(default_factory=ADRConfig)
+    controller: ControllerKind = ControllerKind.DOLOS
+    misu_design: MiSUDesign = MiSUDesign.PARTIAL_WPQ
+    #: Enable the volatile WPQ tag array for write coalescing / read hits
+    #: (Section 4.5).
+    wpq_coalescing: bool = True
+    #: Transaction size in bytes for workload generators (Section 5.2.2).
+    transaction_size: int = 1024
+    seed: int = 0xD0105
+
+    @property
+    def wpq_entries(self) -> int:
+        """Usable WPQ entries for the configured controller.
+
+        Baseline controllers use the full ADR budget (security happened
+        pre-WPQ so only raw entries are flushed on a crash); Dolos sizes
+        the queue by Mi-SU design.
+        """
+        if self.controller is ControllerKind.DOLOS:
+            return self.adr.usable_entries(self.misu_design)
+        return self.adr.budget_entries
+
+    def misu_hash_latency(self) -> int:
+        """Mi-SU critical-path hash latency (Table 1).
+
+        320 cycles (two MACs) for Full-WPQ-MiSU, 160 for Partial, and
+        160 for the *deferred* MAC of Post (not on the critical path).
+        """
+        if self.misu_design is MiSUDesign.FULL_WPQ:
+            return 2 * self.security.mac_latency
+        return self.security.mac_latency
+
+    def with_(self, **changes) -> "SimConfig":
+        """Return a copy with ``changes`` applied (frozen-safe)."""
+        return replace(self, **changes)
+
+
+def eager_config(**changes) -> SimConfig:
+    """A ``SimConfig`` using eager Merkle-tree Ma-SU (paper default)."""
+    cfg = SimConfig()
+    if changes:
+        cfg = replace(cfg, **changes)
+    return cfg
+
+
+def lazy_config(**changes) -> SimConfig:
+    """A ``SimConfig`` using lazy ToC Ma-SU (Section 5.4 / Phoenix)."""
+    security = SecurityConfig(tree_update=TreeUpdateScheme.LAZY)
+    cfg = SimConfig(security=security)
+    if changes:
+        cfg = replace(cfg, **changes)
+    return cfg

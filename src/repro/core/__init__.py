@@ -1,0 +1,50 @@
+"""The paper's primary contribution: Dolos controllers and baselines.
+
+* :mod:`repro.core.misu` — the Minor Security Unit (3 design options).
+* :mod:`repro.core.masu` — the Major Security Unit (Anubis-style).
+* :mod:`repro.core.controller` — the Figure 5 controller design space.
+* :mod:`repro.core.registers` — persistent on-chip registers.
+* :mod:`repro.core.requests` — controller request types.
+"""
+
+from repro.core.controller import (
+    DolosController,
+    EADRSecureController,
+    MemoryController,
+    NonSecureIdealController,
+    PostWPQHypotheticalController,
+    PreWPQSecureController,
+    make_controller,
+)
+from repro.core.masu import IntegrityError, MajorSecurityUnit
+from repro.core.misu import (
+    FullWPQMiSU,
+    MinorSecurityUnit,
+    PartialWPQMiSU,
+    PostWPQMiSU,
+    make_misu,
+)
+from repro.core.registers import PersistentRegisters, RedoLogBuffer
+from repro.core.requests import ReadRequest, WriteKind, WriteRequest
+
+__all__ = [
+    "DolosController",
+    "EADRSecureController",
+    "FullWPQMiSU",
+    "IntegrityError",
+    "MajorSecurityUnit",
+    "MemoryController",
+    "MinorSecurityUnit",
+    "NonSecureIdealController",
+    "PartialWPQMiSU",
+    "PersistentRegisters",
+    "PostWPQHypotheticalController",
+    "PostWPQMiSU",
+    "PreWPQSecureController",
+    "ReadRequest",
+    "RedoLogBuffer",
+    "WriteKind",
+    "WriteRequest",
+    "make_controller",
+    "make_misu",
+]

@@ -1,0 +1,591 @@
+"""Memory controllers: the Figure 5 design space.
+
+Four controller organisations, all sharing the same WPQ, NVM, and core-
+facing interface so the CPU model and harness can swap them freely:
+
+* :class:`NonSecureIdealController` — Fig 5's non-secure reference: a
+  write is persisted on WPQ arrival, no security anywhere.  This is the
+  "ideal" the paper measures overhead against (Section 1: 52% average).
+* :class:`PreWPQSecureController` — Fig 5-b, the state-of-the-art
+  baseline (Anubis AGIT): the full security pipeline runs *before* WPQ
+  insertion, on the persist critical path.
+* :class:`PostWPQHypotheticalController` — Fig 5-c: security after the
+  WPQ with no Mi-SU at all; infeasible (ADR could not drain raw
+  plaintext securely) but the paper uses it for the Figure 6 bound.
+* :class:`DolosController` — Fig 5-d: Mi-SU protects insertions at
+  near-zero latency; Ma-SU re-secures entries after they leave the WPQ.
+
+The core-facing protocol:
+
+* ``submit_write(request)`` returns a :class:`Signal` that fires when a
+  PERSIST write is architecturally persisted (EVICTION writes return
+  ``None`` and are handled in the background).
+* ``read(address)`` returns a Signal fired with the read latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.config import ControllerKind, MiSUDesign, SimConfig
+from repro.core.masu import MajorSecurityUnit
+from repro.core.misu import MinorSecurityUnit, PostWPQMiSU, make_misu
+from repro.core.registers import PersistentRegisters
+from repro.core.requests import ReadRequest, WriteKind, WriteRequest
+from repro.crypto.keys import KeyStore
+from repro.engine import Delay, Process, Signal, Simulator, WaitSignal
+from repro.engine.resources import PipelineLane, Resource
+from repro.stats import StatsRegistry
+from repro.wpq.adr import ADRDrain
+from repro.wpq.queue import WritePendingQueue
+
+
+class MemoryController:
+    """Shared plumbing for all Figure 5 organisations."""
+
+    kind: ControllerKind
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimConfig,
+        stats: Optional[StatsRegistry] = None,
+        nvm=None,
+        keys: Optional[KeyStore] = None,
+        registers: Optional[PersistentRegisters] = None,
+    ) -> None:
+        from repro.mem.nvm import NVMDevice  # local import to avoid cycles
+
+        self.sim = sim
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.nvm = nvm if nvm is not None else NVMDevice(config.nvm)
+        self.keys = keys if keys is not None else KeyStore(config.seed)
+        # Persistent registers survive crashes: a rebooted controller is
+        # handed the previous life's register file.
+        self.registers = registers if registers is not None else PersistentRegisters()
+        self.wpq = WritePendingQueue(self._wpq_capacity())
+        self._seq = 0
+        #: Fired every time a WPQ slot frees (drain loop wake-up).
+        self.slot_freed = Signal(sim, "wpq.slot_freed")
+        #: Fired every time an entry lands in the WPQ.
+        self.entry_added = Signal(sim, "wpq.entry_added")
+        self._drain_process: Optional[Process] = None
+        self.writes_received = 0
+        self.reads_received = 0
+        #: Optional instrumentation (see :meth:`attach_timeline`).
+        self.timeline = None
+
+    # -- capacity ------------------------------------------------------
+    def _wpq_capacity(self) -> int:
+        return self.config.adr.budget_entries
+
+    # -- core-facing API -----------------------------------------------
+    def start(self) -> None:
+        """Launch the background drain process."""
+        if self._drain_process is None:
+            self._drain_process = Process(
+                self.sim, self._drain_loop(), name=f"{self.kind.value}.drain"
+            )
+
+    def submit_write(self, request: WriteRequest) -> Optional[Signal]:
+        """Hand a write to the controller.
+
+        PERSIST writes return a Signal fired at persist completion;
+        EVICTION writes are fire-and-forget (``None``).
+        """
+        request.seq = self._seq
+        self._seq += 1
+        request.arrival = self.sim.now
+        self.writes_received += 1
+        self.stats.add("controller.writes")
+        if request.kind is WriteKind.PERSIST:
+            done = Signal(self.sim, f"persist.{request.seq}")
+            Process(
+                self.sim,
+                self._write_path(request, done),
+                name=f"write.{request.seq}",
+            )
+            return done
+        Process(self.sim, self._write_path(request, None), name=f"wb.{request.seq}")
+        return None
+
+    def read(self, address: int) -> Signal:
+        """Demand read (LLC miss).  Signal fires with total latency."""
+        self.reads_received += 1
+        self.stats.add("controller.reads")
+        done = Signal(self.sim, "read")
+        Process(self.sim, self._read_path(ReadRequest(address, self.sim.now), done))
+        return done
+
+    # -- to be specialised ----------------------------------------------
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        raise NotImplementedError
+
+    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
+        raise NotImplementedError
+
+    def _drain_loop(self) -> Generator:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    def _acquire_wpq_slot(self, request: WriteRequest) -> Generator:
+        """Retry until a WPQ slot is allocated; returns the entry.
+
+        A request that arrives to a full queue is NACK'd and re-tried
+        when a slot frees; the NACK is one Table 2 "re-try event"
+        (counted once per request — later wake-ups that lose the race
+        for a freed slot are queueing, not new re-tries).
+        """
+        blocked = False
+        while True:
+            if self.config.wpq_coalescing:
+                entry = self.wpq.try_coalesce(request)
+                if entry is not None:
+                    self.stats.add("wpq.coalesced")
+                    return entry
+            entry = self.wpq.try_allocate(request)
+            if entry is not None:
+                return entry
+            if not blocked:
+                blocked = True
+                self.wpq.record_retry()
+                self.stats.add("wpq.retries")
+            yield WaitSignal(self.slot_freed)
+
+    def _wpq_read_hit_latency(self) -> int:
+        """Serving a read from the WPQ: tag lookup + XOR decrypt."""
+        return 2
+
+    #: Cycles between WPQ drain command issues (scheduler bandwidth);
+    #: NVM bank busy-times provide the real throughput limit.
+    DRAIN_ISSUE_INTERVAL = 4
+
+    def _plain_drain_loop(self) -> Generator:
+        """Drain already-secured entries: pipelined NVM writes.
+
+        Used by controllers whose entries need no post-WPQ security
+        (non-secure ideal and the pre-WPQ baseline).  The loop issues
+        one write per interval; completions free slots when the bank
+        write finishes, so independent banks overlap.
+        """
+        while True:
+            entry = self.wpq.oldest_pending()
+            if entry is None:
+                yield WaitSignal(self.entry_added)
+                continue
+            self.wpq.begin_fetch(entry)
+            assert entry.request is not None
+            request = entry.request
+            accepted, _done = self.nvm.timed_write_accept(
+                self.sim.now, request.address
+            )
+
+            def complete(entry=entry, request=request) -> None:
+                if request.data is not None:
+                    self.nvm.write_line(request.address, request.data)
+                self.wpq.mark_cleared(entry)
+                self.stats.add("wpq.drained")
+                self.slot_freed.fire(entry)
+
+            self.sim.schedule(accepted - self.sim.now, complete, label="drain.done")
+            # The next command can issue once this one is accepted (the
+            # command bus is serial) or after the issue interval.
+            yield Delay(
+                max(self.DRAIN_ISSUE_INTERVAL, accepted - self.sim.now)
+            )
+
+    def wpq_occupancy(self) -> int:
+        return self.wpq.occupancy
+
+    def attach_timeline(self, timeline) -> None:
+        """Record WPQ occupancy and retry events into ``timeline``.
+
+        Sampling piggybacks on the insertion/drain signals so the
+        simulation hot path is untouched when no timeline is attached.
+        """
+        self.timeline = timeline
+        sample = timeline.sample
+        event = timeline.event
+        added_fire = self.entry_added.fire
+        freed_fire = self.slot_freed.fire
+        record_retry = self.wpq.record_retry
+
+        def on_added(value=None):
+            sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
+            added_fire(value)
+
+        def on_freed(value=None):
+            sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
+            freed_fire(value)
+
+        def on_retry():
+            event(self.sim.now, "wpq.retry")
+            record_retry()
+
+        self.entry_added.fire = on_added
+        self.slot_freed.fire = on_freed
+        self.wpq.record_retry = on_retry
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        snap = dict(self.stats.as_dict())
+        snap.update({f"nvm.{k}": v for k, v in self.nvm.stats().items()})
+        snap["wpq.inserts"] = self.wpq.inserts
+        snap["wpq.retry_events"] = self.wpq.retry_events
+        snap["wpq.coalesced_total"] = self.wpq.coalesced
+        return snap
+
+
+# ======================================================================
+# Non-secure ideal (persist == WPQ arrival, no security)
+# ======================================================================
+class NonSecureIdealController(MemoryController):
+    """The ideal reference: ADR fully exploited, zero security cost."""
+
+    kind = ControllerKind.NON_SECURE_IDEAL
+
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        entry = yield from self._acquire_wpq_slot(request)
+        yield Delay(1)  # queue insertion
+        if done is not None:
+            done.fire(self.sim.now)
+            self.stats.add("persist.completed")
+        self.entry_added.fire(entry)
+
+    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
+        if self.wpq.lookup(request.address) is not None:
+            self.wpq.read_hits += 1
+            yield Delay(self._wpq_read_hit_latency())
+            done.fire(self.sim.now - request.arrival)
+            return
+        finish = self.nvm.timed_access(self.sim.now, request.address, False)
+        yield Delay(finish - self.sim.now)
+        done.fire(self.sim.now - request.arrival)
+
+    def _drain_loop(self) -> Generator:
+        yield from self._plain_drain_loop()
+
+
+# ======================================================================
+# Pre-WPQ secure baseline (Fig 5-b, Anubis AGIT)
+# ======================================================================
+class PreWPQSecureController(MemoryController):
+    """State of the art: all security operations before WPQ insertion.
+
+    The security unit (a :class:`MajorSecurityUnit`) is a single
+    serialized pipeline; persists queue behind each other's counter
+    fetches, AES, and eager tree-update MAC chains *before* they are
+    considered persisted.
+    """
+
+    kind = ControllerKind.PRE_WPQ_SECURE
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.masu = MajorSecurityUnit(
+            self.config, self.keys, self.registers, self.nvm
+        )
+        self._pipeline = PipelineLane(
+            self.config.security.masu_issue_interval, "security-unit"
+        )
+
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        # Security first (the persist critical path of the baseline).
+        # The unit is pipelined: it accepts a new write every issue
+        # interval, but each write's full metadata/MAC latency must
+        # elapse before the write may enter the persistence domain.
+        latency = self.masu.write_pipeline_latency(
+            self.sim.now, request.address, critical_path=True
+        )
+        _start, finish = self._pipeline.book(self.sim.now, latency)
+        if request.data is not None:
+            self.masu.secure_write(request.address, request.data)
+        yield Delay(finish - self.sim.now)
+        self.stats.add("security.pre_wpq_ops")
+        # Then persist: WPQ insertion.
+        entry = yield from self._acquire_wpq_slot(request)
+        yield Delay(1)
+        if done is not None:
+            done.fire(self.sim.now)
+            self.stats.add("persist.completed")
+        self.entry_added.fire(entry)
+
+    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
+        if self.wpq.lookup(request.address) is not None:
+            self.wpq.read_hits += 1
+            yield Delay(self._wpq_read_hit_latency())
+            done.fire(self.sim.now - request.arrival)
+            return
+        finish = self.nvm.timed_access(self.sim.now, request.address, False)
+        yield Delay(finish - self.sim.now)
+        verify = self.masu.read_verify_latency(self.sim.now, request.address)
+        yield Delay(verify)
+        done.fire(self.sim.now - request.arrival)
+
+    def _drain_loop(self) -> Generator:
+        # Entries are already secured; draining is a plain NVM write.
+        yield from self._plain_drain_loop()
+
+
+# ======================================================================
+# Dolos (Fig 5-d)
+# ======================================================================
+class DolosController(MemoryController):
+    """Mi-SU before the WPQ, Ma-SU after it (the paper's design)."""
+
+    kind = ControllerKind.DOLOS
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.masu = MajorSecurityUnit(
+            self.config, self.keys, self.registers, self.nvm
+        )
+        self.misu: MinorSecurityUnit = make_misu(
+            self.config, self.keys, self.registers, self.wpq
+        )
+        #: Serializes slot allocation so coalescing/allocation stay FIFO.
+        self._misu_port = Resource(self.sim, 1, "misu")
+        #: Mi-SU's pipelined MAC engine.
+        self._misu_lane = PipelineLane(
+            self.config.security.misu_issue_interval, "misu-mac"
+        )
+        #: Ma-SU's pipelined back-end (drain side).
+        self._masu_lane = PipelineLane(
+            self.config.security.masu_issue_interval, "masu"
+        )
+        self.adr_drain = ADRDrain(self.nvm, self.config.adr, self.misu.design)
+
+    def _wpq_capacity(self) -> int:
+        return self.config.adr.usable_entries(self.config.misu_design)
+
+    # ------------------------------------------------------------------
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        yield from self._misu_port.acquire()
+        try:
+            # Post-WPQ-MiSU: a previous deferred secure op may still be
+            # running; only one may be outstanding (Section 4.3).
+            misu = self.misu
+            if isinstance(misu, PostWPQMiSU) and misu.is_busy(self.sim.now):
+                wait = misu.busy_until - self.sim.now
+                self.stats.add("misu.busy_stalls")
+                self.stats.add("misu.busy_wait_cycles", wait)
+                yield Delay(wait)
+            entry = yield from self._acquire_wpq_slot(request)
+            if isinstance(misu, PostWPQMiSU):
+                # Commit immediately; the secure op runs post-commit on
+                # the (reservable-by-ADR) deferred engine.  The port is
+                # held through commit so the "at most one outstanding
+                # deferred op" invariant (Section 4.3) cannot be raced.
+                yield Delay(misu.insertion_latency())
+                entry.mac_pending = True
+                entry.protected = True  # committed; ADR covers the MAC
+                deferred_done = misu.start_deferred(self.sim.now)
+                self.sim.schedule(
+                    deferred_done - self.sim.now,
+                    lambda e=entry: self._finish_deferred(e),
+                    label="misu.deferred",
+                )
+                finish = self.sim.now
+            else:
+                # Full/Partial: XOR + MAC(s) before commit, on the
+                # pipelined Mi-SU MAC engine (the port is released as
+                # soon as the op is booked, so inserts pipeline at the
+                # engine's initiation interval).
+                _start, finish = self._misu_lane.book(
+                    self.sim.now, misu.insertion_latency()
+                )
+        finally:
+            self._misu_port.release()
+        if not isinstance(misu, PostWPQMiSU):
+            yield Delay(finish - self.sim.now)
+            if request.data is not None:
+                misu.protect(entry)
+            entry.protected = True
+            self.stats.add("misu.protected")
+        if done is not None:
+            done.fire(self.sim.now)
+            self.stats.add("persist.completed")
+        self.entry_added.fire(entry)
+
+    def _finish_deferred(self, entry) -> None:
+        """Complete a Post-WPQ deferred protection."""
+        if entry.occupied and entry.request is not None:
+            if entry.request.data is not None:
+                self.misu.protect(entry)
+            entry.mac_pending = False
+            self.stats.add("misu.protected")
+
+    # ------------------------------------------------------------------
+    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
+        hit = self.wpq.lookup(request.address)
+        if hit is not None:
+            self.wpq.read_hits += 1
+            yield Delay(self._wpq_read_hit_latency())
+            done.fire(self.sim.now - request.arrival)
+            return
+        finish = self.nvm.timed_access(self.sim.now, request.address, False)
+        yield Delay(finish - self.sim.now)
+        verify = self.masu.read_verify_latency(self.sim.now, request.address)
+        yield Delay(verify)
+        done.fire(self.sim.now - request.arrival)
+
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> Generator:
+        """Ma-SU's Figure 11 loop: fetch, re-secure, write back, clear.
+
+        The back-end is pipelined: a new entry issues every Ma-SU
+        initiation interval while each entry's full metadata latency
+        elapses before its redo log is ready (and hence before the WPQ
+        slot can be reclaimed).
+        """
+        while True:
+            entry = self.wpq.oldest_pending()
+            if entry is None:
+                yield WaitSignal(self.entry_added)
+                continue
+            if entry.mac_pending:
+                # Let the deferred Mi-SU op finish before consuming.
+                yield Delay(self.config.security.mac_latency)
+                continue
+            self.wpq.begin_fetch(entry)
+            assert entry.request is not None
+            request = entry.request
+            address = request.address
+            # Step 1 (XOR decrypt, 1 cycle) + step 2 (full security
+            # processing into the redo log) on the pipelined back-end.
+            latency = 1 + self.masu.write_pipeline_latency(self.sim.now, address)
+            start, finish = self._masu_lane.book(self.sim.now, latency)
+
+            def complete(entry=entry, request=request, address=address) -> None:
+                if request.data is not None:
+                    self.masu.secure_write(address, request.data)
+                # Step 3 (background): the ciphertext write to NVM; bank
+                # time is booked but nothing waits on it.  Metadata and
+                # shadow updates land in the metadata caches / the small
+                # sequential shadow region (row-buffer hits) and do not
+                # occupy data banks.
+                self.nvm.timed_access(self.sim.now, address, True)
+                # Step 4: clear the entry, freeing the slot.
+                self.wpq.mark_cleared(entry)
+                self.stats.add("masu.writes")
+                self.slot_freed.fire(entry)
+
+            self.sim.schedule(finish - self.sim.now, complete, label="masu.done")
+            # Next issue no earlier than the lane's next free slot.
+            yield Delay(max(1, self._masu_lane.next_free(self.sim.now) - self.sim.now))
+
+    # ------------------------------------------------------------------
+    def crash(self):
+        """Power failure: drain the WPQ on ADR energy (see recovery pkg)."""
+        misu = self.misu
+        pending = 0
+        if isinstance(misu, PostWPQMiSU):
+            # ADR reserves energy to finish at most one deferred MAC.
+            for entry in self.wpq.occupied_entries():
+                if entry.mac_pending and entry.request is not None:
+                    if entry.request.data is not None:
+                        misu.protect(entry)
+                    entry.mac_pending = False
+                    pending += 1
+        return self.adr_drain.drain(self.wpq, pending_macs=pending)
+
+
+# ======================================================================
+# Fig 5-c: hypothetical post-WPQ security, no Mi-SU
+# ======================================================================
+class PostWPQHypotheticalController(DolosController):
+    """Security strictly after the WPQ with no WPQ protection at all.
+
+    Infeasible in practice (ADR would have to power the full security
+    pipeline for every entry at drain time) but defines the performance
+    bound of Figure 6.  Uses the full ADR budget worth of entries and
+    zero insertion latency.
+    """
+
+    kind = ControllerKind.POST_WPQ_HYPOTHETICAL
+
+    def _wpq_capacity(self) -> int:
+        return self.config.adr.budget_entries
+
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        entry = yield from self._acquire_wpq_slot(request)
+        yield Delay(1)
+        if done is not None:
+            done.fire(self.sim.now)
+            self.stats.add("persist.completed")
+        self.entry_added.fire(entry)
+
+    def crash(self):  # pragma: no cover - exercised via recovery tests
+        raise RuntimeError(
+            "Fig 5-c cannot drain within the ADR budget: entries are "
+            "unprotected and the security pipeline needs external power"
+        )
+
+
+# ======================================================================
+# Secure eADR (intro comparison: the battery-backed alternative)
+# ======================================================================
+class EADRSecureController(DolosController):
+    """Secure eADR: persistence domain = the whole cache hierarchy.
+
+    A persist completes the moment the flush reaches the controller —
+    no Mi-SU work, no (small-)WPQ back-pressure; the write buffer is
+    sized like a cache-scale structure and the Ma-SU drains it lazily.
+    The cost the paper's introduction rejects: on a power failure a
+    large battery must run the *full* security pipeline over every
+    buffered line, far beyond the standard ADR budget.
+    """
+
+    kind = ControllerKind.EADR_SECURE
+
+    #: Buffered dirty lines the persistent cache domain can hold.
+    EADR_BUFFER_ENTRIES = 512
+
+    def _wpq_capacity(self) -> int:
+        return self.EADR_BUFFER_ENTRIES
+
+    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
+        entry = yield from self._acquire_wpq_slot(request)
+        yield Delay(1)
+        entry.protected = True  # inside the (battery-backed) domain
+        if done is not None:
+            done.fire(self.sim.now)
+            self.stats.add("persist.completed")
+        self.entry_added.fire(entry)
+
+    def crash(self):
+        """Quantify why this needs a non-standard battery."""
+        pending = self.wpq.occupancy
+        energy = pending * (1 + self.config.security.masu_hash_latency // 100)
+        raise RuntimeError(
+            f"eADR drain needs the full security pipeline over {pending} "
+            f"buffered lines (~{energy} ADR-entry-equivalents of energy) — "
+            "beyond the standard ADR budget; use Dolos instead"
+        )
+
+
+# ======================================================================
+# Factory
+# ======================================================================
+_CONTROLLERS = {
+    ControllerKind.NON_SECURE_IDEAL: NonSecureIdealController,
+    ControllerKind.PRE_WPQ_SECURE: PreWPQSecureController,
+    ControllerKind.POST_WPQ_HYPOTHETICAL: PostWPQHypotheticalController,
+    ControllerKind.DOLOS: DolosController,
+    ControllerKind.EADR_SECURE: EADRSecureController,
+}
+
+
+def make_controller(
+    sim: Simulator,
+    config: SimConfig,
+    stats: Optional[StatsRegistry] = None,
+    nvm=None,
+    keys: Optional[KeyStore] = None,
+    registers: Optional[PersistentRegisters] = None,
+) -> MemoryController:
+    """Build the controller selected by ``config.controller``."""
+    cls = _CONTROLLERS[config.controller]
+    controller = cls(sim, config, stats, nvm, keys, registers)
+    controller.start()
+    return controller

@@ -1,0 +1,341 @@
+"""The Minor Security Unit (Mi-SU), Section 4.3.
+
+Mi-SU protects only the WPQ contents, exploiting two WPQ properties:
+it is tiny, and its encryption pads can be **pre-generated** (the pad
+counters depend only on the persistent pad-counter register and the
+slot number, not on the data).  Insertion therefore costs one XOR plus
+zero, one or two MAC computations depending on the design option:
+
+=====================  =========  ==============  =====================
+Design                 WPQ size   critical path    ADR extra
+=====================  =========  ==============  =====================
+Full-WPQ-MiSU          16         XOR + 2 MACs    none (root on chip)
+Partial-WPQ-MiSU       13         XOR + 1 MAC     flush per-entry MACs
+Post-WPQ-MiSU          10         ~0 (deferred)   finish 1 MAC + flush
+=====================  =========  ==============  =====================
+
+Functional behaviour (real pads, real MACs) is exercised whenever the
+write request carries data bytes; timing-only runs skip the byte work
+but charge identical latencies.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import (
+    MAC_BYTES,
+    MiSUDesign,
+    SimConfig,
+    WPQ_ENTRY_BYTES,
+    WPQ_ENTRY_WITH_MAC_BYTES,
+)
+from repro.core.registers import PersistentRegisters
+from repro.core.requests import WriteRequest
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import mac_over_fields
+from repro.crypto.prf import ctr_pad, xor_bytes
+from repro.wpq.queue import WPQEntry, WritePendingQueue
+
+_EMPTY_MAC = b"\x00" * MAC_BYTES
+#: Synthetic "address" namespace for WPQ slot pads (disjoint from memory
+#: addresses because the IV mixes it with a never-repeating counter).
+_SLOT_ADDRESS_BASE = 1 << 56
+
+
+def _encode_entry(request: WriteRequest) -> bytes:
+    """The 72-byte WPQ entry payload: 64 B data + 8 B address."""
+    data = request.data if request.data is not None else b"\x00" * 64
+    return data + struct.pack("<Q", request.address)
+
+
+def decode_entry(plaintext: bytes) -> Tuple[bytes, int]:
+    """Inverse of :func:`_encode_entry` (used at recovery)."""
+    data = plaintext[:64]
+    (address,) = struct.unpack("<Q", plaintext[64:72])
+    return data, address
+
+
+class MinorSecurityUnit:
+    """Base Mi-SU: pad pre-generation, entry encryption, accounting."""
+
+    design: MiSUDesign
+
+    def __init__(
+        self,
+        config: SimConfig,
+        keys: KeyStore,
+        registers: PersistentRegisters,
+        wpq: WritePendingQueue,
+    ) -> None:
+        self.config = config
+        self.keys = keys
+        self.registers = registers
+        self.wpq = wpq
+        self._pads: List[bytes] = []
+        self._pad_counters: List[int] = []
+        self.entries_protected = 0
+        self.regenerate_pads()
+
+    # ------------------------------------------------------------------
+    # Pads
+    # ------------------------------------------------------------------
+    @property
+    def pad_bytes(self) -> int:
+        """Pad length per slot (Table 3: 72 B full, 80 B partial/post)."""
+        if self.design is MiSUDesign.FULL_WPQ:
+            return WPQ_ENTRY_BYTES
+        return WPQ_ENTRY_WITH_MAC_BYTES
+
+    def regenerate_pads(self) -> None:
+        """(Re)derive per-slot pads from the persistent counter register.
+
+        Called at boot and after recovery; each slot's counter is the
+        register value plus the slot number, so counters never repeat
+        across drains (the register advances by the WPQ size each boot).
+        """
+        base = self.registers.wpq_pad_counter
+        key = self.keys.wpq_key
+        self._pad_counters = [base + slot for slot in range(self.wpq.capacity)]
+        self._pads = [
+            ctr_pad(key, _SLOT_ADDRESS_BASE + slot, base + slot, self.pad_bytes)
+            for slot in range(self.wpq.capacity)
+        ]
+
+    def pad_for_slot(self, slot: int) -> bytes:
+        return self._pads[slot]
+
+    def pad_counter_for_slot(self, slot: int) -> int:
+        return self._pad_counters[slot]
+
+    def advance_pad_counter(self) -> None:
+        """Bump the persistent register past all counters just exposed.
+
+        Runs at recovery time, *after* the drained image is decrypted,
+        so the next drain uses fresh counters (Section 4.3).
+        """
+        self.registers.wpq_pad_counter += self.wpq.capacity
+
+    # ------------------------------------------------------------------
+    # Functional protection
+    # ------------------------------------------------------------------
+    def encrypt_entry(self, entry: WPQEntry) -> None:
+        """XOR the 72-byte payload with the slot's pre-generated pad."""
+        assert entry.request is not None
+        plaintext = _encode_entry(entry.request)
+        pad = self.pad_for_slot(entry.index)[: len(plaintext)]
+        entry.ciphertext = xor_bytes(plaintext, pad)
+        entry.pad_counter = self.pad_counter_for_slot(entry.index)
+        entry.content_address = entry.request.address
+        entry.cleared = False
+
+    def entry_mac(self, entry: WPQEntry) -> bytes:
+        """MAC over (ciphertext, slot counter) — the BMT-style per-entry
+        MAC of Partial/Post designs (Design Option 2)."""
+        assert entry.ciphertext is not None
+        return mac_over_fields(
+            self.keys.mac_key,
+            "wpq-entry",
+            entry.index,
+            entry.pad_counter,
+            entry.ciphertext,
+        )
+
+    def protect(self, entry: WPQEntry) -> None:
+        """Run the design's full functional protection for one entry."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def insertion_latency(self) -> int:
+        """Critical-path cycles between slot allocation and commit."""
+        raise NotImplementedError
+
+    def deferred_latency(self) -> int:
+        """Cycles of post-commit security work (Post-WPQ only)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Storage overhead (Table 3)
+    # ------------------------------------------------------------------
+    def storage_overhead(self) -> Dict[str, int]:
+        """On-chip Mi-SU storage in bytes, reproducing Table 3."""
+        raise NotImplementedError
+
+    def _common_overhead(self) -> Dict[str, int]:
+        return {
+            "persistent_counter": 8,
+            "encryption_pads": self.pad_bytes * self.wpq.capacity,
+            "volatile_tag_array": 8 * self.wpq.capacity,
+        }
+
+    @property
+    def physical_slots(self) -> int:
+        """Physical WPQ slots provisioned (Table 3 sizes MAC storage by
+        the full 16-slot structure even when fewer are usable)."""
+        return self.config.adr.budget_entries
+
+
+class FullWPQMiSU(MinorSecurityUnit):
+    """Design option 1: counter-mode pads + a 2-level tree over the WPQ.
+
+    Per-entry MACs feed group (L1) MACs which feed a root register; both
+    the L1 MAC and the root are recomputed on every insertion — two MAC
+    latencies in the critical path.  Nothing beyond the raw entries
+    needs flushing on a crash (root and L1 MACs live in persistent
+    registers), so the full ADR budget worth of entries is usable.
+    """
+
+    design = MiSUDesign.FULL_WPQ
+    L1_GROUP = 8
+
+    def protect(self, entry: WPQEntry) -> None:
+        self.encrypt_entry(entry)
+        entry.mac = self.entry_mac(entry)
+        self._update_tree(entry.index)
+        self.entries_protected += 1
+
+    def _update_tree(self, slot: int) -> None:
+        """Recompute the slot's L1 MAC and the WPQ root (steps 2-3)."""
+        group = slot // self.L1_GROUP
+        group_macs = []
+        for offset in range(self.L1_GROUP):
+            index = group * self.L1_GROUP + offset
+            if index >= self.wpq.capacity:
+                break
+            other = self.wpq.entries[index]
+            # The tree covers each slot's architectural content, live
+            # or cleared — clears never recompute MACs (Section 4.3).
+            group_macs.append(other.mac if other.mac else _EMPTY_MAC)
+        self.registers.wpq_l1_macs[group] = mac_over_fields(
+            self.keys.mac_key, "wpq-l1", group, b"".join(group_macs)
+        )
+        num_groups = (self.wpq.capacity + self.L1_GROUP - 1) // self.L1_GROUP
+        l1_concat = b"".join(
+            self.registers.wpq_l1_macs.get(g, _EMPTY_MAC) for g in range(num_groups)
+        )
+        self.registers.wpq_root = mac_over_fields(
+            self.keys.mac_key, "wpq-root", l1_concat
+        )
+
+    def compute_root_over(self, entry_macs: List[bytes]) -> bytes:
+        """Root over an explicit MAC list (recovery verification).
+
+        Groups whose slots never held an entry keep the register file's
+        default (empty) L1 value, mirroring :meth:`_update_tree`, which
+        only materialises an L1 MAC when a slot in the group is written.
+        """
+        num_groups = (self.wpq.capacity + self.L1_GROUP - 1) // self.L1_GROUP
+        l1_macs = []
+        for group in range(num_groups):
+            chunk = list(
+                entry_macs[group * self.L1_GROUP:(group + 1) * self.L1_GROUP]
+            )
+            while len(chunk) < min(
+                self.L1_GROUP, self.wpq.capacity - group * self.L1_GROUP
+            ):
+                chunk.append(_EMPTY_MAC)
+            if all(mac == _EMPTY_MAC for mac in chunk):
+                l1_macs.append(_EMPTY_MAC)
+            else:
+                l1_macs.append(
+                    mac_over_fields(
+                        self.keys.mac_key, "wpq-l1", group, b"".join(chunk)
+                    )
+                )
+        return mac_over_fields(self.keys.mac_key, "wpq-root", b"".join(l1_macs))
+
+    def insertion_latency(self) -> int:
+        # XOR (1) + entry/L1 MAC + root MAC.
+        return 1 + 2 * self.config.security.mac_latency
+
+    def storage_overhead(self) -> Dict[str, int]:
+        overhead = self._common_overhead()
+        # Per-entry MAC registers plus intermediate-level registers
+        # (Table 3 reports 192 B for the 16-slot structure).
+        overhead["macs"] = MAC_BYTES * self.physical_slots + MAC_BYTES * (
+            self.physical_slots // 2
+        )
+        return overhead
+
+
+class PartialWPQMiSU(MinorSecurityUnit):
+    """Design option 2: single BMT-style MAC per entry.
+
+    The pad counters are recoverable from the persistent register, so
+    no tree over them is needed — one MAC over (ciphertext, counter)
+    suffices.  The MACs must be flushed with the entries, costing 1/9 of
+    the ADR budget: a 16-entry budget yields 13 usable entries.
+    """
+
+    design = MiSUDesign.PARTIAL_WPQ
+
+    def protect(self, entry: WPQEntry) -> None:
+        self.encrypt_entry(entry)
+        entry.mac = self.entry_mac(entry)
+        self.entries_protected += 1
+
+    def insertion_latency(self) -> int:
+        # XOR (1) + one MAC.
+        return 1 + self.config.security.mac_latency
+
+    def storage_overhead(self) -> Dict[str, int]:
+        overhead = self._common_overhead()
+        # One MAC register per physical slot (Table 3: 128 B).
+        overhead["macs"] = MAC_BYTES * self.physical_slots
+        return overhead
+
+
+class PostWPQMiSU(PartialWPQMiSU):
+    """Design option 3: commit first, secure immediately after.
+
+    The write is persisted the moment the slot is claimed; the XOR +
+    MAC run right after commit.  ADR reserves the energy to finish one
+    in-flight MAC plus its flush, so the queue shrinks again (10 entries
+    at the standard budget) and only one deferred operation may be
+    outstanding: a new write stalls while the previous deferred MAC is
+    still running.
+    """
+
+    design = MiSUDesign.POST_WPQ
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Cycle until which the deferred MAC engine is busy.
+        self.busy_until = 0
+        self.deferred_macs = 0
+
+    def insertion_latency(self) -> int:
+        # Commit is immediate; security runs post-commit.
+        return 1
+
+    def deferred_latency(self) -> int:
+        # XOR + one MAC, off the critical path.
+        return 1 + self.config.security.mac_latency
+
+    def start_deferred(self, now: int) -> int:
+        """Book the deferred secure op; returns its completion cycle."""
+        done = now + self.deferred_latency()
+        self.busy_until = done
+        self.deferred_macs += 1
+        return done
+
+    def is_busy(self, now: int) -> bool:
+        return now < self.busy_until
+
+
+def make_misu(
+    config: SimConfig,
+    keys: KeyStore,
+    registers: PersistentRegisters,
+    wpq: WritePendingQueue,
+) -> MinorSecurityUnit:
+    """Factory keyed by :attr:`SimConfig.misu_design`."""
+    cls = {
+        MiSUDesign.FULL_WPQ: FullWPQMiSU,
+        MiSUDesign.PARTIAL_WPQ: PartialWPQMiSU,
+        MiSUDesign.POST_WPQ: PostWPQMiSU,
+    }[config.misu_design]
+    return cls(config, keys, registers, wpq)

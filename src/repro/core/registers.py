@@ -1,0 +1,108 @@
+"""Persistent on-chip registers (survive power failure inside the TCB).
+
+The paper's design relies on a small set of registers that are
+persistent and private to the processor:
+
+* the **persistent counter register** Mi-SU increments by the WPQ entry
+  count at each reboot (Section 4.3) — it seeds the per-entry pad
+  counters and can never be replayed by an attacker;
+* the **WPQ root / L1 MAC registers** of Full-WPQ-MiSU;
+* the Ma-SU **redo-logging buffer** with its ready bit and the
+  **integrity-tree root** (Section 4.4, Figure 11).
+
+Everything in this file survives :meth:`crash`; all *volatile* state
+(caches, tag arrays) is lost there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class RedoLogBuffer:
+    """Ma-SU's persistent redo-logging registers (Figure 11, step 2).
+
+    Filled with every artifact of one write's security processing
+    before any architectural state is touched; ``ready`` flips to True
+    only when the set is complete, making step 3 idempotently
+    replayable after a crash.
+    """
+
+    ready: bool = False
+    address: Optional[int] = None
+    ciphertext: Optional[bytes] = None
+    mac: Optional[bytes] = None
+    counter_value: Optional[int] = None
+    counter_page: Optional[int] = None
+    counter_snapshot: Optional[Tuple[int, Tuple[int, ...]]] = None
+    tree_path: List[Tuple[int, int, bytes]] = field(default_factory=list)
+    temp_root: Optional[bytes] = None
+    plaintext: Optional[bytes] = None
+    #: WPQ slot this entry came from, so recovery can skip step 4 safely.
+    wpq_index: Optional[int] = None
+    #: Dedup: canonical address whose content this write duplicates
+    #: (the write itself is cancelled; only the mapping persists).
+    dedup_canonical: Optional[int] = None
+
+    def clear(self) -> None:
+        self.ready = False
+        self.address = None
+        self.ciphertext = None
+        self.mac = None
+        self.counter_value = None
+        self.counter_page = None
+        self.counter_snapshot = None
+        self.tree_path = []
+        self.temp_root = None
+        self.plaintext = None
+        self.wpq_index = None
+        self.dedup_canonical = None
+
+
+@dataclass
+class PersistentRegisters:
+    """All persistent registers of one Dolos controller."""
+
+    #: Mi-SU pad-counter seed; bumped by WPQ size on every reboot.
+    wpq_pad_counter: int = 0
+    #: Full-WPQ-MiSU's WPQ Merkle-tree root (over entry MACs).
+    wpq_root: bytes = b"\x00" * 8
+    #: Full-WPQ-MiSU's level-1 MAC registers (one per L1 group).
+    wpq_l1_macs: Dict[int, bytes] = field(default_factory=dict)
+    #: Ma-SU main integrity-tree root (eagerly updated, Section 4.4).
+    tree_root: bytes = b"\x00" * 8
+    #: ToC root counter (lazy/Phoenix mode; lives inside the TCB).
+    toc_root_counter: int = 0
+    #: Ma-SU redo-log registers.
+    redo_log: RedoLogBuffer = field(default_factory=RedoLogBuffer)
+    #: Boot epoch mirrored from the key store (selects the pad key).
+    boot_epoch: int = 0
+
+    def snapshot(self) -> "PersistentRegisters":
+        """Deep-ish copy representing the state preserved by a crash."""
+        copy = PersistentRegisters(
+            wpq_pad_counter=self.wpq_pad_counter,
+            wpq_root=self.wpq_root,
+            wpq_l1_macs=dict(self.wpq_l1_macs),
+            tree_root=self.tree_root,
+            toc_root_counter=self.toc_root_counter,
+            boot_epoch=self.boot_epoch,
+        )
+        src = self.redo_log
+        copy.redo_log = RedoLogBuffer(
+            ready=src.ready,
+            address=src.address,
+            ciphertext=src.ciphertext,
+            mac=src.mac,
+            counter_value=src.counter_value,
+            counter_page=src.counter_page,
+            counter_snapshot=src.counter_snapshot,
+            tree_path=list(src.tree_path),
+            temp_root=src.temp_root,
+            plaintext=src.plaintext,
+            wpq_index=src.wpq_index,
+            dedup_canonical=src.dedup_canonical,
+        )
+        return copy

@@ -1,0 +1,45 @@
+"""Memory-controller request types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class WriteKind(enum.Enum):
+    """Why a write arrived at the memory controller."""
+
+    #: Explicit persist (clwb/clflush + fence); the core stalls on its
+    #: acceptance into the persistence domain.
+    PERSIST = "persist"
+    #: Dirty LLC eviction; ordinary buffered write, core never waits.
+    EVICTION = "eviction"
+
+
+@dataclass
+class WriteRequest:
+    """One 64-byte write arriving at the memory controller."""
+
+    address: int
+    kind: WriteKind
+    #: Plaintext bytes; ``None`` in timing-only runs.
+    data: Optional[bytes] = None
+    #: Monotonic id assigned by the controller (insertion order).
+    seq: int = -1
+    #: Cycle the request arrived at the controller.
+    arrival: int = 0
+
+    def __post_init__(self) -> None:
+        self.address &= ~0x3F  # line-align
+
+
+@dataclass
+class ReadRequest:
+    """One 64-byte read (LLC miss) arriving at the memory controller."""
+
+    address: int
+    arrival: int = 0
+
+    def __post_init__(self) -> None:
+        self.address &= ~0x3F

@@ -1,0 +1,37 @@
+"""Trace-driven CPU timing model.
+
+The paper simulates one 4 GHz out-of-order x86 core in gem5.  We drive
+the memory system with instruction traces produced by the workloads in
+:mod:`repro.workloads`; the core model (:mod:`repro.cpu.core`) charges
+compute work at a configurable IPC, resolves loads/stores through the
+cache hierarchy, and implements the persist semantics that matter to
+Dolos: ``clwb`` pushes dirty lines to the memory controller and
+``sfence`` stalls until every outstanding persist has been accepted
+into the persistence domain.
+"""
+
+from repro.cpu.core import TraceCore
+from repro.cpu.trace import (
+    OP_CLWB,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    OP_WORK,
+    TraceSummary,
+    summarize,
+)
+
+__all__ = [
+    "OP_CLWB",
+    "OP_FENCE",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_TXBEGIN",
+    "OP_TXEND",
+    "OP_WORK",
+    "TraceCore",
+    "TraceSummary",
+    "summarize",
+]

@@ -1,0 +1,194 @@
+"""The trace-driven core.
+
+The core is a single simulation process that walks a trace, batching
+pure-latency work (compute, cache hits) into one ``Delay`` and
+interacting with the event queue only where concurrency matters:
+LLC-miss reads, persist submissions, and fences.
+
+Persist semantics (the crux of the paper):
+
+* ``clwb`` of a dirty line launches a writeback that reaches the memory
+  controller after the hierarchy traversal latency; the controller's
+  persist-completion signal decrements the outstanding count.
+* ``sfence`` stalls the core until the outstanding count reaches zero —
+  so every cycle of pre-WPQ security latency (baseline) or Mi-SU
+  latency (Dolos) shows up in the fence stall, exactly the effect
+  Figures 6 and 12 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.core.controller import MemoryController
+from repro.core.requests import WriteKind, WriteRequest
+from repro.cpu.trace import (
+    OP_CLWB,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    OP_WORK,
+)
+from repro.engine import Delay, Process, Signal, Simulator, WaitSignal
+from repro.mem.hierarchy import CacheHierarchy
+from repro.stats import StatsRegistry
+
+
+class TraceCore:
+    """Replays one trace against a memory controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimConfig,
+        controller: MemoryController,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.controller = controller
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.hierarchy = CacheHierarchy(config)
+        self.instructions = 0
+        self.cycles = 0
+        self.finished = False
+        self._outstanding_persists = 0
+        self._fence_signal = Signal(sim, "core.fence")
+        self._process: Optional[Process] = None
+        self._work_carry = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Iterable[Tuple]) -> Process:
+        """Start replaying ``trace``; returns the core process."""
+        if self._process is not None:
+            raise RuntimeError("core already running a trace")
+        self._process = Process(self.sim, self._run(trace), name="core")
+        return self._process
+
+    def _run(self, trace: Iterable[Tuple]):
+        ipc = self.config.core.ipc
+        acc = 0  # batched latency not yet yielded to the kernel
+        tx_start_cycle = 0
+        for op in trace:
+            code = op[0]
+            if code == OP_WORK:
+                n = op[1]
+                self.instructions += n
+                cost = n / ipc + self._work_carry
+                whole = int(cost)
+                self._work_carry = cost - whole
+                acc += whole
+            elif code == OP_LOAD or code == OP_STORE:
+                self.instructions += 1
+                is_store = code == OP_STORE
+                result = self.hierarchy.access(op[1], is_store)
+                acc += result.latency
+                if result.needs_memory:
+                    if is_store:
+                        # Write-allocate fill: the store retires through
+                        # the store buffer; the fill proceeds in the
+                        # background (OoO cores hide store misses).
+                        self.controller.read(op[1])
+                        self.stats.add("core.store_miss_fills")
+                    else:
+                        # Demand load: the core (its dependent work)
+                        # waits for the memory + verification round trip.
+                        if acc:
+                            yield Delay(acc)
+                            acc = 0
+                        done = self.controller.read(op[1])
+                        yield WaitSignal(done)
+                        self.stats.add("core.memory_reads")
+                for victim in result.writebacks:
+                    self._submit_eviction(victim)
+            elif code == OP_CLWB:
+                self.instructions += 1
+                acc += 1  # issue slot
+                line = self.hierarchy.clwb(op[1])
+                if line is not None:
+                    if acc:
+                        yield Delay(acc)
+                        acc = 0
+                    self._launch_persist(line)
+                    if self.config.core.persist_model == "strict":
+                        # Strict persistency: the flush itself blocks
+                        # until the write is in the persistence domain.
+                        while self._outstanding_persists > 0:
+                            started = self.sim.now
+                            yield WaitSignal(self._fence_signal)
+                            self.stats.add(
+                                "core.fence_stall_cycles",
+                                self.sim.now - started,
+                            )
+            elif code == OP_FENCE:
+                self.instructions += 1
+                if acc:
+                    yield Delay(acc)
+                    acc = 0
+                while self._outstanding_persists > 0:
+                    started = self.sim.now
+                    yield WaitSignal(self._fence_signal)
+                    self.stats.add("core.fence_stall_cycles", self.sim.now - started)
+                self.stats.add("core.fences")
+            elif code == OP_TXBEGIN:
+                if acc:
+                    yield Delay(acc)
+                    acc = 0
+                tx_start_cycle = self.sim.now
+            elif code == OP_TXEND:
+                if acc:
+                    yield Delay(acc)
+                    acc = 0
+                self.stats.record("core.tx_cycles", self.sim.now - tx_start_cycle)
+                self.stats.add("core.transactions")
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown trace op {op!r}")
+        if acc:
+            yield Delay(acc)
+        # Implicit final fence so all persists land before we report.
+        while self._outstanding_persists > 0:
+            yield WaitSignal(self._fence_signal)
+        self.cycles = self.sim.now
+        self.finished = True
+        self.stats.set("core.cycles", self.cycles)
+        self.stats.set("core.instructions", self.instructions)
+
+    # ------------------------------------------------------------------
+    def _launch_persist(self, address: int) -> None:
+        """Issue a clwb writeback toward the controller (pipelined)."""
+        self._outstanding_persists += 1
+        self.stats.add("core.persists_issued")
+        traversal = self.hierarchy.flush_latency()
+
+        def submit() -> None:
+            request = WriteRequest(address, WriteKind.PERSIST)
+            done = self.controller.submit_write(request)
+            assert done is not None
+            done.subscribe(lambda _value: self._persist_complete())
+
+        self.sim.schedule(traversal, submit, label="clwb.submit")
+
+    def _persist_complete(self) -> None:
+        self._outstanding_persists -= 1
+        if self._outstanding_persists == 0:
+            self._fence_signal.fire(None)
+
+    def _submit_eviction(self, address: int) -> None:
+        """Dirty LLC victim: background write, core never waits."""
+        self.stats.add("core.evictions")
+        self.controller.submit_write(WriteRequest(address, WriteKind.EVICTION))
+
+    # ------------------------------------------------------------------
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the completed run."""
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def done(self) -> bool:
+        return self.finished

@@ -1,0 +1,84 @@
+"""Trace format shared by workloads and the core model.
+
+A trace is an iterable of small tuples (kept primitive for speed —
+traces run to millions of ops):
+
+* ``(OP_WORK, n)`` — n generic instructions of compute work.
+* ``(OP_LOAD, addr)`` / ``(OP_STORE, addr)`` — one memory reference.
+* ``(OP_CLWB, addr)`` — cacheline writeback toward the persistence
+  domain (stays resident clean).
+* ``(OP_FENCE,)`` — sfence: stall until all outstanding persists
+  complete.
+* ``(OP_TXBEGIN, tx_id)`` / ``(OP_TXEND, tx_id)`` — transaction
+  boundary markers for per-transaction statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+OP_WORK = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_CLWB = 3
+OP_FENCE = 4
+OP_TXBEGIN = 5
+OP_TXEND = 6
+
+OP_NAMES = {
+    OP_WORK: "work",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_CLWB: "clwb",
+    OP_FENCE: "fence",
+    OP_TXBEGIN: "txbegin",
+    OP_TXEND: "txend",
+}
+
+
+@dataclass
+class TraceSummary:
+    """Static op counts of a trace (workload-shape sanity checks)."""
+
+    work_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    clwbs: int = 0
+    fences: int = 0
+    transactions: int = 0
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction count for CPI purposes."""
+        return (
+            self.work_instructions
+            + self.loads
+            + self.stores
+            + self.clwbs
+            + self.fences
+        )
+
+    @property
+    def flushes_per_tx(self) -> float:
+        return self.clwbs / self.transactions if self.transactions else 0.0
+
+
+def summarize(trace: Iterable[Tuple]) -> TraceSummary:
+    """Count ops in a trace (consumes it — use on a fresh generator)."""
+    summary = TraceSummary()
+    for op in trace:
+        code = op[0]
+        if code == OP_WORK:
+            summary.work_instructions += op[1]
+        elif code == OP_LOAD:
+            summary.loads += 1
+        elif code == OP_STORE:
+            summary.stores += 1
+        elif code == OP_CLWB:
+            summary.clwbs += 1
+        elif code == OP_FENCE:
+            summary.fences += 1
+        elif code == OP_TXBEGIN:
+            summary.transactions += 1
+    return summary

@@ -1,0 +1,76 @@
+"""Trace serialisation: save/load op streams as compact numpy arrays.
+
+Generating a WHISPER trace is pure-Python work that dominates short
+experiment runs; serialising the op stream lets sweeps regenerate it
+once and replay it from disk.  The format is a single ``.npz`` with two
+int64 columns (opcode, operand) plus a tiny JSON header for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cpu.trace import OP_FENCE
+
+FORMAT_VERSION = 1
+
+
+def trace_to_arrays(trace: List[Tuple]) -> "Tuple[np.ndarray, np.ndarray]":
+    """Split an op list into (opcode, operand) columns.
+
+    Fences carry no operand; they are stored as operand 0.
+    """
+    codes = np.empty(len(trace), dtype=np.int64)
+    operands = np.zeros(len(trace), dtype=np.int64)
+    for i, op in enumerate(trace):
+        codes[i] = op[0]
+        if len(op) > 1:
+            operands[i] = op[1]
+    return codes, operands
+
+
+def arrays_to_trace(codes: "np.ndarray", operands: "np.ndarray") -> List[Tuple]:
+    """Rebuild the op-tuple list the core model consumes."""
+    out: List[Tuple] = []
+    append = out.append
+    for code, operand in zip(codes.tolist(), operands.tolist()):
+        if code == OP_FENCE:
+            append((code,))
+        else:
+            append((code, operand))
+    return out
+
+
+def save_trace(
+    path: Union[str, Path],
+    trace: List[Tuple],
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write a trace (and provenance metadata) to ``path`` (.npz)."""
+    path = Path(path)
+    codes, operands = trace_to_arrays(trace)
+    header = {"version": FORMAT_VERSION, **(metadata or {})}
+    np.savez_compressed(
+        path,
+        codes=codes,
+        operands=operands,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+    # numpy appends .npz when absent.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, Path]) -> Tuple[List[Tuple], Dict]:
+    """Read back (trace, metadata) written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive["header"]).decode())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')}"
+            )
+        trace = arrays_to_trace(archive["codes"], archive["operands"])
+    return trace, header

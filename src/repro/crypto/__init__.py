@@ -1,0 +1,33 @@
+"""Functional cryptography substrate.
+
+The paper's hardware has AES and MAC engines whose *timing* is a model
+parameter (Table 1: AES 40 cycles, MAC 160 cycles).  This package
+provides *functional* equivalents so that the recovery and attack-model
+tests exercise real confidentiality/integrity properties:
+
+* :mod:`repro.crypto.prf` — a keyed pseudo-random function standing in
+  for AES; used in CTR mode to derive encryption pads.
+* :mod:`repro.crypto.mac` — 8-byte keyed MACs (truncated BLAKE2b).
+* :mod:`repro.crypto.counters` — split-counter blocks (one 64-bit major
+  counter + 64 7-bit minors per 64-byte block, Section 2.1).
+* :mod:`repro.crypto.keys` — processor key store with reboot rotation.
+
+Timing is *never* derived from these functions; latency always comes
+from :class:`repro.config.SecurityConfig`.
+"""
+
+from repro.crypto.counters import CounterBlock, SplitCounter
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import compute_mac, mac_over_fields
+from repro.crypto.prf import ctr_pad, keyed_prf, xor_bytes
+
+__all__ = [
+    "CounterBlock",
+    "KeyStore",
+    "SplitCounter",
+    "compute_mac",
+    "ctr_pad",
+    "keyed_prf",
+    "mac_over_fields",
+    "xor_bytes",
+]

@@ -1,0 +1,170 @@
+"""Split-counter encryption-counter blocks (Section 2.1).
+
+Encryption counters are packed 64-to-a-block: one 64-bit *major*
+counter shared by a 4 KB page plus 64 7-bit *minor* counters, one per
+cacheline.  The effective counter for line ``i`` is
+``(major << 7) | minor[i]``.  When a minor counter overflows, the major
+counter increments, all minors reset, and the whole page must be
+re-encrypted (tracked so the memory-traffic cost is visible to the
+timing model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+MINOR_BITS = 7
+MINOR_LIMIT = 1 << MINOR_BITS  # 128
+COUNTERS_PER_BLOCK = 64
+
+
+@dataclass
+class SplitCounter:
+    """The (major, minor) pair for one cacheline."""
+
+    major: int
+    minor: int
+
+    @property
+    def value(self) -> int:
+        """The effective encryption counter fed into the IV."""
+        return (self.major << MINOR_BITS) | self.minor
+
+
+class CounterBlock:
+    """One 64-byte counter block covering a 4 KB page (64 cachelines)."""
+
+    __slots__ = ("major", "minors", "overflows", "updates")
+
+    def __init__(self) -> None:
+        self.major: int = 0
+        self.minors: List[int] = [0] * COUNTERS_PER_BLOCK
+        self.overflows: int = 0
+        #: Total increments; drives Osiris' persistence stride.
+        self.updates: int = 0
+
+    def read(self, line_index: int) -> SplitCounter:
+        """Current counter for cacheline ``line_index`` (0..63)."""
+        self._check_index(line_index)
+        return SplitCounter(self.major, self.minors[line_index])
+
+    def increment(self, line_index: int) -> Tuple[SplitCounter, bool]:
+        """Advance the counter for one line prior to encryption.
+
+        Returns:
+            ``(new_counter, overflowed)``.  On minor-counter overflow
+            the major counter increments and *all* minors reset — the
+            caller must re-encrypt the whole page (Section 2.1).
+        """
+        self._check_index(line_index)
+        self.updates += 1
+        minor = self.minors[line_index] + 1
+        if minor >= MINOR_LIMIT:
+            self.major += 1
+            self.minors = [0] * COUNTERS_PER_BLOCK
+            self.overflows += 1
+            return SplitCounter(self.major, 0), True
+        self.minors[line_index] = minor
+        return SplitCounter(self.major, minor), False
+
+    def snapshot(self) -> Tuple[int, Tuple[int, ...]]:
+        """Immutable copy used by recovery tests and tree hashing."""
+        return self.major, tuple(self.minors)
+
+    def restore(self, snapshot: Tuple[int, Tuple[int, ...]]) -> None:
+        major, minors = snapshot
+        if len(minors) != COUNTERS_PER_BLOCK:
+            raise ValueError("bad counter-block snapshot")
+        self.major = major
+        self.minors = list(minors)
+
+    def encode(self) -> bytes:
+        """Serialize to the 64-byte on-NVM layout (8 B major + 56 B minors).
+
+        Seven-bit minors are stored packed; the encoding only needs to
+        be stable and injective for MAC/tree hashing purposes.
+        """
+        out = bytearray(self.major.to_bytes(8, "little", signed=False))
+        acc = 0
+        acc_bits = 0
+        for minor in self.minors:
+            acc |= (minor & (MINOR_LIMIT - 1)) << acc_bits
+            acc_bits += MINOR_BITS
+            while acc_bits >= 8:
+                out.append(acc & 0xFF)
+                acc >>= 8
+                acc_bits -= 8
+        if acc_bits:
+            out.append(acc & 0xFF)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "CounterBlock":
+        """Rebuild a block from its :meth:`encode` bytes (recovery path)."""
+        if len(payload) < 8:
+            raise ValueError("counter-block payload too short")
+        block = cls()
+        block.major = int.from_bytes(payload[:8], "little")
+        acc = 0
+        acc_bits = 0
+        cursor = 8
+        minors: List[int] = []
+        while len(minors) < COUNTERS_PER_BLOCK:
+            if acc_bits < MINOR_BITS:
+                if cursor >= len(payload):
+                    raise ValueError("counter-block payload truncated")
+                acc |= payload[cursor] << acc_bits
+                acc_bits += 8
+                cursor += 1
+                continue
+            minors.append(acc & (MINOR_LIMIT - 1))
+            acc >>= MINOR_BITS
+            acc_bits -= MINOR_BITS
+        block.minors = minors
+        return block
+
+    @staticmethod
+    def _check_index(line_index: int) -> None:
+        if not 0 <= line_index < COUNTERS_PER_BLOCK:
+            raise IndexError(f"line index {line_index} outside 0..63")
+
+
+class CounterStore:
+    """All counter blocks of the memory, indexed by page number.
+
+    This is the *architectural* state of the encryption counters — the
+    content that lives in NVM.  The timing-level counter cache
+    (:class:`repro.security.metadata_cache.MetadataCache`) models which
+    blocks are on-chip; this store holds their values.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, CounterBlock] = {}
+
+    def block_for_page(self, page: int) -> CounterBlock:
+        block = self._blocks.get(page)
+        if block is None:
+            block = CounterBlock()
+            self._blocks[page] = block
+        return block
+
+    def counter_for_address(self, address: int) -> SplitCounter:
+        page, line = self.locate(address)
+        return self.block_for_page(page).read(line)
+
+    def increment_for_address(self, address: int) -> Tuple[SplitCounter, bool]:
+        page, line = self.locate(address)
+        return self.block_for_page(page).increment(line)
+
+    @staticmethod
+    def locate(address: int) -> Tuple[int, int]:
+        """Map a byte address to (page number, cacheline index)."""
+        return address >> 12, (address >> 6) & 0x3F
+
+    @property
+    def touched_pages(self) -> int:
+        return len(self._blocks)
+
+    def pages(self) -> Dict[int, CounterBlock]:
+        return self._blocks

@@ -1,0 +1,67 @@
+"""Processor-resident key management.
+
+The TCB keeps three keys on chip:
+
+* the *memory key* used by Ma-SU counter-mode encryption,
+* the *MAC key* used for data MACs and tree hashes,
+* the *WPQ key* used by Mi-SU pad pre-generation — rotated on every
+  boot **after** the previously drained WPQ contents are recovered
+  (Section 4.3, "the encryption key ... will change upon bootup").
+
+Keys are derived deterministically from a master seed so simulations
+are reproducible, but key *separation* is real: each purpose gets an
+independent PRF domain.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prf import keyed_prf
+
+
+class KeyStore:
+    """Deterministic, domain-separated key derivation for one machine."""
+
+    KEY_BYTES = 32
+
+    def __init__(self, master_seed: int = 0xD0105) -> None:
+        self._master = master_seed.to_bytes(16, "little", signed=False)
+        self._boot_epoch = 0
+
+    @property
+    def boot_epoch(self) -> int:
+        """Number of completed reboots (WPQ key rotations)."""
+        return self._boot_epoch
+
+    def _derive(self, domain: str, epoch: int = 0) -> bytes:
+        label = f"{domain}:{epoch}".encode()
+        return keyed_prf(self._master, label, self.KEY_BYTES)
+
+    @property
+    def memory_key(self) -> bytes:
+        """Ma-SU counter-mode encryption key (stable across boots)."""
+        return self._derive("memory-encryption")
+
+    @property
+    def mac_key(self) -> bytes:
+        """Key for data MACs and integrity-tree hashes."""
+        return self._derive("integrity-mac")
+
+    @property
+    def wpq_key(self) -> bytes:
+        """Mi-SU pad-generation key for the *current* boot epoch."""
+        return self._derive("wpq-pads", self._boot_epoch)
+
+    def wpq_key_for_epoch(self, epoch: int) -> bytes:
+        """Recover the WPQ key of a previous boot (recovery path)."""
+        if epoch < 0 or epoch > self._boot_epoch:
+            raise ValueError(f"epoch {epoch} outside 0..{self._boot_epoch}")
+        return self._derive("wpq-pads", epoch)
+
+    def rotate_wpq_key(self) -> bytes:
+        """Advance the boot epoch; returns the new WPQ key.
+
+        Called at the end of Mi-SU recovery, after drained WPQ contents
+        have been decrypted with the *old* key and handed to Ma-SU.
+        """
+        self._boot_epoch += 1
+        return self.wpq_key

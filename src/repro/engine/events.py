@@ -1,0 +1,97 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a callback scheduled at an absolute cycle.  Events
+with equal timestamps fire in scheduling order (FIFO), which keeps the
+simulation deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute cycle at which the event fires.
+        seq: tie-breaking sequence number (scheduling order).
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel drops it instead of firing it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "<fn>")
+        return f"Event(t={self.time}, seq={self.seq}, {name}, {state})"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        event = Event(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the earliest live event, or ``None``.
+
+        Cancelled events at the head of the heap are discarded as a side
+        effect, so the returned time always belongs to a live event.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

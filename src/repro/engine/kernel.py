@@ -1,0 +1,137 @@
+"""The simulation kernel.
+
+:class:`Simulator` owns the event queue and the notion of *now*.  All
+hardware models in the reproduction (caches, WPQ, security units, NVM)
+schedule their work through a shared ``Simulator`` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulator measuring time in integer cycles.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(10, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [10]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._stop_requested = False
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], Any],
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now.
+
+        Args:
+            delay: non-negative number of cycles in the future.
+            callback: zero-argument callable.
+            label: optional debugging label.
+
+        Returns:
+            The :class:`Event`, which may be cancelled before it fires.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        return self._queue.push(self.now + int(delay), callback, label)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute cycle ``time >= now``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, already at {self.now}"
+            )
+        return self._queue.push(int(time), callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Fire events in timestamp order.
+
+        Args:
+            until: stop once the clock would pass this cycle (events at
+                exactly ``until`` still fire).
+            max_events: safety valve against runaway simulations.
+        """
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self._queue.pop()
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback()
+                fired += 1
+                self.events_fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns ``False`` when idle."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return False
+        event = self._queue.pop()
+        if event.cancelled:
+            return self.step()
+        self.now = event.time
+        event.callback()
+        self.events_fired += 1
+        return True
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={self.pending_events})"

@@ -1,0 +1,150 @@
+"""Generator-based processes on top of the event kernel.
+
+Hardware pipelines (the Ma-SU steps, WPQ drain loop, NVM banks) read far
+more naturally as sequential coroutines than as callback chains.  A
+*process* is a Python generator that yields timing directives:
+
+* ``Delay(n)`` — suspend for ``n`` cycles.
+* ``WaitSignal(sig)`` — suspend until ``sig.fire(...)``; the fired value
+  is sent back into the generator.
+* another ``Process`` — suspend until the child process finishes; the
+  child's return value is sent back.
+
+Example:
+    >>> from repro.engine import Simulator
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker():
+    ...     yield Delay(5)
+    ...     log.append(sim.now)
+    ...     return "done"
+    >>> p = Process(sim, worker())
+    >>> sim.run()
+    >>> (log, p.result)
+    ([5], 'done')
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.engine.kernel import SimulationError, Simulator
+
+
+class Delay:
+    """Yielded by a process to sleep for ``cycles``."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise SimulationError(f"negative delay {cycles}")
+        self.cycles = int(cycles)
+
+
+class Signal:
+    """A broadcast one-shot rendezvous.
+
+    Processes wait via ``yield WaitSignal(sig)``; any number of waiters
+    are resumed by a single :meth:`fire`.  Callbacks may also subscribe.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` to run on the next fire."""
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Resume all current waiters with ``value`` (immediately)."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={self.waiter_count})"
+
+
+class WaitSignal:
+    """Yielded by a process to block until ``signal`` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class Process:
+    """Drives a generator coroutine against a :class:`Simulator`.
+
+    The process is scheduled to take its first step at the current
+    cycle (plus ``start_delay``).  When the generator returns, the
+    ``StopIteration`` value is captured in :attr:`result` and the
+    completion :attr:`done_signal` fires.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+        start_delay: int = 0,
+    ) -> None:
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.done_signal = Signal(sim, name=f"{name}.done")
+        sim.schedule(start_delay, lambda: self._advance(None), label=f"{name}.start")
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            directive = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_signal.fire(stop.value)
+            return
+        self._dispatch(directive)
+
+    def _dispatch(self, directive: Any) -> None:
+        if isinstance(directive, Delay):
+            self._sim.schedule(
+                directive.cycles, lambda: self._advance(None), label=f"{self.name}.delay"
+            )
+        elif isinstance(directive, WaitSignal):
+            directive.signal.subscribe(lambda value: self._advance(value))
+        elif isinstance(directive, Process):
+            child = directive
+            if child.finished:
+                self._sim.schedule(0, lambda: self._advance(child.result))
+            else:
+                child.done_signal.subscribe(lambda value: self._advance(value))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported directive {directive!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+def spawn(
+    sim: Simulator,
+    generator: Generator[Any, Any, Any],
+    name: str = "",
+    start_delay: int = 0,
+) -> Process:
+    """Convenience wrapper: create and start a :class:`Process`."""
+    return Process(sim, generator, name=name, start_delay=start_delay)

@@ -1,0 +1,154 @@
+"""Shared resources for processes: counting resources and FIFO channels."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.engine.kernel import SimulationError, Simulator
+from repro.engine.process import Signal, WaitSignal
+
+
+class Resource:
+    """A counting resource (semaphore) with FIFO granting.
+
+    Processes acquire via ``yield from resource.acquire()`` and must
+    release exactly once per acquisition.  Used to model single-ported
+    structures such as the MAC engine or NVM banks.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self.name = name
+        self._wait_queue: Deque[Signal] = deque()
+        self.total_acquisitions = 0
+        self.total_wait_cycles = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Block until a unit is free, then claim it (generator)."""
+        if self.in_use < self.capacity and not self._wait_queue:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            return
+        gate = Signal(self._sim, name=f"{self.name}.gate")
+        self._wait_queue.append(gate)
+        started = self._sim.now
+        yield WaitSignal(gate)
+        self.total_wait_cycles += self._sim.now - started
+        self.in_use += 1
+        self.total_acquisitions += 1
+
+    def try_acquire(self) -> bool:
+        """Claim a unit without waiting.  Returns ``False`` if none free."""
+        if self.in_use < self.capacity and not self._wait_queue:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a unit; wakes the longest-waiting acquirer, if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        if self._wait_queue:
+            gate = self._wait_queue.popleft()
+            gate.fire(None)
+
+
+class PipelineLane:
+    """Booking calendar for a pipelined hardware unit.
+
+    The unit accepts a new operation every ``interval`` cycles
+    (initiation interval) while each operation's own latency may be much
+    larger — the classic latency/throughput split of a pipelined MAC or
+    metadata-update engine.  ``book`` never blocks; callers ``Delay``
+    until the returned completion time.
+    """
+
+    def __init__(self, interval: int, name: str = "") -> None:
+        if interval < 1:
+            raise SimulationError(f"pipeline interval must be >= 1, got {interval}")
+        self.interval = interval
+        self.name = name
+        self._next_start = 0
+        self.operations = 0
+        self.busy_cycles = 0
+
+    def book(self, now: int, latency: int) -> "tuple[int, int]":
+        """Reserve the next issue slot at/after ``now``.
+
+        Returns ``(start, done)`` where ``done = start + latency``.
+        """
+        start = max(now, self._next_start)
+        self._next_start = start + self.interval
+        self.operations += 1
+        self.busy_cycles += self.interval
+        return start, start + latency
+
+    def next_free(self, now: int) -> int:
+        """Earliest cycle a new operation could start."""
+        return max(now, self._next_start)
+
+
+class FifoChannel:
+    """An unbounded (or bounded) FIFO between producer and consumer processes.
+
+    ``yield from channel.get()`` blocks until an item is available;
+    :meth:`put` never blocks but raises when a bound is exceeded (the
+    caller is expected to model back-pressure explicitly — the WPQ does).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes one blocked getter."""
+        if self.is_full:
+            raise SimulationError(f"channel {self.name!r} overflow")
+        self.total_puts += 1
+        if self._getters:
+            gate = self._getters.popleft()
+            gate.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Block until an item is available, then pop it (generator)."""
+        if self._items:
+            return self._items.popleft()
+        gate = Signal(self._sim, name=f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield WaitSignal(gate)
+        return item
+
+    def try_get(self) -> Any:
+        """Pop without blocking; returns ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

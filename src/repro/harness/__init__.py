@@ -1,0 +1,12 @@
+"""Experiment harness: run workloads, reproduce tables and figures.
+
+* :mod:`repro.harness.runner` — single-run plumbing (trace → cycles).
+* :mod:`repro.harness.experiments` — one entry point per paper artifact
+  (Figure 6, 12-16, Table 2, Table 3, Section 5.5).
+* :mod:`repro.harness.tables` — plain-text rendering of result tables.
+* ``python -m repro.harness <experiment>`` — CLI front-end.
+"""
+
+from repro.harness.runner import RunResult, run_trace, run_workload, speedup
+
+__all__ = ["RunResult", "run_trace", "run_workload", "speedup"]

@@ -1,0 +1,76 @@
+"""CLI front-end: ``python -m repro.harness <experiment> [options]``.
+
+Examples::
+
+    python -m repro.harness list
+    python -m repro.harness fig12
+    python -m repro.harness tab02 --transactions 1000 --seed 3
+    python -m repro.harness all --transactions 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import (
+    DEFAULT_SEED,
+    DEFAULT_TRANSACTIONS,
+    EXPERIMENTS,
+    run_experiment,
+)
+
+#: Experiments that take no workload parameters.
+STATIC_EXPERIMENTS = {"tab03", "sec55"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the Dolos paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig06, fig12-16, tab02, tab03, sec55, "
+        "motivation), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=DEFAULT_TRANSACTIONS,
+        help=f"measured transactions per workload (default {DEFAULT_TRANSACTIONS}; "
+        "the paper used 50000)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write <experiment>.csv and .json into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        kwargs = {}
+        if name not in STATIC_EXPERIMENTS:
+            kwargs = {"transactions": args.transactions, "seed": args.seed}
+        started = time.time()
+        result = run_experiment(name, **kwargs)
+        print(result.render())
+        if args.export:
+            from repro.harness.export import write_result
+
+            for path in write_result(result, args.export):
+                print(f"[wrote {path}]")
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Result export: CSV and JSON serialisation of experiment results.
+
+Lets downstream analysis (spreadsheets, plotting scripts, regression
+dashboards) consume reproduced tables without scraping the ASCII
+rendering.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.harness.experiments import ExperimentResult
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render one experiment's rows as CSV (header + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render one experiment as a JSON document.
+
+    Schema::
+
+        {
+          "experiment": "fig12",
+          "title": "...",
+          "headers": [...],
+          "rows": [[...], ...],
+          "summary": {"mean ...": 1.66, ...},
+          "notes": "..."
+        }
+    """
+    return json.dumps(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "summary": result.summary,
+            "notes": result.notes,
+        },
+        indent=2,
+    )
+
+
+def write_result(
+    result: ExperimentResult,
+    directory: Union[str, Path],
+    formats: tuple = ("csv", "json"),
+) -> list:
+    """Write ``<experiment>.csv`` / ``.json`` into ``directory``.
+
+    Returns the paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    if "csv" in formats:
+        path = directory / f"{result.experiment}.csv"
+        path.write_text(to_csv(result))
+        written.append(path)
+    if "json" in formats:
+        path = directory / f"{result.experiment}.json"
+        path.write_text(to_json(result))
+        written.append(path)
+    return written
+
+
+def load_json(path: Union[str, Path]) -> dict:
+    """Read back a JSON export (regression-comparison helper)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,111 @@
+"""Multi-seed statistics: mean, stdev and confidence for any metric.
+
+The paper reports single gem5 runs; a Python reproduction can afford to
+quantify trace-generation variance instead.  ``sweep_seeds`` runs one
+(config, workload) pair across N seeds; ``compare`` pairs two configs
+seed-for-seed and reports the speedup distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.config import SimConfig
+from repro.harness.runner import RunResult, run_workload
+
+
+@dataclass
+class MetricStats:
+    """Summary of one metric across seeds."""
+
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.stdev / math.sqrt(self.n) if self.n else 0.0
+
+    def ci95(self) -> float:
+        """±half-width of a ~95% confidence interval (normal approx)."""
+        return 1.96 * self.sem
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.ci95():.3f} (n={self.n})"
+
+
+@dataclass
+class SeedSweep:
+    """All runs of one configuration across seeds."""
+
+    config: SimConfig
+    workload: str
+    runs: List[RunResult] = field(default_factory=list)
+
+    def metric(self, extract: Callable[[RunResult], float]) -> MetricStats:
+        return MetricStats([extract(run) for run in self.runs])
+
+    @property
+    def cycles(self) -> MetricStats:
+        return self.metric(lambda r: float(r.cycles))
+
+    @property
+    def cpi(self) -> MetricStats:
+        return self.metric(lambda r: r.cpi)
+
+    @property
+    def retries_per_kwr(self) -> MetricStats:
+        return self.metric(lambda r: r.retries_per_kwr)
+
+
+def sweep_seeds(
+    config: SimConfig,
+    workload: str,
+    transactions: int,
+    seeds: int = 5,
+    first_seed: int = 1,
+) -> SeedSweep:
+    """Run ``workload`` under ``config`` for ``seeds`` different seeds."""
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    sweep = SeedSweep(config, workload)
+    for seed in range(first_seed, first_seed + seeds):
+        sweep.runs.append(run_workload(config, workload, transactions, seed))
+    return sweep
+
+
+def compare(
+    baseline: SimConfig,
+    improved: SimConfig,
+    workload: str,
+    transactions: int,
+    seeds: int = 5,
+    first_seed: int = 1,
+) -> MetricStats:
+    """Seed-paired speedup distribution of ``improved`` over ``baseline``.
+
+    Pairing by seed removes trace-generation variance from the ratio —
+    both configs replay the *identical* instruction stream per seed.
+    """
+    base = sweep_seeds(baseline, workload, transactions, seeds, first_seed)
+    fast = sweep_seeds(improved, workload, transactions, seeds, first_seed)
+    ratios = [
+        b.cycles / f.cycles for b, f in zip(base.runs, fast.runs)
+    ]
+    return MetricStats(ratios)

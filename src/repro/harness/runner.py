@@ -1,0 +1,117 @@
+"""Single-run plumbing: build a system, replay a trace, collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ControllerKind, MiSUDesign, SimConfig
+from repro.core.controller import MemoryController, make_controller
+from repro.cpu.core import TraceCore
+from repro.engine import Simulator
+from repro.stats import StatsRegistry
+from repro.workloads import generate_trace
+
+#: Default measured transaction count.  The paper simulates 50 000
+#: transactions in gem5; the pure-Python model uses a smaller default
+#: (the workloads are statistically stationary well before this) —
+#: raise it for higher-fidelity runs.
+DEFAULT_TRANSACTIONS = 1500
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    workload: str
+    controller: ControllerKind
+    misu_design: MiSUDesign
+    transactions: int
+    payload_bytes: int
+    cycles: int
+    instructions: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def write_requests(self) -> int:
+        return self.stats.get("controller.writes", 0)
+
+    @property
+    def retries_per_kwr(self) -> float:
+        """Table 2's metric: WPQ insertion re-tries per kilo write request."""
+        writes = self.write_requests
+        if not writes:
+            return 0.0
+        return 1000.0 * self.stats.get("wpq.retry_events", 0) / writes
+
+
+def run_trace(
+    config: SimConfig,
+    trace: List[Tuple],
+    workload_name: str = "trace",
+    transactions: int = 0,
+) -> RunResult:
+    """Replay one prebuilt trace under ``config``; returns the result."""
+    sim = Simulator()
+    stats = StatsRegistry()
+    controller = make_controller(sim, config, stats)
+    core = TraceCore(sim, config, controller, stats)
+    core.run(trace)
+    sim.run()
+    if not core.finished:
+        raise RuntimeError(
+            f"simulation deadlocked at cycle {sim.now} "
+            f"({workload_name}, {config.controller.value})"
+        )
+    merged = dict(stats.as_dict())
+    merged.update(controller.stats_snapshot())
+    return RunResult(
+        workload=workload_name,
+        controller=config.controller,
+        misu_design=config.misu_design,
+        transactions=transactions,
+        payload_bytes=config.transaction_size,
+        cycles=core.cycles,
+        instructions=core.instructions,
+        stats=merged,
+    )
+
+
+def run_workload(
+    config: SimConfig,
+    workload: str,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    seed: int = 0,
+) -> RunResult:
+    """Generate a fresh trace for ``workload`` and simulate it.
+
+    The trace is regenerated deterministically from the seed, so two
+    configs given the same (workload, transactions, payload, seed) see
+    an identical instruction stream — the comparisons in every figure
+    rely on this.
+    """
+    trace = generate_trace(
+        workload, transactions, config.transaction_size, seed
+    )
+    return run_trace(config, trace, workload, transactions)
+
+
+def speedup(baseline: RunResult, improved: RunResult) -> float:
+    """Speedup of ``improved`` over ``baseline`` (higher is better)."""
+    if improved.cycles == 0:
+        raise ValueError("improved run has zero cycles")
+    return baseline.cycles / improved.cycles
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean (the paper averages speedups)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

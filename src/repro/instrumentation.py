@@ -1,0 +1,131 @@
+"""Run-time instrumentation: time-series channels and event logs.
+
+A :class:`Timeline` collects named time-series samples (WPQ occupancy,
+outstanding persists, pipeline depth) and bounded event logs while a
+simulation runs.  Components expose an optional ``timeline`` attribute;
+attaching one turns recording on — the hot path pays a single ``None``
+check otherwise.
+
+The ASCII sparkline renderer keeps everything inspectable without
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+@dataclass
+class ChannelSummary:
+    """Aggregate view of one time-series channel."""
+
+    samples: int
+    minimum: float
+    maximum: float
+    mean: float
+    #: Fraction of samples at the channel's maximum (e.g. time-at-full).
+    at_maximum: float
+
+
+class Timeline:
+    """Named time-series + event recording for one simulation."""
+
+    def __init__(self, max_events: int = 10000) -> None:
+        self._series: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+        self._events: List[Tuple[int, str, str]] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+
+    # -- recording -------------------------------------------------------
+    def sample(self, time: int, channel: str, value: float) -> None:
+        """Append one (time, value) sample to ``channel``."""
+        self._series[channel].append((time, value))
+
+    def event(self, time: int, kind: str, detail: str = "") -> None:
+        """Log a discrete event (bounded; excess events are counted)."""
+        if len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._events.append((time, kind, detail))
+
+    # -- access ----------------------------------------------------------
+    def series(self, channel: str) -> List[Tuple[int, float]]:
+        return list(self._series[channel])
+
+    def channels(self) -> List[str]:
+        return sorted(self._series)
+
+    def events(self, kind: Optional[str] = None) -> List[Tuple[int, str, str]]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e[1] == kind]
+
+    # -- analysis ---------------------------------------------------------
+    def summarize(self, channel: str) -> ChannelSummary:
+        data = self._series.get(channel, [])
+        if not data:
+            return ChannelSummary(0, 0.0, 0.0, 0.0, 0.0)
+        values = [v for _t, v in data]
+        maximum = max(values)
+        at_max = sum(1 for v in values if v == maximum) / len(values)
+        return ChannelSummary(
+            samples=len(values),
+            minimum=min(values),
+            maximum=maximum,
+            mean=sum(values) / len(values),
+            at_maximum=at_max,
+        )
+
+    def bucketize(self, channel: str, buckets: int = 60) -> List[float]:
+        """Mean value per equal-width time bucket (sparkline input)."""
+        data = self._series.get(channel, [])
+        if not data or buckets < 1:
+            return []
+        start = data[0][0]
+        end = data[-1][0]
+        span = max(1, end - start)
+        sums = [0.0] * buckets
+        counts = [0] * buckets
+        for time, value in data:
+            index = min(buckets - 1, (time - start) * buckets // span)
+            sums[index] += value
+            counts[index] += 1
+        out = []
+        last = 0.0
+        for total, count in zip(sums, counts):
+            if count:
+                last = total / count
+            out.append(last)
+        return out
+
+    def sparkline(self, channel: str, width: int = 60) -> str:
+        """Render the channel as an ASCII sparkline."""
+        values = self.bucketize(channel, width)
+        if not values:
+            return ""
+        top = max(values) or 1.0
+        glyphs = []
+        for value in values:
+            index = int(value / top * (len(_SPARK_GLYPHS) - 1))
+            glyphs.append(_SPARK_GLYPHS[index])
+        return "".join(glyphs)
+
+    def report(self) -> str:
+        """Multi-channel text report (summaries + sparklines)."""
+        lines = []
+        for channel in self.channels():
+            summary = self.summarize(channel)
+            lines.append(
+                f"{channel}: n={summary.samples} mean={summary.mean:.2f} "
+                f"max={summary.maximum:.0f} at-max={100 * summary.at_maximum:.0f}%"
+            )
+            lines.append(f"  [{self.sparkline(channel)}]")
+        if self._events:
+            lines.append(f"events: {len(self._events)}"
+                         + (f" (+{self.dropped_events} dropped)"
+                            if self.dropped_events else ""))
+        return "\n".join(lines)

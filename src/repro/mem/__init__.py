@@ -1,0 +1,19 @@
+"""Memory devices: caches, the cache hierarchy, and the NVM module.
+
+These are the non-secure substrates the paper's gem5 setup provides:
+an L1/L2/LLC write-back hierarchy in front of the memory controller
+and a PCM-like NVM device behind it (Table 1 timings).
+"""
+
+from repro.mem.cache import CacheLineState, EvictedLine, SetAssociativeCache
+from repro.mem.hierarchy import AccessResult, CacheHierarchy
+from repro.mem.nvm import NVMDevice
+
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "CacheLineState",
+    "EvictedLine",
+    "NVMDevice",
+    "SetAssociativeCache",
+]

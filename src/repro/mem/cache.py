@@ -1,0 +1,157 @@
+"""Set-associative write-back cache (tag store with true LRU).
+
+The timing model only needs hit/miss/dirty-eviction behaviour, so the
+cache tracks tags and state, not data bytes.  Data flows through the
+functional layer (NVM device + security units) instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.config import CacheConfig
+
+
+class CacheLineState(enum.Enum):
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A victim pushed out of a cache level."""
+
+    address: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """True-LRU set-associative cache over line-aligned addresses.
+
+    All addresses handed in are aligned down to the line size.  Each set
+    is an ``OrderedDict`` from tag -> state with LRU order (oldest
+    first), giving O(1) lookup/insert/evict.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+        self._num_sets = config.num_sets
+        self._sets: List["OrderedDict[int, CacheLineState]"] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.dirty_evictions = 0
+
+    # -- address helpers ----------------------------------------------
+    def line_address(self, address: int) -> int:
+        return (address >> self._line_shift) << self._line_shift
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address >> self._line_shift
+        return line % self._num_sets, line // self._num_sets
+
+    # -- operations ----------------------------------------------------
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLineState]:
+        """Return the line's state on hit (updating LRU), else ``None``."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        state = cache_set.get(tag)
+        if state is None:
+            return None
+        if touch:
+            cache_set.move_to_end(tag)
+        return state
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Reference a line; allocate on miss.  Returns ``True`` on hit.
+
+        Misses must be completed by the caller via :meth:`insert` (the
+        hierarchy decides where the fill comes from); this method only
+        records the hit/miss and updates state on hits.
+        """
+        state = self.lookup(address)
+        if state is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if is_write and state is CacheLineState.CLEAN:
+            index, tag = self._index_tag(address)
+            self._sets[index][tag] = CacheLineState.DIRTY
+        return True
+
+    def insert(self, address: int, dirty: bool) -> Optional[EvictedLine]:
+        """Fill a line, evicting the LRU victim if the set is full."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        victim: Optional[EvictedLine] = None
+        if tag in cache_set:
+            # Upgrade in place; never downgrade dirty -> clean here.
+            if dirty or cache_set[tag] is CacheLineState.DIRTY:
+                cache_set[tag] = CacheLineState.DIRTY
+            cache_set.move_to_end(tag)
+            return None
+        if len(cache_set) >= self.config.associativity:
+            victim_tag, victim_state = cache_set.popitem(last=False)
+            victim_line = (victim_tag * self._num_sets + index) << self._line_shift
+            victim_dirty = victim_state is CacheLineState.DIRTY
+            if victim_dirty:
+                self.dirty_evictions += 1
+            victim = EvictedLine(victim_line, victim_dirty)
+        cache_set[tag] = CacheLineState.DIRTY if dirty else CacheLineState.CLEAN
+        return victim
+
+    def clean_line(self, address: int) -> bool:
+        """Write back a line in place (clwb semantics).
+
+        Returns ``True`` if the line was present and dirty (so a
+        writeback toward memory is needed).  The line stays resident in
+        CLEAN state, exactly like ``clwb``.
+        """
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        state = cache_set.get(tag)
+        if state is None:
+            return False
+        was_dirty = state is CacheLineState.DIRTY
+        cache_set[tag] = CacheLineState.CLEAN
+        return was_dirty
+
+    def invalidate_line(self, address: int) -> Optional[EvictedLine]:
+        """Drop a line (clflush semantics); returns it if it was dirty."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        state = cache_set.pop(tag, None)
+        if state is None:
+            return None
+        dirty = state is CacheLineState.DIRTY
+        if dirty:
+            self.dirty_evictions += 1
+        return EvictedLine(self.line_address(address), dirty)
+
+    def contains(self, address: int) -> bool:
+        return self.lookup(address, touch=False) is not None
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLineState]]:
+        """Iterate (line_address, state) over all resident lines."""
+        for index, cache_set in enumerate(self._sets):
+            for tag, state in cache_set.items():
+                yield ((tag * self._num_sets + index) << self._line_shift, state)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "dirty_evictions": self.dirty_evictions,
+            "occupancy": self.occupancy,
+        }

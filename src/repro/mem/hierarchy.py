@@ -1,0 +1,145 @@
+"""The L1/L2/LLC write-back hierarchy in front of the memory controller.
+
+The hierarchy is mostly-inclusive and write-allocate.  It resolves each
+core reference to a latency plus the set of dirty lines it pushed out
+of the LLC (which become write requests at the memory controller), and
+implements the persist primitives:
+
+* ``clwb(addr)`` — write a dirty line back toward memory, keeping it
+  resident clean; produces a write request if the line was dirty
+  anywhere in the hierarchy.
+* ``clflush(addr)`` — same, but invalidates.
+
+Persist *completion* (what ``sfence`` waits on) is owned by the memory
+controller — the hierarchy only reports when the writeback *leaves* the
+LLC for the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.mem.cache import EvictedLine, SetAssociativeCache
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one core reference through the hierarchy."""
+
+    #: Cycles until the datum is available to the core (hierarchy
+    #: traversal only; the controller adds memory time on a miss).
+    latency: int
+    #: True if the reference missed all levels and needs memory.
+    needs_memory: bool
+    #: Dirty lines evicted from the LLC by fills along the way; each
+    #: becomes an (unordered, non-persist) write at the controller.
+    writebacks: List[int] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Three-level write-back hierarchy (Table 1 geometry)."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1)
+        self.l2 = SetAssociativeCache(config.l2)
+        self.llc = SetAssociativeCache(config.llc)
+        self._levels = [self.l1, self.l2, self.llc]
+        self.flush_hits_dirty = 0
+        self.flush_misses = 0
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool) -> AccessResult:
+        """Simulate a load/store at ``address`` (any byte address)."""
+        address = self.l1.line_address(address)
+        writebacks: List[int] = []
+        latency = 0
+
+        # Walk down the levels looking for a hit.
+        for depth, cache in enumerate(self._levels):
+            latency += cache.config.latency
+            if cache.access(address, is_write):
+                self._fill_upper(address, depth, is_write, writebacks)
+                return AccessResult(latency, needs_memory=False, writebacks=writebacks)
+
+        # Missed everywhere: fill the whole path from memory.
+        self._fill_upper(address, len(self._levels), is_write, writebacks)
+        return AccessResult(latency, needs_memory=True, writebacks=writebacks)
+
+    def _fill_upper(
+        self,
+        address: int,
+        below_depth: int,
+        is_write: bool,
+        writebacks: List[int],
+    ) -> None:
+        """Insert the line into every level above ``below_depth``.
+
+        Victims cascade downward; a dirty victim leaving the LLC lands
+        in ``writebacks`` as a memory write request.
+        """
+        for depth in range(below_depth - 1, -1, -1):
+            victim = self._levels[depth].insert(
+                address, dirty=is_write and depth == 0
+            )
+            self._push_victim(victim, depth, writebacks)
+
+    def _push_victim(
+        self,
+        victim: Optional[EvictedLine],
+        from_depth: int,
+        writebacks: List[int],
+    ) -> None:
+        while victim is not None and victim.dirty:
+            next_depth = from_depth + 1
+            if next_depth >= len(self._levels):
+                writebacks.append(victim.address)
+                return
+            victim = self._levels[next_depth].insert(victim.address, dirty=True)
+            from_depth = next_depth
+
+    # ------------------------------------------------------------------
+    # Persist primitives
+    # ------------------------------------------------------------------
+    def clwb(self, address: int) -> Optional[int]:
+        """Write back ``address`` if dirty; return the line address to
+        persist or ``None`` if it was clean/absent everywhere."""
+        address = self.l1.line_address(address)
+        dirty = False
+        for cache in self._levels:
+            if cache.clean_line(address):
+                dirty = True
+        if dirty:
+            self.flush_hits_dirty += 1
+            return address
+        self.flush_misses += 1
+        return None
+
+    def clflush(self, address: int) -> Optional[int]:
+        """Invalidate ``address`` everywhere; return it if it was dirty."""
+        address = self.l1.line_address(address)
+        dirty = False
+        for cache in self._levels:
+            victim = cache.invalidate_line(address)
+            if victim is not None and victim.dirty:
+                dirty = True
+        if dirty:
+            self.flush_hits_dirty += 1
+            return address
+        self.flush_misses += 1
+        return None
+
+    def flush_latency(self) -> int:
+        """Cycles for a flush to traverse the hierarchy to the controller."""
+        return sum(c.config.latency for c in self._levels)
+
+    def dirty_lines(self) -> List[int]:
+        """All lines dirty anywhere in the hierarchy (crash-test oracle)."""
+        dirty = set()
+        for cache in self._levels:
+            for line, state in cache.resident_lines():
+                if state.value == "dirty":
+                    dirty.add(line)
+        return sorted(dirty)

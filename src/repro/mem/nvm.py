@@ -1,0 +1,182 @@
+"""The NVM module: functional byte store + banked timing model.
+
+Functionally, the device is a sparse map of 64-byte lines (what an
+attacker can scan or tamper with — everything here is *outside* the
+TCB).  For timing, the device has ``num_banks`` independently busy
+banks; an access to a busy bank queues behind it.  Timing uses a
+busy-until bookkeeping scheme rather than processes, which keeps the
+hot path allocation-free.
+
+Security metadata that architecturally lives in NVM (counter blocks,
+MT nodes, data MACs, the Anubis shadow table, drained WPQ images) is
+stored in named *metadata regions* of the same device so that crash
+and attack tests see one coherent persistent image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import CACHELINE_BYTES, NVMConfig
+
+
+class NVMDevice:
+    """PCM-like persistent memory with banked timing."""
+
+    def __init__(self, config: Optional[NVMConfig] = None) -> None:
+        self.config = config or NVMConfig()
+        self._lines: Dict[int, bytes] = {}
+        self._regions: Dict[str, Dict[int, bytes]] = {}
+        # Separate per-bank calendars for reads and writes: the memory
+        # controller schedules reads with priority (demand misses must
+        # not sit behind the drained write stream), so reads contend
+        # only with other reads while writes fill bank idle time.
+        self._bank_free_at = [0] * self.config.num_banks
+        self._read_free_at = [0] * self.config.num_banks
+        self.reads = 0
+        self.writes = 0
+        self.meta_reads = 0
+        self.meta_writes = 0
+        #: Per-line media write counts (endurance/wear levelling input).
+        self._wear: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Functional data plane
+    # ------------------------------------------------------------------
+    @staticmethod
+    def line_address(address: int) -> int:
+        return address & ~(CACHELINE_BYTES - 1)
+
+    def read_line(self, address: int) -> Optional[bytes]:
+        """Return the 64-byte line at ``address`` (line-aligned), if ever written."""
+        return self._lines.get(self.line_address(address))
+
+    def write_line(self, address: int, data: bytes) -> None:
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError(f"line must be {CACHELINE_BYTES} bytes, got {len(data)}")
+        line = self.line_address(address)
+        self._lines[line] = data
+        self._wear[line] = self._wear.get(line, 0) + 1
+
+    def tamper_line(self, address: int, data: bytes) -> None:
+        """Attacker-controlled overwrite (attack models use this)."""
+        self.write_line(address, data)
+
+    @property
+    def resident_line_count(self) -> int:
+        return len(self._lines)
+
+    # ------------------------------------------------------------------
+    # Metadata regions (counters, MACs, tree nodes, shadow table, WPQ image)
+    # ------------------------------------------------------------------
+    def region(self, name: str) -> Dict[int, bytes]:
+        reg = self._regions.get(name)
+        if reg is None:
+            reg = {}
+            self._regions[name] = reg
+        return reg
+
+    def region_write(self, name: str, key: int, data: bytes) -> None:
+        self.region(name)[key] = data
+        self.meta_writes += 1
+
+    def region_read(self, name: str, key: int) -> Optional[bytes]:
+        self.meta_reads += 1
+        return self.region(name).get(key)
+
+    def region_clear(self, name: str) -> None:
+        self.region(name).clear()
+
+    # ------------------------------------------------------------------
+    # Timing plane
+    # ------------------------------------------------------------------
+    def _bank_for(self, address: int) -> int:
+        # Line-interleaved banking.
+        return (address >> 6) % self.config.num_banks
+
+    def timed_access(self, now: int, address: int, is_write: bool) -> int:
+        """Book an access and return its completion cycle.
+
+        The access starts when both the request has arrived (``now``)
+        and the target bank is free; the bank stays busy until the
+        access completes.
+        """
+        bank = self._bank_for(address)
+        if is_write:
+            start = max(now, self._bank_free_at[bank])
+            done = start + self.config.write_latency
+            self._bank_free_at[bank] = done
+            self.writes += 1
+        else:
+            start = max(now, self._read_free_at[bank])
+            done = start + self.config.read_latency
+            self._read_free_at[bank] = done
+            self.reads += 1
+        return done
+
+    def timed_write_accept(self, now: int, address: int) -> "Tuple[int, int]":
+        """Book a write; returns ``(accepted, done)``.
+
+        ``accepted`` is when the device has taken the command + data
+        (the WPQ slot can be reclaimed); ``done`` is media completion
+        (the bank stays busy until then).
+        """
+        bank = self._bank_for(address)
+        start = max(now, self._bank_free_at[bank])
+        done = start + self.config.write_latency
+        self._bank_free_at[bank] = done
+        self.writes += 1
+        return start + self.config.accept_latency, done
+
+    def timed_meta_access(self, now: int, key: int, is_write: bool) -> int:
+        """Timing for a security-metadata access (same banks, tagged stats)."""
+        done = self.timed_access(now, key << 6, is_write)
+        if is_write:
+            self.meta_writes += 1
+            self.writes -= 1
+        else:
+            self.meta_reads += 1
+            self.reads -= 1
+        return done
+
+    def reset_timing(self) -> None:
+        self._bank_free_at = [0] * self.config.num_banks
+        self._read_free_at = [0] * self.config.num_banks
+
+    # ------------------------------------------------------------------
+    # Endurance / wear
+    # ------------------------------------------------------------------
+    def wear_of(self, address: int) -> int:
+        """Media writes absorbed by the line at ``address``."""
+        return self._wear.get(self.line_address(address), 0)
+
+    def wear_summary(self) -> Dict[str, float]:
+        """Aggregate wear statistics (endurance analysis).
+
+        ``imbalance`` is max/mean — 1.0 means perfectly even wear; PCM
+        endurance is limited by the most-written line, so high values
+        flag wear-levelling trouble.
+        """
+        if not self._wear:
+            return {"lines": 0, "total": 0, "max": 0, "mean": 0.0,
+                    "imbalance": 0.0}
+        values = self._wear.values()
+        total = sum(values)
+        peak = max(values)
+        mean = total / len(self._wear)
+        return {
+            "lines": len(self._wear),
+            "total": total,
+            "max": peak,
+            "mean": mean,
+            "imbalance": peak / mean if mean else 0.0,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "meta_reads": self.meta_reads,
+            "meta_writes": self.meta_writes,
+            "resident_lines": self.resident_line_count,
+        }

@@ -1,0 +1,25 @@
+"""A miniature PMDK: persistent heap, undo-log transactions, tracing.
+
+WHISPER's workloads are persistent-memory applications written against
+libraries like Intel PMDK: they allocate objects on a persistent heap
+and mutate them inside failure-atomic transactions implemented with an
+undo log, ``clwb`` flushes and ``sfence`` ordering points.
+
+This package reproduces that substrate.  Running a workload against it
+produces the *trace* (loads, stores, flushes, fences, transaction
+markers) that drives the timing simulation — the same write/flush/fence
+pattern per transaction the real benchmarks exhibit.
+"""
+
+from repro.persistence.heap import PersistentHeap
+from repro.persistence.recorder import TraceRecorder
+from repro.persistence.redo_tx import RedoTransaction
+from repro.persistence.tx import Transaction, UndoLog
+
+__all__ = [
+    "PersistentHeap",
+    "RedoTransaction",
+    "TraceRecorder",
+    "Transaction",
+    "UndoLog",
+]

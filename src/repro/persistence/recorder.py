@@ -1,0 +1,80 @@
+"""Trace recording: the instrumentation layer between workload code and
+the simulator.
+
+Workload data-structure code calls ``load``/``store``/``flush``/
+``fence``/``work``; the recorder expands multi-byte accesses to one op
+per cacheline touched and appends compact tuples to the trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cpu.trace import (
+    OP_CLWB,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    OP_WORK,
+)
+
+LINE = 64
+
+
+def lines_spanned(address: int, size: int) -> List[int]:
+    """Line-aligned addresses covered by [address, address+size)."""
+    if size <= 0:
+        return []
+    first = address & ~(LINE - 1)
+    last = (address + size - 1) & ~(LINE - 1)
+    return list(range(first, last + 1, LINE))
+
+
+class TraceRecorder:
+    """Accumulates trace ops for one workload run."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple] = []
+        self._tx_id = 0
+
+    # -- memory ---------------------------------------------------------
+    def load(self, address: int, size: int = 8) -> None:
+        for line in lines_spanned(address, size):
+            self.ops.append((OP_LOAD, line))
+
+    def store(self, address: int, size: int = 8) -> None:
+        for line in lines_spanned(address, size):
+            self.ops.append((OP_STORE, line))
+
+    def flush(self, address: int, size: int = 8) -> None:
+        """clwb every line spanned by the range."""
+        for line in lines_spanned(address, size):
+            self.ops.append((OP_CLWB, line))
+
+    def fence(self) -> None:
+        self.ops.append((OP_FENCE,))
+
+    def persist(self, address: int, size: int) -> None:
+        """PMDK-style ``pmem_persist``: flush range then fence."""
+        self.flush(address, size)
+        self.fence()
+
+    # -- compute ---------------------------------------------------------
+    def work(self, instructions: int) -> None:
+        if instructions > 0:
+            self.ops.append((OP_WORK, instructions))
+
+    # -- transactions -----------------------------------------------------
+    def tx_begin(self) -> int:
+        tx_id = self._tx_id
+        self._tx_id += 1
+        self.ops.append((OP_TXBEGIN, tx_id))
+        return tx_id
+
+    def tx_end(self, tx_id: int) -> None:
+        self.ops.append((OP_TXEND, tx_id))
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,155 @@
+"""Undo-log failure-atomic transactions (PMDK ``tx`` model).
+
+The canonical WHISPER persist pattern per transaction:
+
+1. for every to-be-modified region: append an undo record (store old
+   value into the log), flush the log lines, fence — the record must be
+   durable *before* the in-place modification;
+2. modify the data in place (plain stores);
+3. flush all modified data lines, fence;
+4. write + flush + fence the commit marker (log truncation).
+
+Every one of those flush+fence pairs stalls the core until the write is
+accepted into the persistence domain — the path Dolos shortens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.persistence.heap import PersistentHeap
+from repro.persistence.recorder import TraceRecorder, lines_spanned
+
+#: Undo-record header: address (8) + size (8).
+RECORD_HEADER = 16
+
+
+class UndoLog:
+    """A circular persistent undo log."""
+
+    def __init__(self, heap: PersistentHeap, capacity_bytes: int = 1 << 20) -> None:
+        self.base = heap.alloc_aligned(capacity_bytes, 64)
+        self.capacity = capacity_bytes
+        self._head = 0
+        self.records = 0
+
+    def append_offset(self, record_bytes: int) -> int:
+        """Reserve space for one record; returns its address."""
+        if self._head + record_bytes > self.capacity:
+            self._head = 0  # wrap (old records are dead post-commit)
+        address = self.base + self._head
+        self._head += record_bytes
+        self.records += 1
+        return address
+
+
+class Transaction:
+    """One failure-atomic transaction against the recorder."""
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        log: UndoLog,
+        commit_marker_address: int,
+    ) -> None:
+        self._rec = recorder
+        self._log = log
+        self._commit_addr = commit_marker_address
+        self._dirty_lines: Set[int] = set()
+        self._active = False
+        self._tx_id = -1
+
+    # ------------------------------------------------------------------
+    def begin(self) -> "Transaction":
+        if self._active:
+            raise RuntimeError("transaction already active")
+        self._active = True
+        self._dirty_lines.clear()
+        self._tx_id = self._rec.tx_begin()
+        return self
+
+    def snapshot(self, address: int, size: int) -> None:
+        """Undo-log a region before modifying it (tx_add in PMDK).
+
+        Emits: read of the old data, stores of the record into the log,
+        flush of the log lines, fence.
+        """
+        self._check_active()
+        record_size = RECORD_HEADER + size
+        record_addr = self._log.append_offset(record_size)
+        self._rec.load(address, size)          # read old value
+        self._rec.store(record_addr, record_size)  # write undo record
+        self._rec.persist(record_addr, record_size)
+
+    def store(self, address: int, size: int = 8) -> None:
+        """In-place modification (step 2); flushed at commit."""
+        self._check_active()
+        self._rec.store(address, size)
+        for line in lines_spanned(address, size):
+            self._dirty_lines.add(line)
+
+    def load(self, address: int, size: int = 8) -> None:
+        self._rec.load(address, size)
+
+    def flush(self, address: int, size: int = 8) -> None:
+        """Early flush of freshly initialised data (no fence yet).
+
+        Used for publish-after-initialise patterns: a fresh object is
+        flushed before the pointer to it is snapshot-logged and stored;
+        ordering is enforced by the next fence.
+        """
+        self._check_active()
+        self._rec.flush(address, size)
+        for line in lines_spanned(address, size):
+            self._dirty_lines.discard(line)
+
+    def persist(self, address: int, size: int = 8) -> None:
+        """Eager mid-transaction persist: flush the range, then fence."""
+        self.flush(address, size)
+        self._rec.fence()
+
+    def work(self, instructions: int) -> None:
+        self._rec.work(instructions)
+
+    def commit(self) -> None:
+        """Steps 3-4: persist data, then the commit marker."""
+        self._check_active()
+        for line in sorted(self._dirty_lines):
+            self._rec.flush(line, 1)
+        if self._dirty_lines:
+            self._rec.fence()
+        # Commit marker (log truncation record).
+        self._rec.store(self._commit_addr, 8)
+        self._rec.persist(self._commit_addr, 8)
+        self._rec.tx_end(self._tx_id)
+        self._active = False
+
+    def abort(self) -> None:
+        """Roll back: replay undo records onto the data (rare path)."""
+        self._check_active()
+        for line in sorted(self._dirty_lines):
+            self._rec.store(line, 1)
+            self._rec.flush(line, 1)
+        if self._dirty_lines:
+            self._rec.fence()
+        self._rec.tx_end(self._tx_id)
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+    def _check_active(self) -> None:
+        if not self._active:
+            raise RuntimeError("no active transaction")
+
+    @property
+    def dirty_line_count(self) -> int:
+        return len(self._dirty_lines)

@@ -1,0 +1,32 @@
+"""Crash injection and boot-time recovery.
+
+* :mod:`repro.recovery.crash` — power-failure injection: ADR-drains the
+  WPQ, discards volatile state, snapshots what survives.
+* :mod:`repro.recovery.recover` — the Section 4.3/4.4 recovery schemes:
+  verify + decrypt + replay the drained WPQ image through the Ma-SU,
+  recover the Ma-SU's own state from the redo log and Anubis shadow.
+* :mod:`repro.recovery.estimate` — the Section 5.5 analytic model of
+  Mi-SU recovery time.
+"""
+
+from repro.recovery.crash import CrashImage, crash_system
+from repro.recovery.estimate import RecoveryEstimate, estimate_recovery
+from repro.recovery.recover import (
+    RecoveryError,
+    RecoveryMode,
+    RecoveryReport,
+    reboot_controller,
+    recover_system,
+)
+
+__all__ = [
+    "CrashImage",
+    "RecoveryError",
+    "RecoveryMode",
+    "RecoveryEstimate",
+    "RecoveryReport",
+    "crash_system",
+    "estimate_recovery",
+    "reboot_controller",
+    "recover_system",
+]

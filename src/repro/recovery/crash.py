@@ -1,0 +1,67 @@
+"""Power-failure injection.
+
+A crash preserves exactly three things:
+
+1. the NVM device contents (data lines + metadata regions + the freshly
+   ADR-drained WPQ image);
+2. the persistent on-chip registers (pad counter, WPQ root, tree root,
+   redo log);
+3. the processor's keys (inside the TCB).
+
+Everything else — caches, metadata caches, the WPQ tag array, the WPQ
+entries themselves (now only in the drained image) — is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import SimConfig
+from repro.core.controller import DolosController
+from repro.core.registers import PersistentRegisters
+from repro.crypto.keys import KeyStore
+from repro.mem.nvm import NVMDevice
+from repro.wpq.adr import DrainRecord
+
+
+@dataclass
+class CrashImage:
+    """Everything that survives a power failure."""
+
+    config: SimConfig
+    nvm: NVMDevice
+    registers: PersistentRegisters
+    keys: KeyStore
+    #: What ADR flushed (also present in the NVM image regions; kept
+    #: here for test assertions about the drain itself).
+    drained: List[DrainRecord] = field(default_factory=list)
+    #: Oracle for tests: (address -> plaintext) of every write that was
+    #: architecturally persisted at crash time (in WPQ or in NVM).
+    persisted_oracle: Dict[int, bytes] = field(default_factory=dict)
+
+
+def crash_system(
+    controller: DolosController,
+    oracle: Optional[Dict[int, bytes]] = None,
+) -> CrashImage:
+    """Simulate a power failure on a Dolos controller.
+
+    ADR drains the WPQ (completing at most one deferred Post-WPQ MAC),
+    then volatile state is conceptually discarded: the returned image
+    carries only what hardware would preserve.
+
+    Args:
+        controller: the running controller to crash.
+        oracle: optional address->plaintext map of persisted writes, for
+            post-recovery verification by tests.
+    """
+    drained = controller.crash()
+    return CrashImage(
+        config=controller.config,
+        nvm=controller.nvm,
+        registers=controller.registers.snapshot(),
+        keys=controller.keys,
+        drained=drained,
+        persisted_oracle=dict(oracle or {}),
+    )

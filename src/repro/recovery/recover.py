@@ -1,0 +1,327 @@
+"""Boot-time recovery (Sections 4.3 and 4.4 recovery schemes).
+
+Recovery builds a *fresh* Major Security Unit from only the crash
+image (NVM + persistent registers + keys) and proves it can serve
+verified reads of everything that was persisted:
+
+1. **Ma-SU state** — encryption counters are restored from the Anubis
+   shadow region (fresh copies) over the Osiris-stride-stale NVM
+   copies; the integrity tree is rebuilt and its root must equal the
+   persistent root register, else tampering is reported.  In
+   Osiris-only mode the stale counters are instead recovered by probing
+   candidate counters against the per-line ECC check values.
+2. **Redo log** — if the ready bit is set, step 3 of Figure 11 is
+   replayed from the persistent redo registers (and step 4 is skipped).
+3. **Mi-SU / WPQ image** — each drained record is verified (per-entry
+   MAC against the internally recovered pad counter, or the WPQ-tree
+   root for Full-WPQ), decrypted with the *old* boot epoch's pads, and
+   replayed through the recovered Ma-SU.  Then the pad-counter register
+   advances past every exposed counter and the WPQ key rotates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import MiSUDesign, TreeUpdateScheme
+from repro.core.masu import (
+    COUNTER_REGION,
+    MajorSecurityUnit,
+    TOC_NODE_REGION,
+)
+from repro.core.misu import FullWPQMiSU, decode_entry, make_misu
+from repro.crypto.counters import CounterBlock, CounterStore
+from repro.crypto.mac import macs_equal
+from repro.crypto.prf import ctr_pad, xor_bytes
+from repro.recovery.crash import CrashImage
+from repro.security.anubis import KIND_COUNTER, ShadowTracker
+from repro.wpq.adr import ADRDrain
+from repro.wpq.queue import WritePendingQueue
+
+_SLOT_ADDRESS_BASE = 1 << 56  # mirrors repro.core.misu
+
+
+class RecoveryError(RuntimeError):
+    """Recovery detected tampering or unrecoverable state."""
+
+
+class RecoveryMode(enum.Enum):
+    #: Restore metadata from the Anubis shadow region (fast path).
+    ANUBIS = "anubis"
+    #: Ignore the shadow; recover counters by Osiris ECC probing.
+    OSIRIS_ONLY = "osiris-only"
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one recovery."""
+
+    masu: MajorSecurityUnit
+    wpq_entries_recovered: int = 0
+    wpq_entries_skipped_cleared: int = 0
+    counters_restored_from_shadow: int = 0
+    counters_recovered_by_osiris: int = 0
+    redo_log_replayed: bool = False
+    tree_root_verified: bool = False
+    new_boot_epoch: int = 0
+
+
+def recover_system(
+    image: CrashImage, mode: RecoveryMode = RecoveryMode.ANUBIS
+) -> RecoveryReport:
+    """Run full recovery on a crash image; returns the report.
+
+    Raises:
+        RecoveryError: on any integrity mismatch (tampered WPQ image,
+            counters, or tree state).
+    """
+    registers = image.registers
+    masu = MajorSecurityUnit(image.config, image.keys, registers, image.nvm)
+    report = RecoveryReport(masu=masu)
+
+    _recover_counters(image, masu, report, mode)
+    _rebuild_tree(image, masu, report)
+    _recover_dedup_mappings(image, masu)
+    _replay_redo_log(image, masu, report)
+    _recover_wpq(image, masu, report)
+    return report
+
+
+def _recover_dedup_mappings(image: CrashImage, masu: MajorSecurityUnit) -> None:
+    """Reload persisted dedup address mappings (cancelled writes point
+    at a canonical copy; without the mapping their reads would fail)."""
+    if masu.dedup is None:
+        return
+    from repro.core.masu import DEDUP_MAP_REGION
+
+    for address, payload in image.nvm.region(DEDUP_MAP_REGION).items():
+        canonical = int.from_bytes(payload, "little")
+        masu.dedup.mappings[address] = canonical
+
+
+# ----------------------------------------------------------------------
+# Ma-SU state
+# ----------------------------------------------------------------------
+def _recover_counters(
+    image: CrashImage,
+    masu: MajorSecurityUnit,
+    report: RecoveryReport,
+    mode: RecoveryMode,
+) -> None:
+    nvm = image.nvm
+    # Start from the (possibly stale) NVM copies.
+    blocks: Dict[int, CounterBlock] = {}
+    for page, payload in nvm.region(COUNTER_REGION).items():
+        blocks[page] = CounterBlock.decode(payload)
+    if mode is RecoveryMode.ANUBIS:
+        # Overlay fresh shadow copies.
+        for kind, key, encoded in masu.shadow.entries():
+            if kind != KIND_COUNTER:
+                continue
+            blocks[key] = CounterBlock.decode(encoded)
+            report.counters_restored_from_shadow += 1
+    else:
+        # Osiris: probe each data line's counter forward from the stale
+        # value using the stored ECC check values.
+        for page, block in blocks.items():
+            for line_index in range(64):
+                address = (page << 12) | (line_index << 6)
+                ciphertext = nvm.read_line(address)
+                if ciphertext is None:
+                    continue
+                stale = block.read(line_index).value
+                recovered = masu.osiris.recover_counter(address, ciphertext, stale)
+                if recovered is None:
+                    raise RecoveryError(
+                        f"Osiris could not recover the counter at {address:#x}"
+                    )
+                if recovered != stale:
+                    block.minors[line_index] = recovered & 0x7F
+                    block.major = recovered >> 7
+                    report.counters_recovered_by_osiris += 1
+    # Install as the architectural counter state.
+    for page, block in blocks.items():
+        masu.counters.pages()[page] = block
+
+
+def _rebuild_tree(
+    image: CrashImage, masu: MajorSecurityUnit, report: RecoveryReport
+) -> None:
+    registers = image.registers
+    if masu.scheme is TreeUpdateScheme.EAGER:
+        leaves = {
+            page: block.encode() for page, block in masu.counters.pages().items()
+        }
+        root = masu.tree.rebuild_from_leaves(leaves)
+        if leaves and root != registers.tree_root:
+            raise RecoveryError(
+                "rebuilt Merkle root does not match the persistent root "
+                "register (counters tampered or rolled back)"
+            )
+        report.tree_root_verified = True
+        return
+    # Lazy/ToC (Phoenix): reload node contents from NVM and verify the
+    # persistent root counter plus every restored node's MAC chain.
+    assert masu.toc is not None
+    toc = masu.toc
+    for key, payload in image.nvm.region(TOC_NODE_REGION).items():
+        level, index = ShadowTracker.split_tree_key(key)
+        node = toc._node(level, index)
+        arity = toc.arity
+        node.counters = [
+            int.from_bytes(payload[i * 8:(i + 1) * 8], "little")
+            for i in range(arity)
+        ]
+        node.mac = payload[arity * 8:]
+    toc.root_counter = registers.toc_root_counter
+    for page in masu.counters.pages():
+        if not toc.verify_leaf_path(page):
+            raise RecoveryError(
+                f"ToC path verification failed for page {page:#x}"
+            )
+    report.tree_root_verified = True
+
+
+def _replay_redo_log(
+    image: CrashImage, masu: MajorSecurityUnit, report: RecoveryReport
+) -> None:
+    log = image.registers.redo_log
+    if not log.ready:
+        log.clear()
+        return
+    # The crash hit between Figure 11 steps 2 and 3/4: replay step 3
+    # idempotently (step 4 is skipped — Section 4.4 recovery scheme).
+    masu.registers.redo_log = log
+    masu.apply()
+    report.redo_log_replayed = True
+
+
+# ----------------------------------------------------------------------
+# Mi-SU / WPQ image
+# ----------------------------------------------------------------------
+def _recover_wpq(
+    image: CrashImage, masu: MajorSecurityUnit, report: RecoveryReport
+) -> None:
+    config = image.config
+    registers = image.registers
+    keys = image.keys
+    wpq = WritePendingQueue(config.adr.usable_entries(config.misu_design))
+    misu = make_misu(config, keys, registers, wpq)
+    drain = ADRDrain(image.nvm, config.adr, config.misu_design)
+    records = drain.read_image()
+    if not records:
+        _finish_boot(misu, keys, report)
+        return
+
+    old_epoch = registers.boot_epoch
+    old_key = keys.wpq_key_for_epoch(old_epoch)
+
+    if config.misu_design is MiSUDesign.FULL_WPQ:
+        _verify_full_wpq_image(misu, records, registers)
+
+    for record in records:
+        # SECURITY: the pad counter is recovered *internally* from the
+        # persistent register + slot number (Section 4.3).  The stored
+        # pad_counter field is attacker-visible NVM content and is only
+        # cross-checked; trusting it would enable replaying records from
+        # an older drain whose (counter, ciphertext, MAC) self-verify.
+        internal_counter = registers.wpq_pad_counter + record.slot
+        if record.pad_counter != internal_counter:
+            raise RecoveryError(
+                f"WPQ image slot {record.slot}: stored counter "
+                f"{record.pad_counter} != internally recovered "
+                f"{internal_counter} (replayed image?)"
+            )
+        pad = ctr_pad(
+            old_key,
+            _SLOT_ADDRESS_BASE + record.slot,
+            internal_counter,
+            misu.pad_bytes,
+        )
+        if config.misu_design is not MiSUDesign.FULL_WPQ:
+            _verify_record_mac(misu, record, internal_counter)
+        plaintext = xor_bytes(record.ciphertext, pad[: len(record.ciphertext)])
+        data, address = decode_entry(plaintext)
+        if record.cleared:
+            # Already fully processed by Ma-SU before the crash;
+            # re-writing it would be safe but is unnecessary.
+            report.wpq_entries_skipped_cleared += 1
+            continue
+        masu.secure_write(address, data)
+        report.wpq_entries_recovered += 1
+
+    drain.clear_image()
+    _finish_boot(misu, keys, report)
+
+
+def _verify_record_mac(misu, record, internal_counter: int) -> None:
+    from repro.crypto.mac import mac_over_fields
+
+    expect = mac_over_fields(
+        misu.keys.mac_key,
+        "wpq-entry",
+        record.slot,
+        internal_counter,
+        record.ciphertext,
+    )
+    if record.mac is None or not macs_equal(record.mac, expect):
+        raise RecoveryError(
+            f"WPQ image slot {record.slot}: MAC mismatch (tampered image)"
+        )
+
+
+def _verify_full_wpq_image(
+    misu: FullWPQMiSU, records, registers
+) -> None:
+    from repro.crypto.mac import mac_over_fields
+
+    entry_macs = [b"\x00" * 8] * misu.wpq.capacity
+    for record in records:
+        # Internally recovered counters, as for the per-record MACs.
+        entry_macs[record.slot] = mac_over_fields(
+            misu.keys.mac_key,
+            "wpq-entry",
+            record.slot,
+            registers.wpq_pad_counter + record.slot,
+            record.ciphertext,
+        )
+    root = misu.compute_root_over(entry_macs)
+    if root != registers.wpq_root:
+        raise RecoveryError(
+            "WPQ image root does not match the persistent WPQ root "
+            "register (image tampered or rolled back)"
+        )
+
+
+def _finish_boot(misu, keys, report: RecoveryReport) -> None:
+    """Advance the pad counter, rotate the WPQ key, regenerate pads."""
+    misu.advance_pad_counter()
+    keys.rotate_wpq_key()
+    misu.registers.boot_epoch = keys.boot_epoch
+    misu.regenerate_pads()
+    report.new_boot_epoch = keys.boot_epoch
+
+
+def reboot_controller(sim, image: CrashImage, report: RecoveryReport):
+    """Build the post-recovery "second life" Dolos controller.
+
+    Wires the new controller to everything that survived — the NVM
+    device, the key store (epoch already rotated), and the persistent
+    register file (pad counter already advanced) — plus the recovered
+    Ma-SU state, so subsequent writes and reads continue seamlessly
+    from the recovered image.
+    """
+    from repro.core.controller import DolosController
+
+    controller = DolosController(
+        sim,
+        image.config,
+        nvm=image.nvm,
+        keys=image.keys,
+        registers=image.registers,
+    )
+    controller.masu = report.masu
+    controller.start()
+    return controller

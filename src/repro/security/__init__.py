@@ -1,0 +1,33 @@
+"""Security metadata: caches, integrity trees, and recovery structures.
+
+This package provides the building blocks the Major Security Unit
+composes (Section 2.2, 2.3 and 4.4 of the paper):
+
+* :mod:`repro.security.metadata_cache` — timing model for the counter
+  cache and Merkle-tree cache (Table 1 geometries).
+* :mod:`repro.security.merkle` — a functional N-ary hash tree (the
+  Bonsai Merkle Tree over counter blocks) with eager/lazy update.
+* :mod:`repro.security.toc` — an SGX-style Tree of Counters.
+* :mod:`repro.security.data_mac` — per-line Bonsai MACs over
+  (ciphertext, address, counter).
+* :mod:`repro.security.anubis` — the Anubis shadow tracker used by
+  Ma-SU for crash consistency of the metadata cache.
+* :mod:`repro.security.osiris` — Osiris-style counter recovery via an
+  ECC-like plaintext check value.
+"""
+
+from repro.security.anubis import ShadowTracker
+from repro.security.data_mac import DataMACStore
+from repro.security.merkle import MerkleTree
+from repro.security.metadata_cache import MetadataCache
+from repro.security.osiris import OsirisRecovery
+from repro.security.toc import TreeOfCounters
+
+__all__ = [
+    "DataMACStore",
+    "MerkleTree",
+    "MetadataCache",
+    "OsirisRecovery",
+    "ShadowTracker",
+    "TreeOfCounters",
+]

@@ -1,0 +1,81 @@
+"""Anubis-style shadow tracker (Section 2.3, 4.4; Zubair & Awad, ISCA'19).
+
+The Ma-SU caches security metadata (counter blocks, tree nodes) on
+chip; a crash loses the caches, and without help recovery must rebuild
+the whole tree (Osiris), which is slow.  Anubis keeps a *shadow region*
+in NVM that mirrors the metadata cache: every metadata update also
+writes the updated block's address and value to its shadow slot.  After
+a crash, reading the (small) shadow region pinpoints and restores
+exactly the blocks that were potentially stale in NVM.
+
+The AGIT variant (for general integrity trees / Merkle trees) is what
+Dolos uses for its Ma-SU.  Timing-wise each tracked update adds one
+NVM shadow write that proceeds in parallel with the data write; the
+timing model charges it as a background NVM write.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.mem.nvm import NVMDevice
+
+REGION = "anubis_shadow"
+
+#: Kinds of metadata blocks the shadow region distinguishes.
+KIND_COUNTER = 0
+KIND_TREE_NODE = 1
+
+
+def _pack_key(kind: int, key: int) -> int:
+    return (key << 1) | kind
+
+
+def _unpack_key(packed: int) -> Tuple[int, int]:
+    return packed & 1, packed >> 1
+
+
+class ShadowTracker:
+    """NVM-resident mirror of dirty metadata-cache contents."""
+
+    def __init__(self, nvm: NVMDevice) -> None:
+        self._nvm = nvm
+        self.shadow_writes = 0
+
+    def record(self, kind: int, key: int, encoded: bytes) -> None:
+        """Persist the shadow copy of an updated metadata block.
+
+        Args:
+            kind: ``KIND_COUNTER`` or ``KIND_TREE_NODE``.
+            key: page number (counters) or flattened (level, index).
+            encoded: the block's architectural bytes.
+        """
+        self._nvm.region_write(REGION, _pack_key(kind, key), encoded)
+        self.shadow_writes += 1
+
+    def forget(self, kind: int, key: int) -> None:
+        """Drop a shadow entry once its block is clean in NVM."""
+        self._nvm.region(REGION).pop(_pack_key(kind, key), None)
+
+    def entries(self) -> Iterator[Tuple[int, int, bytes]]:
+        """Iterate (kind, key, encoded) over all shadow entries."""
+        for packed, encoded in sorted(self._nvm.region(REGION).items()):
+            kind, key = _unpack_key(packed)
+            yield kind, key, encoded
+
+    def entry_count(self) -> int:
+        return len(self._nvm.region(REGION))
+
+    def clear(self) -> None:
+        self._nvm.region_clear(REGION)
+
+    # -- encoding helpers for tree-node keys ---------------------------
+    @staticmethod
+    def tree_key(level: int, index: int) -> int:
+        """Flatten a (level, index) tree coordinate into one integer."""
+        return (level << 48) | index
+
+    @staticmethod
+    def split_tree_key(key: int) -> Tuple[int, int]:
+        return key >> 48, key & ((1 << 48) - 1)

@@ -1,0 +1,94 @@
+"""Timing model for on-chip security-metadata caches.
+
+The Ma-SU keeps two caches (Table 1): a 128 KB counter cache and a
+256 KB Merkle-tree cache.  Both are ordinary set-associative tag
+stores; what distinguishes them is *what a miss costs* (an NVM metadata
+read) and that with lazy tree update their dirty evictions trigger
+upward tree propagation.
+
+Keys are abstract integers (page number for counter blocks,
+``(level, index)`` flattened for tree nodes); we map them onto synthetic
+line addresses so the generic cache model can be reused.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import CACHELINE_BYTES, CacheConfig
+from repro.mem.cache import SetAssociativeCache
+
+
+class MetadataCache:
+    """A named metadata cache with miss/writeback accounting."""
+
+    def __init__(self, config: CacheConfig, name: str = "") -> None:
+        self.name = name or config.name
+        self._cache = SetAssociativeCache(config)
+        self.accesses = 0
+        self.misses = 0
+        self.dirty_writebacks = 0
+        #: Called with the victim key when a dirty metadata block leaves
+        #: the cache (lazy-update trees propagate hashes here).
+        self.on_dirty_eviction: Optional[Callable[[int], None]] = None
+
+    @staticmethod
+    def _key_to_address(key: int) -> int:
+        return key * CACHELINE_BYTES
+
+    @staticmethod
+    def _address_to_key(address: int) -> int:
+        return address // CACHELINE_BYTES
+
+    def access(self, key: int, is_write: bool) -> bool:
+        """Reference metadata block ``key``.  Returns ``True`` on hit.
+
+        On a miss the block is filled immediately (the caller charges
+        the NVM latency separately); a dirty victim is reported through
+        :attr:`on_dirty_eviction`.
+        """
+        self.accesses += 1
+        address = self._key_to_address(key)
+        if self._cache.access(address, is_write):
+            return True
+        self.misses += 1
+        victim = self._cache.insert(address, dirty=is_write)
+        if victim is not None and victim.dirty:
+            self.dirty_writebacks += 1
+            if self.on_dirty_eviction is not None:
+                self.on_dirty_eviction(self._address_to_key(victim.address))
+        return False
+
+    def contains(self, key: int) -> bool:
+        return self._cache.contains(self._key_to_address(key))
+
+    def dirty_keys(self) -> List[int]:
+        """Keys of all dirty blocks (lost on crash; Anubis tracks them)."""
+        out = []
+        for line, state in self._cache.resident_lines():
+            if state.value == "dirty":
+                out.append(self._address_to_key(line))
+        return sorted(out)
+
+    def flush_all(self) -> List[int]:
+        """Evict every dirty block (orderly shutdown); returns their keys."""
+        dirty = self.dirty_keys()
+        for key in dirty:
+            self._cache.clean_line(self._key_to_address(key))
+            self.dirty_writebacks += 1
+            if self.on_dirty_eviction is not None:
+                self.on_dirty_eviction(key)
+        return dirty
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return 1.0 - self.misses / self.accesses
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "dirty_writebacks": self.dirty_writebacks,
+        }

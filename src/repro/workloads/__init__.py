@@ -1,0 +1,90 @@
+"""WHISPER-style persistent workloads (Section 5.1).
+
+The paper evaluates six database benchmarks from WHISPER: hashmap,
+ctree, btree, rbtree, NStore:YCSB and redis.  Each is implemented here
+as a real persistent data structure over the mini-PMDK substrate; its
+trace drives the timing simulation.
+"""
+
+from typing import Dict, List, Tuple, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.ctree import CTreeWorkload
+from repro.workloads.echo import EchoWorkload
+from repro.workloads.hashmap import HashmapWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.synthetic import (
+    LoggedUpdateWorkload,
+    ReadHeavyWorkload,
+    SyntheticWorkload,
+)
+from repro.workloads.ycsb import YCSBWorkload
+
+#: The paper's six WHISPER benchmarks, in Table 2 order.
+WHISPER_WORKLOADS: Dict[str, Type[Workload]] = {
+    "hashmap": HashmapWorkload,
+    "ctree": CTreeWorkload,
+    "btree": BTreeWorkload,
+    "rbtree": RBTreeWorkload,
+    "nstore-ycsb": YCSBWorkload,
+    "redis": RedisWorkload,
+}
+
+#: Additional WHISPER applications beyond the paper's evaluated six.
+EXTRA_WORKLOADS: Dict[str, Type[Workload]] = {
+    "memcached": MemcachedWorkload,
+    "echo": EchoWorkload,
+}
+
+ALL_WORKLOADS: Dict[str, Type[Workload]] = {
+    **WHISPER_WORKLOADS,
+    **EXTRA_WORKLOADS,
+    "synthetic": SyntheticWorkload,
+    "read-heavy": ReadHeavyWorkload,
+    "logged-update": LoggedUpdateWorkload,
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(ALL_WORKLOADS)}"
+        ) from None
+    return cls()
+
+
+def generate_trace(
+    name: str,
+    transactions: int,
+    payload_bytes: int = 1024,
+    seed: int = 0,
+) -> List[Tuple]:
+    """Build a fresh trace for one workload (deterministic per seed)."""
+    return get_workload(name).generate(transactions, payload_bytes, seed)
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BTreeWorkload",
+    "CTreeWorkload",
+    "EXTRA_WORKLOADS",
+    "EchoWorkload",
+    "HashmapWorkload",
+    "LoggedUpdateWorkload",
+    "MemcachedWorkload",
+    "RBTreeWorkload",
+    "ReadHeavyWorkload",
+    "RedisWorkload",
+    "SyntheticWorkload",
+    "WHISPER_WORKLOADS",
+    "Workload",
+    "YCSBWorkload",
+    "generate_trace",
+    "get_workload",
+]

@@ -1,0 +1,124 @@
+"""Workload base: persistent applications that emit traces.
+
+Each workload mirrors one WHISPER benchmark: a real data-structure
+implementation whose every persistent-memory access goes through the
+:class:`~repro.persistence.recorder.TraceRecorder`.  The structure is
+*warmed up* first with recording disabled (the paper fast-forwards to
+where transactions start), then ``transactions`` operations are traced.
+
+``payload_bytes`` is the paper's *transaction size* knob (Section
+5.2.2, 128 B – 2048 B): the number of data bytes each transaction
+writes and persists.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro.persistence.heap import PersistentHeap
+from repro.persistence.recorder import TraceRecorder
+from repro.persistence.tx import Transaction, UndoLog
+
+
+class RecordingSwitch(TraceRecorder):
+    """A recorder whose output can be suppressed during warm-up."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = True
+
+    def load(self, address: int, size: int = 8) -> None:
+        if self.enabled:
+            super().load(address, size)
+
+    def store(self, address: int, size: int = 8) -> None:
+        if self.enabled:
+            super().store(address, size)
+
+    def flush(self, address: int, size: int = 8) -> None:
+        if self.enabled:
+            super().flush(address, size)
+
+    def fence(self) -> None:
+        if self.enabled:
+            super().fence()
+
+    def work(self, instructions: int) -> None:
+        if self.enabled:
+            super().work(instructions)
+
+    def tx_begin(self) -> int:
+        if self.enabled:
+            return super().tx_begin()
+        return -1
+
+    def tx_end(self, tx_id: int) -> None:
+        if self.enabled:
+            super().tx_end(tx_id)
+
+
+class Workload(ABC):
+    """One traced persistent application."""
+
+    #: Registry name ("hashmap", "btree", ...).
+    name: str = ""
+    #: Transactions executed untraced before measurement begins.
+    warmup_transactions: int = 200
+
+    def __init__(self) -> None:
+        self.heap = PersistentHeap()
+        self.recorder = RecordingSwitch()
+        self.log = UndoLog(self.heap)
+        self.commit_marker = self.heap.alloc_aligned(64, 64)
+        self.rng = random.Random(0)
+
+    # ------------------------------------------------------------------
+    def new_transaction(self) -> Transaction:
+        return Transaction(self.recorder, self.log, self.commit_marker)
+
+    def generate(
+        self,
+        transactions: int,
+        payload_bytes: int = 1024,
+        seed: int = 0,
+    ) -> List[Tuple]:
+        """Produce the trace of ``transactions`` measured operations."""
+        if transactions < 1:
+            raise ValueError("need at least one transaction")
+        if payload_bytes < 8:
+            raise ValueError("payload must be at least 8 bytes")
+        self.rng = random.Random((seed << 8) ^ hash(self.name) & 0xFFFFFFFF)
+        self.setup(payload_bytes)
+        self.recorder.enabled = False
+        for _ in range(self.warmup_transactions):
+            self.transaction(payload_bytes)
+        self.recorder.enabled = True
+        for _ in range(transactions):
+            self.transaction(payload_bytes)
+        return self.recorder.ops
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def setup(self, payload_bytes: int) -> None:
+        """Allocate and initialise the structure (untraced)."""
+
+    @abstractmethod
+    def transaction(self, payload_bytes: int) -> None:
+        """Run one application transaction through the recorder."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def write_payload(self, tx: Transaction, payload_bytes: int) -> int:
+        """Allocate, fill and persist a value blob of ``payload_bytes``.
+
+        Returns its address.  Freshly allocated memory needs no undo
+        snapshot (PMDK allocates inside the transaction), but it must be
+        flushed before pointers to it are published.
+        """
+        addr = self.heap.alloc_aligned(payload_bytes, 64)
+        tx.work(payload_bytes // 8)  # fill cost
+        tx.store(addr, payload_bytes)
+        return addr

@@ -1,0 +1,142 @@
+"""Persistent B-tree (WHISPER ``btree_map`` / PMDK btree example).
+
+Order-8 B-tree; nodes are persistent blocks holding a key array, a
+value-pointer array and child pointers.  Inserting shifts keys within a
+node (stores across the node's lines) and occasionally splits, which
+snapshots and rewrites two nodes plus the parent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workloads.base import Workload
+
+#: Application + library instructions per transaction (calibration).
+APP_WORK = 7500
+
+ORDER = 8  # max children
+MAX_KEYS = ORDER - 1
+#: key[7]*8 + value_ptr[7]*8 + child_ptr[8]*8 + header 8 = 184 bytes
+NODE_BYTES = MAX_KEYS * 8 + MAX_KEYS * 8 + ORDER * 8 + 8
+KEY_SPACE = 1 << 20
+
+
+class _Node:
+    __slots__ = ("addr", "keys", "values", "children")
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+        self.keys: List[int] = []
+        self.values: List[int] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeWorkload(Workload):
+    """Random-key inserts (with splits) and lookups, 3:1 mix."""
+
+    name = "btree"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.root = self._new_node()
+        self.size = 0
+
+    def _new_node(self) -> _Node:
+        return _Node(self.heap.alloc_aligned(NODE_BYTES, 64))
+
+    # ------------------------------------------------------------------
+    def transaction(self, payload_bytes: int) -> None:
+        key = self.rng.randrange(KEY_SPACE)
+        if self.rng.random() < 0.25 and self.size > 0:
+            self._lookup(key)
+        else:
+            self._insert(key, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            node = self.root
+            while True:
+                tx.load(node.addr, NODE_BYTES)
+                tx.work(8 + 4 * len(node.keys))
+                if node.is_leaf:
+                    break
+                node = node.children[self._child_index(node, key)]
+
+    @staticmethod
+    def _child_index(node: _Node, key: int) -> int:
+        index = 0
+        while index < len(node.keys) and key > node.keys[index]:
+            index += 1
+        return index
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, payload_bytes: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            value_addr = self.write_payload(tx, payload_bytes)
+            if len(self.root.keys) == MAX_KEYS:
+                # Grow the tree: split the root.
+                old_root = self.root
+                new_root = self._new_node()
+                new_root.children.append(old_root)
+                tx.store(new_root.addr, NODE_BYTES)
+                self._split_child(tx, new_root, 0)
+                self.root = new_root
+            self._insert_nonfull(tx, self.root, key, value_addr)
+            self.size += 1
+
+    def _split_child(self, tx, parent: _Node, index: int) -> None:
+        """Split parent.children[index]; snapshots both touched nodes."""
+        full = parent.children[index]
+        sibling = self._new_node()
+        mid = MAX_KEYS // 2
+        sibling.keys = full.keys[mid + 1:]
+        sibling.values = full.values[mid + 1:]
+        if not full.is_leaf:
+            sibling.children = full.children[mid + 1:]
+            full.children = full.children[: mid + 1]
+        up_key = full.keys[mid]
+        up_val = full.values[mid]
+        full.keys = full.keys[:mid]
+        full.values = full.values[:mid]
+        parent.keys.insert(index, up_key)
+        parent.values.insert(index, up_val)
+        parent.children.insert(index + 1, sibling)
+        # Persistence: new sibling is fresh (no snapshot); the shrunken
+        # node and the parent are modified in place.
+        tx.store(sibling.addr, NODE_BYTES)
+        tx.snapshot(full.addr, NODE_BYTES)
+        tx.store(full.addr, 8)  # header/count update
+        tx.snapshot(parent.addr, NODE_BYTES)
+        tx.store(parent.addr, NODE_BYTES)
+        tx.work(60)
+
+    def _insert_nonfull(self, tx, node: _Node, key: int, value_addr: int) -> None:
+        while True:
+            tx.load(node.addr, NODE_BYTES)
+            tx.work(8 + 4 * len(node.keys))
+            if node.is_leaf:
+                index = self._child_index(node, key)
+                node.keys.insert(index, key)
+                node.values.insert(index, value_addr)
+                # Shifting keys rewrites the tail of the arrays.
+                tx.snapshot(node.addr, NODE_BYTES)
+                shifted = (len(node.keys) - index) * 16 + 8
+                tx.store(node.addr + 8 + index * 8, shifted)
+                return
+            index = self._child_index(node, key)
+            child = node.children[index]
+            if len(child.keys) == MAX_KEYS:
+                self._split_child(tx, node, index)
+                if key > node.keys[index]:
+                    index += 1
+                child = node.children[index]
+            node = child

@@ -1,0 +1,137 @@
+"""Persistent crit-bit tree (WHISPER / PMDK ``ctree_map``).
+
+A binary trie keyed on the most significant differing bit.  Internal
+nodes are ``[diff_bit 8B][left 8B][right 8B]``; leaves are
+``[key 8B][value_ptr 8B]``.  Inserts walk by bit tests (cheap loads),
+allocate one leaf + one internal node, and publish with a single
+pointer swing — the classic small-transaction workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.workloads.base import Workload
+
+INTERNAL_BYTES = 24
+LEAF_BYTES = 16
+#: Application + library instructions per transaction (calibration —
+#: see hashmap.py).
+APP_WORK = 7500
+KEY_BITS = 32
+KEY_SPACE = 1 << KEY_BITS
+
+
+class _Leaf:
+    __slots__ = ("key", "addr", "value_addr")
+
+    def __init__(self, key: int, addr: int, value_addr: int) -> None:
+        self.key = key
+        self.addr = addr
+        self.value_addr = value_addr
+
+
+class _Internal:
+    __slots__ = ("bit", "addr", "left", "right")
+
+    def __init__(self, bit: int, addr: int) -> None:
+        self.bit = bit
+        self.addr = addr
+        self.left: "_NodeT" = None
+        self.right: "_NodeT" = None
+
+
+_NodeT = Optional[Union[_Leaf, _Internal]]
+
+
+class CTreeWorkload(Workload):
+    """Insert/update-heavy crit-bit tree transactions."""
+
+    name = "ctree"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.root_ptr_addr = self.heap.alloc_aligned(8, 8)
+        self.root: _NodeT = None
+
+    # ------------------------------------------------------------------
+    def transaction(self, payload_bytes: int) -> None:
+        key = self.rng.randrange(KEY_SPACE)
+        if self.rng.random() < 0.2 and self.root is not None:
+            self._lookup(key)
+        else:
+            self._insert(key, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def _descend(self, tx, key: int) -> Optional[_Leaf]:
+        """Walk to the leaf the key would share a path with."""
+        node = self.root
+        tx.load(self.root_ptr_addr, 8)
+        while isinstance(node, _Internal):
+            tx.load(node.addr, INTERNAL_BYTES)
+            tx.work(4)
+            node = node.right if (key >> node.bit) & 1 else node.left
+        if node is not None:
+            tx.load(node.addr, LEAF_BYTES)
+        return node
+
+    def _lookup(self, key: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            leaf = self._descend(tx, key)
+            if leaf is not None and leaf.key == key:
+                tx.load(leaf.value_addr, 8)
+
+    def _insert(self, key: int, payload_bytes: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            value_addr = self.write_payload(tx, payload_bytes)
+            nearest = self._descend(tx, key)
+            if nearest is None:
+                leaf = self._make_leaf(tx, key, value_addr)
+                tx.snapshot(self.root_ptr_addr, 8)
+                tx.store(self.root_ptr_addr, 8)
+                self.root = leaf
+                return
+            if nearest.key == key:
+                # Update in place: swing the leaf's value pointer.
+                tx.snapshot(nearest.addr + 8, 8)
+                tx.store(nearest.addr + 8, 8)
+                nearest.value_addr = value_addr
+                return
+            diff = nearest.key ^ key
+            bit = diff.bit_length() - 1
+            leaf = self._make_leaf(tx, key, value_addr)
+            internal = _Internal(bit, self.heap.alloc_aligned(INTERNAL_BYTES, 8))
+            # Find the insertion point: first node whose bit < new bit.
+            parent: Optional[_Internal] = None
+            node = self.root
+            while isinstance(node, _Internal) and node.bit > bit:
+                tx.work(4)
+                parent = node
+                node = node.right if (key >> node.bit) & 1 else node.left
+            if (key >> bit) & 1:
+                internal.left, internal.right = node, leaf
+            else:
+                internal.left, internal.right = leaf, node
+            tx.store(internal.addr, INTERNAL_BYTES)
+            tx.flush(internal.addr, INTERNAL_BYTES)
+            if parent is None:
+                tx.snapshot(self.root_ptr_addr, 8)
+                tx.store(self.root_ptr_addr, 8)
+                self.root = internal
+            else:
+                side = 8 if not ((key >> parent.bit) & 1) else 16
+                tx.snapshot(parent.addr + side, 8)
+                tx.store(parent.addr + side, 8)
+                if (key >> parent.bit) & 1:
+                    parent.right = internal
+                else:
+                    parent.left = internal
+
+    def _make_leaf(self, tx, key: int, value_addr: int) -> _Leaf:
+        leaf = _Leaf(key, self.heap.alloc_aligned(LEAF_BYTES, 8), value_addr)
+        tx.store(leaf.addr, LEAF_BYTES)
+        tx.flush(leaf.addr, LEAF_BYTES)
+        return leaf

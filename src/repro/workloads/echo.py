@@ -1,0 +1,105 @@
+"""Echo-style versioned key-value store (WHISPER's ``echo``).
+
+Echo is a persistent KV store with snapshot-isolation flavoured
+transactions: each worker buffers its updates in a local log, then
+commits by appending versioned entries to the store and bumping a
+global timestamp.  The persist pattern: a burst of version-entry
+writes, a fence, then a single timestamp persist that makes the commit
+visible.
+
+Not part of the paper's evaluated six; included to broaden the suite
+(registered as ``echo``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.base import Workload
+
+#: client work + MVCC bookkeeping per transaction.
+APP_WORK = 9000
+
+KEY_SPACE = 4096
+BUCKETS = 1024
+#: version entry: key 8 + timestamp 8 + prev-version 8 + value-ptr 8
+ENTRY_BYTES = 32
+#: updates buffered per committing transaction
+UPDATES_PER_TX = 3
+
+
+class _Version:
+    __slots__ = ("key", "addr", "timestamp", "prev")
+
+    def __init__(self, key: int, addr: int, timestamp: int) -> None:
+        self.key = key
+        self.addr = addr
+        self.timestamp = timestamp
+        self.prev: Optional["_Version"] = None
+
+
+class EchoWorkload(Workload):
+    """Multi-update transactions committed by a timestamp publish."""
+
+    name = "echo"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.bucket_base = self.heap.alloc_aligned(8 * BUCKETS, 64)
+        self.timestamp_addr = self.heap.alloc_aligned(64, 64)
+        self.latest: Dict[int, _Version] = {}
+        self.timestamp = 0
+
+    def _bucket_addr(self, key: int) -> int:
+        return self.bucket_base + 8 * (key % BUCKETS)
+
+    def transaction(self, payload_bytes: int) -> None:
+        if self.rng.random() < 0.25 and self.latest:
+            self._read_snapshot()
+        else:
+            self._commit(payload_bytes)
+
+    # ------------------------------------------------------------------
+    def _commit(self, payload_bytes: int) -> None:
+        """Buffer UPDATES_PER_TX updates, persist entries, publish TS."""
+        tx = self.new_transaction()
+        per_update = max(8, payload_bytes // UPDATES_PER_TX)
+        with tx:
+            tx.work(APP_WORK)
+            self.timestamp += 1
+            new_versions: List[_Version] = []
+            for _ in range(UPDATES_PER_TX):
+                key = self.rng.randrange(KEY_SPACE)
+                value_addr = self.write_payload(tx, per_update)
+                entry = _Version(
+                    key, self.heap.alloc_aligned(ENTRY_BYTES, 8), self.timestamp
+                )
+                entry.prev = self.latest.get(key)
+                tx.load(self._bucket_addr(key), 8)
+                tx.store(entry.addr, ENTRY_BYTES)
+                tx.flush(entry.addr, ENTRY_BYTES)
+                new_versions.append(entry)
+            # One fence covers the whole version burst...
+            tx.snapshot(self.timestamp_addr, 8)
+            for entry in new_versions:
+                tx.snapshot(self._bucket_addr(entry.key), 8)
+                tx.store(self._bucket_addr(entry.key), 8)
+                self.latest[entry.key] = entry
+            # ...then the timestamp publish makes the commit visible.
+            tx.store(self.timestamp_addr, 8)
+            tx.persist(self.timestamp_addr, 8)
+
+    def _read_snapshot(self) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK // 2)
+            tx.load(self.timestamp_addr, 8)
+            for _ in range(UPDATES_PER_TX):
+                key = self.rng.randrange(KEY_SPACE)
+                version = self.latest.get(key)
+                tx.load(self._bucket_addr(key), 8)
+                steps = 0
+                while version is not None and steps < 3:
+                    tx.load(version.addr, ENTRY_BYTES)
+                    tx.work(5)
+                    version = version.prev
+                    steps += 1

@@ -1,0 +1,115 @@
+"""Persistent chained hashmap (WHISPER ``hashmap_tx``).
+
+A fixed bucket array of node pointers; each node is
+``[key 8B][next 8B][value_ptr 8B]`` with the value blob allocated
+separately.  Transactions are a 9:1 insert/update-to-delete mix, each
+wrapped in an undo-log transaction exactly like PMDK's hashmap_tx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.base import Workload
+
+NODE_BYTES = 24
+BUCKETS = 1024
+KEY_SPACE = 8192
+#: Application + libpmemobj instructions per transaction (request
+#: parsing, allocator, tx bookkeeping) beyond the traced data-structure
+#: work; calibrated so persist stalls vs compute match WHISPER's ratio.
+APP_WORK = 7500
+
+
+class _Node:
+    __slots__ = ("key", "addr", "value_addr", "next")
+
+    def __init__(self, key: int, addr: int, value_addr: int) -> None:
+        self.key = key
+        self.addr = addr
+        self.value_addr = value_addr
+        self.next: Optional["_Node"] = None
+
+
+class HashmapWorkload(Workload):
+    """Insert/update/delete over a persistent chained hash table."""
+
+    name = "hashmap"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.bucket_base = self.heap.alloc_aligned(8 * BUCKETS, 64)
+        self.buckets: List[Optional[_Node]] = [None] * BUCKETS
+        self.population = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_addr(self, index: int) -> int:
+        return self.bucket_base + 8 * index
+
+    def transaction(self, payload_bytes: int) -> None:
+        roll = self.rng.random()
+        key = self.rng.randrange(KEY_SPACE)
+        if roll < 0.1 and self.population > 64:
+            self._delete(key)
+        else:
+            self._insert_or_update(key, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def _insert_or_update(self, key: int, payload_bytes: int) -> None:
+        index = key % BUCKETS
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            node = self._find(tx, index, key)
+            value_addr = self.write_payload(tx, payload_bytes)
+            if node is None:
+                node_addr = self.heap.alloc_aligned(NODE_BYTES, 8)
+                new = _Node(key, node_addr, value_addr)
+                new.next = self.buckets[index]
+                # Initialise the fresh node, then publish it by
+                # snapshotting + rewriting the bucket head pointer.
+                tx.store(node_addr, NODE_BYTES)
+                tx.snapshot(self._bucket_addr(index), 8)
+                tx.store(self._bucket_addr(index), 8)
+                self.buckets[index] = new
+                self.population += 1
+            else:
+                # Update: swing the node's value pointer.
+                tx.snapshot(node.addr + 16, 8)
+                tx.store(node.addr + 16, 8)
+                node.value_addr = value_addr
+
+    def _delete(self, key: int) -> None:
+        index = key % BUCKETS
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            prev: Optional[_Node] = None
+            node = self.buckets[index]
+            tx.load(self._bucket_addr(index), 8)
+            while node is not None and node.key != key:
+                tx.load(node.addr, NODE_BYTES)
+                tx.work(6)
+                prev, node = node, node.next
+            if node is None:
+                return
+            if prev is None:
+                tx.snapshot(self._bucket_addr(index), 8)
+                tx.store(self._bucket_addr(index), 8)
+                self.buckets[index] = node.next
+            else:
+                tx.snapshot(prev.addr + 8, 8)
+                tx.store(prev.addr + 8, 8)
+                prev.next = node.next
+            self.heap.free(node.addr, NODE_BYTES)
+            self.population -= 1
+
+    def _find(self, tx, index: int, key: int) -> Optional[_Node]:
+        tx.load(self._bucket_addr(index), 8)
+        node = self.buckets[index]
+        while node is not None:
+            tx.load(node.addr, NODE_BYTES)
+            tx.work(6)
+            if node.key == key:
+                return node
+            node = node.next
+        return None

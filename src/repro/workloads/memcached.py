@@ -1,0 +1,183 @@
+"""Persistent memcached (WHISPER's ``memcached`` port).
+
+WHISPER ports memcached's slab allocator, hash table and LRU lists to
+persistent memory.  A SET allocates an item from the right slab class,
+writes header+key+value, links it into the hash chain and at the LRU
+head — several small pointer persists plus one bulk item persist.  When
+a slab class is exhausted the LRU tail is evicted (more pointer
+persists).  GETs walk the hash chain and *also* write: memcached
+promotes the item to the LRU head.
+
+Not part of the paper's six evaluated benchmarks, but part of WHISPER —
+included to broaden the suite (registered as ``memcached``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.base import Workload
+
+#: Application + libevent + protocol parsing instructions per request.
+APP_WORK = 7000
+
+HASH_BUCKETS = 1024
+KEY_SPACE = 4096
+#: item header: hash-next 8 + lru-next 8 + lru-prev 8 + key 8 + flags 8
+ITEM_HEADER = 40
+#: items per slab class before eviction kicks in
+SLAB_ITEMS = 512
+
+
+class _Item:
+    __slots__ = ("key", "addr", "size", "hash_next", "lru_next", "lru_prev")
+
+    def __init__(self, key: int, addr: int, size: int) -> None:
+        self.key = key
+        self.addr = addr
+        self.size = size
+        self.hash_next: Optional["_Item"] = None
+        self.lru_next: Optional["_Item"] = None
+        self.lru_prev: Optional["_Item"] = None
+
+
+class MemcachedWorkload(Workload):
+    """GET/SET mix over slab-allocated LRU-managed persistent items."""
+
+    name = "memcached"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.bucket_base = self.heap.alloc_aligned(8 * HASH_BUCKETS, 64)
+        self.lru_head_addr = self.heap.alloc_aligned(8, 8)
+        self.lru_tail_addr = self.heap.alloc_aligned(8, 8)
+        self.buckets: List[Optional[_Item]] = [None] * HASH_BUCKETS
+        self.lru_head: Optional[_Item] = None
+        self.lru_tail: Optional[_Item] = None
+        self.item_count = 0
+        self.by_key: Dict[int, _Item] = {}
+
+    def _bucket_addr(self, key: int) -> int:
+        return self.bucket_base + 8 * (key % HASH_BUCKETS)
+
+    # ------------------------------------------------------------------
+    def transaction(self, payload_bytes: int) -> None:
+        key = self.rng.randrange(KEY_SPACE)
+        if self.rng.random() < 0.3 and self.by_key:
+            self._get(key)
+        else:
+            self._set(key, payload_bytes)
+
+    # ------------------------------------------------------------------
+    # LRU list surgery (pointer persists)
+    # ------------------------------------------------------------------
+    def _lru_unlink(self, tx, item: _Item) -> None:
+        if item.lru_prev is not None:
+            tx.snapshot(item.lru_prev.addr + 8, 8)
+            tx.store(item.lru_prev.addr + 8, 8)
+            item.lru_prev.lru_next = item.lru_next
+        else:
+            tx.snapshot(self.lru_head_addr, 8)
+            tx.store(self.lru_head_addr, 8)
+            self.lru_head = item.lru_next
+        if item.lru_next is not None:
+            tx.snapshot(item.lru_next.addr + 16, 8)
+            tx.store(item.lru_next.addr + 16, 8)
+            item.lru_next.lru_prev = item.lru_prev
+        else:
+            tx.snapshot(self.lru_tail_addr, 8)
+            tx.store(self.lru_tail_addr, 8)
+            self.lru_tail = item.lru_prev
+        item.lru_next = item.lru_prev = None
+
+    def _lru_push_head(self, tx, item: _Item) -> None:
+        item.lru_next = self.lru_head
+        item.lru_prev = None
+        tx.store(item.addr + 8, 16)  # item's own lru pointers
+        if self.lru_head is not None:
+            tx.snapshot(self.lru_head.addr + 16, 8)
+            tx.store(self.lru_head.addr + 16, 8)
+            self.lru_head.lru_prev = item
+        tx.snapshot(self.lru_head_addr, 8)
+        tx.store(self.lru_head_addr, 8)
+        self.lru_head = item
+        if self.lru_tail is None:
+            tx.snapshot(self.lru_tail_addr, 8)
+            tx.store(self.lru_tail_addr, 8)
+            self.lru_tail = item
+
+    # ------------------------------------------------------------------
+    def _hash_unlink(self, tx, item: _Item) -> None:
+        bucket = item.key % HASH_BUCKETS
+        tx.load(self._bucket_addr(item.key), 8)
+        node = self.buckets[bucket]
+        if node is item:
+            tx.snapshot(self._bucket_addr(item.key), 8)
+            tx.store(self._bucket_addr(item.key), 8)
+            self.buckets[bucket] = item.hash_next
+            return
+        while node is not None and node.hash_next is not item:
+            tx.load(node.addr, ITEM_HEADER)
+            tx.work(4)
+            node = node.hash_next
+        if node is not None:
+            tx.snapshot(node.addr, 8)
+            tx.store(node.addr, 8)
+            node.hash_next = item.hash_next
+
+    def _evict_tail(self, tx) -> None:
+        victim = self.lru_tail
+        if victim is None:
+            return
+        tx.work(80)
+        self._hash_unlink(tx, victim)
+        self._lru_unlink(tx, victim)
+        self.by_key.pop(victim.key, None)
+        self.heap.free(victim.addr, victim.size)
+        self.item_count -= 1
+
+    # ------------------------------------------------------------------
+    def _set(self, key: int, payload_bytes: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            existing = self.by_key.get(key)
+            if existing is not None:
+                self._hash_unlink(tx, existing)
+                self._lru_unlink(tx, existing)
+                self.by_key.pop(key, None)
+                self.heap.free(existing.addr, existing.size)
+                self.item_count -= 1
+            if self.item_count >= SLAB_ITEMS:
+                self._evict_tail(tx)
+            size = ITEM_HEADER + payload_bytes
+            item = _Item(key, self.heap.alloc_aligned(size, 64), size)
+            tx.work(payload_bytes // 8)
+            tx.store(item.addr, size)
+            tx.flush(item.addr, size)
+            # Publish: hash chain head + LRU head.
+            bucket = key % HASH_BUCKETS
+            item.hash_next = self.buckets[bucket]
+            tx.snapshot(self._bucket_addr(key), 8)
+            tx.store(self._bucket_addr(key), 8)
+            self.buckets[bucket] = item
+            self._lru_push_head(tx, item)
+            self.by_key[key] = item
+            self.item_count += 1
+
+    def _get(self, key: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            tx.load(self._bucket_addr(key), 8)
+            node = self.buckets[key % HASH_BUCKETS]
+            while node is not None:
+                tx.load(node.addr, ITEM_HEADER)
+                tx.work(5)
+                if node.key == key:
+                    tx.load(node.addr + ITEM_HEADER, min(node.size, 512))
+                    # LRU promotion: unlink + push to head.
+                    if self.lru_head is not node:
+                        self._lru_unlink(tx, node)
+                        self._lru_push_head(tx, node)
+                    return
+                node = node.hash_next

@@ -1,0 +1,206 @@
+"""Persistent red-black tree (WHISPER / PMDK ``rbtree_map``).
+
+Standard red-black insertion with recolouring and rotations.  Every
+structural pointer/colour change is undo-logged and persisted, so
+rebalancing transactions touch several nodes — the workload with the
+widest write set per transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import Workload
+
+#: key 8 + value_ptr 8 + left 8 + right 8 + parent 8 + color 8
+NODE_BYTES = 48
+KEY_SPACE = 1 << 20
+
+RED = 0
+BLACK = 1
+
+#: Application + library instructions per transaction (calibration).
+APP_WORK = 20000
+
+
+class _Node:
+    __slots__ = ("key", "addr", "value_addr", "left", "right", "parent", "color")
+
+    def __init__(self, key: int, addr: int, value_addr: int) -> None:
+        self.key = key
+        self.addr = addr
+        self.value_addr = value_addr
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+        self.color = RED
+
+
+class RBTreeWorkload(Workload):
+    """Insert-heavy red-black tree with full rebalancing."""
+
+    name = "rbtree"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.root_ptr_addr = self.heap.alloc_aligned(8, 8)
+        self.root: Optional[_Node] = None
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    def transaction(self, payload_bytes: int) -> None:
+        key = self.rng.randrange(KEY_SPACE)
+        if self.rng.random() < 0.2 and self.size > 0:
+            self._lookup(key)
+        else:
+            self._insert(key, payload_bytes)
+
+    def _lookup(self, key: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            tx.load(self.root_ptr_addr, 8)
+            node = self.root
+            while node is not None:
+                tx.load(node.addr, NODE_BYTES)
+                tx.work(5)
+                if key == node.key:
+                    tx.load(node.value_addr, 8)
+                    return
+                node = node.left if key < node.key else node.right
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, payload_bytes: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            value_addr = self.write_payload(tx, payload_bytes)
+            tx.load(self.root_ptr_addr, 8)
+            parent: Optional[_Node] = None
+            node = self.root
+            while node is not None:
+                tx.load(node.addr, NODE_BYTES)
+                tx.work(5)
+                if key == node.key:
+                    # Update: swing the value pointer.
+                    tx.snapshot(node.addr + 8, 8)
+                    tx.store(node.addr + 8, 8)
+                    node.value_addr = value_addr
+                    return
+                parent = node
+                node = node.left if key < node.key else node.right
+            fresh = _Node(key, self.heap.alloc_aligned(NODE_BYTES, 64), value_addr)
+            fresh.parent = parent
+            tx.store(fresh.addr, NODE_BYTES)
+            tx.flush(fresh.addr, NODE_BYTES)
+            if parent is None:
+                tx.snapshot(self.root_ptr_addr, 8)
+                tx.store(self.root_ptr_addr, 8)
+                self.root = fresh
+            else:
+                offset = 16 if key < parent.key else 24
+                tx.snapshot(parent.addr + offset, 8)
+                tx.store(parent.addr + offset, 8)
+                if key < parent.key:
+                    parent.left = fresh
+                else:
+                    parent.right = fresh
+            self.size += 1
+            self._fix_insert(tx, fresh)
+
+    # ------------------------------------------------------------------
+    def _set_color(self, tx, node: _Node, color: int) -> None:
+        if node.color != color:
+            tx.snapshot(node.addr + 40, 8)
+            tx.store(node.addr + 40, 8)
+            node.color = color
+
+    def _fix_insert(self, tx, node: _Node) -> None:
+        while node.parent is not None and node.parent.color == RED:
+            parent = node.parent
+            grand = parent.parent
+            if grand is None:
+                break
+            tx.work(10)
+            uncle = grand.right if parent is grand.left else grand.left
+            if uncle is not None and uncle.color == RED:
+                self._set_color(tx, parent, BLACK)
+                self._set_color(tx, uncle, BLACK)
+                self._set_color(tx, grand, RED)
+                node = grand
+                continue
+            if parent is grand.left:
+                if node is parent.right:
+                    self._rotate_left(tx, parent)
+                    node, parent = parent, node
+                self._set_color(tx, parent, BLACK)
+                self._set_color(tx, grand, RED)
+                self._rotate_right(tx, grand)
+            else:
+                if node is parent.left:
+                    self._rotate_right(tx, parent)
+                    node, parent = parent, node
+                self._set_color(tx, parent, BLACK)
+                self._set_color(tx, grand, RED)
+                self._rotate_left(tx, grand)
+        if self.root is not None:
+            self._set_color(tx, self.root, BLACK)
+
+    # ------------------------------------------------------------------
+    def _replace_child(self, tx, old: _Node, new: Optional[_Node]) -> None:
+        parent = old.parent
+        if parent is None:
+            tx.snapshot(self.root_ptr_addr, 8)
+            tx.store(self.root_ptr_addr, 8)
+            self.root = new
+        else:
+            offset = 16 if parent.left is old else 24
+            tx.snapshot(parent.addr + offset, 8)
+            tx.store(parent.addr + offset, 8)
+            if parent.left is old:
+                parent.left = new
+            else:
+                parent.right = new
+        if new is not None:
+            tx.snapshot(new.addr + 32, 8)
+            tx.store(new.addr + 32, 8)
+            new.parent = parent
+
+    def _rotate_left(self, tx, node: _Node) -> None:
+        pivot = node.right
+        assert pivot is not None
+        tx.work(15)
+        self._replace_child(tx, node, pivot)
+        # node.right = pivot.left
+        tx.snapshot(node.addr + 24, 8)
+        tx.store(node.addr + 24, 8)
+        node.right = pivot.left
+        if pivot.left is not None:
+            tx.snapshot(pivot.left.addr + 32, 8)
+            tx.store(pivot.left.addr + 32, 8)
+            pivot.left.parent = node
+        # pivot.left = node
+        tx.snapshot(pivot.addr + 16, 8)
+        tx.store(pivot.addr + 16, 8)
+        pivot.left = node
+        tx.snapshot(node.addr + 32, 8)
+        tx.store(node.addr + 32, 8)
+        node.parent = pivot
+
+    def _rotate_right(self, tx, node: _Node) -> None:
+        pivot = node.left
+        assert pivot is not None
+        tx.work(15)
+        self._replace_child(tx, node, pivot)
+        tx.snapshot(node.addr + 16, 8)
+        tx.store(node.addr + 16, 8)
+        node.left = pivot.right
+        if pivot.right is not None:
+            tx.snapshot(pivot.right.addr + 32, 8)
+            tx.store(pivot.right.addr + 32, 8)
+            pivot.right.parent = node
+        tx.snapshot(pivot.addr + 24, 8)
+        tx.store(pivot.addr + 24, 8)
+        pivot.right = node
+        tx.snapshot(node.addr + 32, 8)
+        tx.store(node.addr + 32, 8)
+        node.parent = pivot

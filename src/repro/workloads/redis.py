@@ -1,0 +1,91 @@
+"""Redis-like persistent key-value store (WHISPER's ``redis``).
+
+WHISPER ports Redis to persistent memory: SET commands append to a
+persistent append-only log *and* update the keyspace hash table.  The
+log append is a sequential persist (great locality); the hash update is
+a pointer publish like the hashmap workload.  The mix is SET-heavy with
+occasional GETs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.workloads.base import Workload
+
+TABLE_SLOTS = 2048
+KEY_SPACE = 16384
+AOF_BYTES = 16 << 20
+ENTRY_HEADER = 24  # type 8 + key 8 + length 8
+#: Command parse + dict + event-loop instructions per request
+#: (calibration — see hashmap.py).
+APP_WORK = 11000
+#: AOF writer buffer size (bytes persisted per chunk).
+AOF_CHUNK = 512
+
+
+class RedisWorkload(Workload):
+    """SET/GET mix with append-only-file persistence."""
+
+    name = "redis"
+
+    def setup(self, payload_bytes: int) -> None:
+        self.table_base = self.heap.alloc_aligned(8 * TABLE_SLOTS, 64)
+        self.aof_base = self.heap.alloc_aligned(AOF_BYTES, 64)
+        self.aof_cursor = 0
+        #: key -> value blob address (the volatile dict mirrors the
+        #: persistent table for trace-generation logic).
+        self.space: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def transaction(self, payload_bytes: int) -> None:
+        key = self.rng.randrange(KEY_SPACE)
+        if self.rng.random() < 0.2 and self.space:
+            self._get(key)
+        else:
+            self._set(key, payload_bytes)
+
+    def _slot_addr(self, key: int) -> int:
+        return self.table_base + 8 * (key % TABLE_SLOTS)
+
+    def _aof_append(self, tx, record_bytes: int) -> int:
+        if self.aof_cursor + record_bytes > AOF_BYTES:
+            self.aof_cursor = 0  # log rewrite/compaction point
+        addr = self.aof_base + self.aof_cursor
+        self.aof_cursor += record_bytes
+        return addr
+
+    # ------------------------------------------------------------------
+    def _set(self, key: int, payload_bytes: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            # 1) Append the command record to the AOF; the writer
+            # streams it out in buffer-sized chunks, persisting each
+            # (write-behind), so AOF persists are spread rather than
+            # one monolithic burst.
+            record = ENTRY_HEADER + payload_bytes
+            aof_addr = self._aof_append(tx, record)
+            offset = 0
+            while offset < record:
+                chunk = min(AOF_CHUNK, record - offset)
+                tx.work(chunk // 4)
+                tx.store(aof_addr + offset, chunk)
+                tx.persist(aof_addr + offset, chunk)
+                offset += chunk
+            # 2) Write the value blob and publish it in the table.
+            value_addr = self.write_payload(tx, payload_bytes)
+            tx.load(self._slot_addr(key), 8)
+            tx.snapshot(self._slot_addr(key), 8)
+            tx.store(self._slot_addr(key), 8)
+            self.space[key] = value_addr
+
+    def _get(self, key: int) -> None:
+        tx = self.new_transaction()
+        with tx:
+            tx.work(APP_WORK)
+            tx.load(self._slot_addr(key), 8)
+            value_addr = self.space.get(key)
+            if value_addr is not None:
+                tx.load(value_addr, 64)
+                tx.work(16)

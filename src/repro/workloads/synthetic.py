@@ -1,0 +1,143 @@
+"""Parameterised synthetic workloads for unit tests and ablations.
+
+Unlike the WHISPER-style applications, these emit exactly the pattern
+you ask for — fixed stores/flushes per transaction, fixed compute gaps,
+controllable address spread — so tests can assert precise simulator
+behaviour and ablation benches can sweep one variable at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import Workload
+
+
+class SyntheticWorkload(Workload):
+    """Deterministic store/flush/fence pattern generator."""
+
+    name = "synthetic"
+    warmup_transactions = 0
+
+    def __init__(
+        self,
+        lines_per_tx: int = 16,
+        work_per_tx: int = 2000,
+        address_stride: int = 64,
+        region_lines: int = 4096,
+        fences_per_tx: int = 1,
+    ) -> None:
+        super().__init__()
+        if lines_per_tx < 1:
+            raise ValueError("need at least one line per transaction")
+        if fences_per_tx < 1:
+            raise ValueError("need at least one fence per transaction")
+        self.lines_per_tx = lines_per_tx
+        self.work_per_tx = work_per_tx
+        self.address_stride = address_stride
+        self.region_lines = region_lines
+        self.fences_per_tx = fences_per_tx
+        self._next_line = 0
+
+    def setup(self, payload_bytes: int) -> None:
+        self.region_base = self.heap.alloc_aligned(64 * self.region_lines, 64)
+
+    def transaction(self, payload_bytes: int) -> None:
+        rec = self.recorder
+        tx_id = rec.tx_begin()
+        per_group = max(1, self.lines_per_tx // self.fences_per_tx)
+        emitted = 0
+        rec.work(self.work_per_tx)
+        while emitted < self.lines_per_tx:
+            group = min(per_group, self.lines_per_tx - emitted)
+            for _ in range(group):
+                addr = self.region_base + 64 * (self._next_line % self.region_lines)
+                self._next_line += self.address_stride // 64 or 1
+                rec.store(addr, 8)
+                rec.flush(addr, 8)
+                emitted += 1
+            rec.fence()
+        rec.tx_end(tx_id)
+
+
+class ReadHeavyWorkload(Workload):
+    """Mostly loads over a large region (stress the read/verify path)."""
+
+    name = "read-heavy"
+    warmup_transactions = 0
+
+    def __init__(self, loads_per_tx: int = 64, region_lines: int = 1 << 16) -> None:
+        super().__init__()
+        self.loads_per_tx = loads_per_tx
+        self.region_lines = region_lines
+
+    def setup(self, payload_bytes: int) -> None:
+        self.region_base = self.heap.alloc_aligned(64 * self.region_lines, 64)
+
+    def transaction(self, payload_bytes: int) -> None:
+        rec = self.recorder
+        tx_id = rec.tx_begin()
+        for _ in range(self.loads_per_tx):
+            line = self.rng.randrange(self.region_lines)
+            rec.load(self.region_base + 64 * line, 8)
+            rec.work(10)
+        # One small persist so fences still exist.
+        rec.store(self.region_base, 8)
+        rec.flush(self.region_base, 8)
+        rec.fence()
+        rec.tx_end(tx_id)
+
+
+class LoggedUpdateWorkload(Workload):
+    """Fixed update pattern under a configurable logging discipline.
+
+    The same modifications per transaction (``updates_per_tx`` stores of
+    ``update_bytes`` each, plus compute) run under either undo logging
+    (persist-per-snapshot, many small ordering points) or redo logging
+    (one batched log persist + commit + apply).  The ablation isolates
+    how the logging discipline's burst shape interacts with the WPQ.
+    """
+
+    name = "logged-update"
+    warmup_transactions = 0
+
+    def __init__(
+        self,
+        tx_style: str = "undo",
+        updates_per_tx: int = 8,
+        update_bytes: int = 64,
+        work_per_tx: int = 6000,
+        region_lines: int = 8192,
+    ) -> None:
+        super().__init__()
+        if tx_style not in ("undo", "redo"):
+            raise ValueError(f"unknown tx style {tx_style!r}")
+        self.tx_style = tx_style
+        self.updates_per_tx = updates_per_tx
+        self.update_bytes = update_bytes
+        self.work_per_tx = work_per_tx
+        self.region_lines = region_lines
+
+    def setup(self, payload_bytes: int) -> None:
+        self.region_base = self.heap.alloc_aligned(64 * self.region_lines, 64)
+
+    def _target(self) -> int:
+        line = self.rng.randrange(self.region_lines)
+        return self.region_base + 64 * line
+
+    def transaction(self, payload_bytes: int) -> None:
+        from repro.persistence.redo_tx import RedoTransaction
+
+        if self.tx_style == "undo":
+            tx = self.new_transaction()
+        else:
+            tx = RedoTransaction(self.recorder, self.log, self.commit_marker)
+        with tx:
+            tx.work(self.work_per_tx)
+            for _ in range(self.updates_per_tx):
+                address = self._target()
+                tx.load(address, 8)
+                if self.tx_style == "undo":
+                    tx.snapshot(address, self.update_bytes)
+                tx.work(self.update_bytes // 8)
+                tx.store(address, self.update_bytes)

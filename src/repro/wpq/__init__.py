@@ -1,0 +1,17 @@
+"""The Write Pending Queue and the ADR drain path.
+
+The WPQ is the on-chip persistence domain ADR makes durable: a small
+circular buffer of 72-byte entries inside the memory controller.  A
+write is architecturally *persisted* the moment it is accepted here.
+
+* :mod:`repro.wpq.queue` — the queue itself, with the volatile tag
+  array used for write coalescing and read hits (Section 4.5).
+* :mod:`repro.wpq.adr` — the power-failure drain path that flushes the
+  queue (and, for Partial/Post designs, the MAC block) to NVM within
+  the standard ADR energy budget.
+"""
+
+from repro.wpq.adr import ADRDrain, WPQ_IMAGE_REGION
+from repro.wpq.queue import WPQEntry, WritePendingQueue
+
+__all__ = ["ADRDrain", "WPQEntry", "WPQ_IMAGE_REGION", "WritePendingQueue"]

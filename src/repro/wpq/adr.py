@@ -1,0 +1,143 @@
+"""The ADR drain path: flush the WPQ to NVM on power failure.
+
+ADR guarantees enough residual energy to move the WPQ contents off
+chip.  Dolos' whole point is that this path must stay as cheap as in a
+non-secure system: entries were already encrypted (and MAC'd) by the
+Mi-SU at insertion time, so the drain just copies bytes.
+
+The drained image lands in a reserved NVM region (``wpq_image``):
+
+* one record per occupied slot — the pad-encrypted 72-byte entry
+  (64 B ciphertext + 8 B address, stored alongside for reconstruction);
+* for Partial/Post designs, the per-entry MAC records;
+* for Full-WPQ, the root/L1-MAC registers stay in persistent on-chip
+  registers and need no NVM space.
+
+Energy accounting is explicit: :meth:`drain` raises if the occupied
+entries (plus MAC blocks, plus any pending deferred MAC) exceed the
+configured budget — the invariant that sizes each design's queue.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import ADRConfig, MiSUDesign
+from repro.mem.nvm import NVMDevice
+from repro.wpq.queue import WPQEntry, WritePendingQueue
+
+WPQ_IMAGE_REGION = "wpq_image"
+WPQ_MAC_REGION = "wpq_image_macs"
+WPQ_META_REGION = "wpq_image_meta"
+
+
+class ADRBudgetError(RuntimeError):
+    """The drain would exceed the standard ADR energy budget."""
+
+
+@dataclass
+class DrainRecord:
+    """What one drained slot looks like in NVM (attacker-visible)."""
+
+    slot: int
+    address: int
+    ciphertext: bytes
+    pad_counter: int
+    cleared: bool
+    mac: Optional[bytes]
+
+
+class ADRDrain:
+    """Performs and accounts for the power-failure WPQ flush."""
+
+    def __init__(self, nvm: NVMDevice, adr: ADRConfig, design: MiSUDesign) -> None:
+        self._nvm = nvm
+        self._adr = adr
+        self._design = design
+        self.drains = 0
+
+    # ------------------------------------------------------------------
+    def energy_needed(self, wpq: WritePendingQueue, pending_macs: int) -> int:
+        """Drain cost in entry-flush equivalents (must fit the budget)."""
+        entries = sum(1 for _ in wpq.drainable_entries())
+        cost = entries
+        if self._design is not MiSUDesign.FULL_WPQ:
+            # MAC records are 1/9 of the entry bytes; they were already
+            # budgeted by shrinking the queue, so charge them in the
+            # same currency: ceil(entries / 8) extra flush units.
+            cost += (entries + 7) // 8
+        if self._design is MiSUDesign.POST_WPQ:
+            cost += pending_macs * self._adr.deferred_mac_entry_cost
+        return cost
+
+    def drain(self, wpq: WritePendingQueue, pending_macs: int = 0) -> List[DrainRecord]:
+        """Flush all occupied entries to the NVM image region.
+
+        Raises:
+            ADRBudgetError: if the occupied state exceeds the budget —
+                a design bug, since queue sizing must prevent this.
+        """
+        needed = self.energy_needed(wpq, pending_macs)
+        if needed > self._adr.budget_entries:
+            raise ADRBudgetError(
+                f"drain needs {needed} entry-flushes, budget is "
+                f"{self._adr.budget_entries}"
+            )
+        records: List[DrainRecord] = []
+        for entry in wpq.drainable_entries():
+            record = self._flush_entry(entry)
+            records.append(record)
+        # Persist how many slots were drained so recovery knows the shape.
+        self._nvm.region_write(
+            WPQ_META_REGION, 0, struct.pack("<I", len(records))
+        )
+        self.drains += 1
+        return records
+
+    def _flush_entry(self, entry: WPQEntry) -> DrainRecord:
+        if entry.ciphertext is None:
+            raise ADRBudgetError(f"slot {entry.index} has no content to drain")
+        record = DrainRecord(
+            slot=entry.index,
+            address=entry.content_address,
+            ciphertext=entry.ciphertext,
+            pad_counter=entry.pad_counter,
+            cleared=entry.cleared,
+            mac=entry.mac,
+        )
+        payload = struct.pack(
+            "<QQ?", record.address, record.pad_counter, record.cleared
+        ) + record.ciphertext
+        self._nvm.region_write(WPQ_IMAGE_REGION, entry.index, payload)
+        if self._design is not MiSUDesign.FULL_WPQ:
+            if record.mac is None:
+                raise ADRBudgetError(
+                    f"slot {entry.index} has no MAC at drain time "
+                    "(Post-WPQ deferred MAC must complete on ADR energy)"
+                )
+            self._nvm.region_write(WPQ_MAC_REGION, entry.index, record.mac)
+        return record
+
+    # ------------------------------------------------------------------
+    def read_image(self) -> List[DrainRecord]:
+        """Parse the drained image back out of NVM (recovery path)."""
+        meta = self._nvm.region_read(WPQ_META_REGION, 0)
+        if meta is None:
+            return []
+        records: List[DrainRecord] = []
+        image = self._nvm.region(WPQ_IMAGE_REGION)
+        for slot, payload in sorted(image.items()):
+            address, pad_counter, cleared = struct.unpack_from("<QQ?", payload)
+            ciphertext = payload[struct.calcsize("<QQ?"):]
+            mac = self._nvm.region_read(WPQ_MAC_REGION, slot)
+            records.append(
+                DrainRecord(slot, address, ciphertext, pad_counter, cleared, mac)
+            )
+        return records
+
+    def clear_image(self) -> None:
+        self._nvm.region_clear(WPQ_IMAGE_REGION)
+        self._nvm.region_clear(WPQ_MAC_REGION)
+        self._nvm.region_clear(WPQ_META_REGION)

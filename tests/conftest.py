@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import hashlib
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.registers import PersistentRegisters
+from repro.crypto.keys import KeyStore
+from repro.engine import Simulator
+from repro.mem.nvm import NVMDevice
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def config():
+    return SimConfig()
+
+
+@pytest.fixture
+def keys():
+    return KeyStore(0xBEEF)
+
+
+@pytest.fixture
+def registers():
+    return PersistentRegisters()
+
+
+@pytest.fixture
+def nvm():
+    return NVMDevice()
+
+
+def deterministic_line(tag: str) -> bytes:
+    """A unique, reproducible 64-byte payload for ``tag``."""
+    return hashlib.blake2b(tag.encode(), digest_size=32).digest() * 2
+
+
+@pytest.fixture
+def line_factory():
+    return deterministic_line

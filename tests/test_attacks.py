@@ -1,0 +1,157 @@
+"""Tests for the threat-model attacks (Section 4.1/4.6): every attack
+in scope must be *detected*."""
+
+import pytest
+
+from repro.config import MiSUDesign, SimConfig
+from repro.attacks import (
+    CounterRollbackAttack,
+    DataRelocationAttack,
+    DataReplayAttack,
+    DataSpoofAttack,
+    MACForgeAttack,
+    WPQImageRelocationAttack,
+    WPQImageReplayAttack,
+    WPQImageSpoofAttack,
+    run_read_attack,
+    run_wpq_attack,
+)
+from repro.core.controller import DolosController
+from repro.core.masu import MajorSecurityUnit
+from repro.core.registers import PersistentRegisters
+from repro.core.requests import WriteKind, WriteRequest
+from repro.crypto.keys import KeyStore
+from repro.engine import Simulator
+from repro.mem.nvm import NVMDevice
+from repro.recovery.crash import crash_system
+from repro.wpq.adr import WPQ_IMAGE_REGION, WPQ_MAC_REGION
+
+HEAP = 0x1_0000_0000
+
+
+@pytest.fixture
+def masu(line_factory):
+    config = SimConfig()
+    unit = MajorSecurityUnit(
+        config, KeyStore(3), PersistentRegisters(), NVMDevice(config.nvm)
+    )
+    for i in range(4):
+        unit.secure_write(HEAP + i * 64, line_factory(f"v{i}"))
+    return unit
+
+
+def crashed_image(line_factory, design=MiSUDesign.PARTIAL_WPQ, writes=8):
+    config = SimConfig().with_(misu_design=design)
+    sim = Simulator()
+    controller = DolosController(sim, config)
+    controller.start()
+    for i in range(writes):
+        controller.submit_write(
+            WriteRequest(HEAP + i * 64, WriteKind.PERSIST, data=line_factory(str(i)))
+        )
+    sim.run(until=1500)  # most writes still in the WPQ
+    return crash_system(controller)
+
+
+class TestRuntimeDataAttacks:
+    def test_spoof_detected(self, masu):
+        outcome = run_read_attack(masu, DataSpoofAttack(HEAP), HEAP)
+        assert outcome.detected
+
+    def test_mac_forge_detected(self, masu):
+        outcome = run_read_attack(masu, MACForgeAttack(HEAP), HEAP)
+        assert outcome.detected
+
+    def test_relocation_detected(self, masu):
+        attack = DataRelocationAttack(source=HEAP, target=HEAP + 64)
+        outcome = run_read_attack(masu, attack, HEAP + 64)
+        assert outcome.detected
+
+    def test_replay_detected(self, masu, line_factory):
+        attack = DataReplayAttack(HEAP)
+        attack.snapshot(masu.nvm)
+        masu.secure_write(HEAP, line_factory("newer"))  # victim updates
+        outcome = run_read_attack(masu, attack, HEAP)
+        assert outcome.detected
+
+    def test_replay_requires_snapshot(self, masu):
+        with pytest.raises(RuntimeError):
+            DataReplayAttack(HEAP).apply(masu.nvm)
+
+    def test_clean_read_not_flagged(self, masu, line_factory):
+        assert masu.secure_read(HEAP) == line_factory("v0")
+
+
+class TestWPQImageAttacks:
+    def test_spoof_detected(self, line_factory):
+        image = crashed_image(line_factory)
+        slot = image.drained[0].slot
+        outcome = run_wpq_attack(image, WPQImageSpoofAttack(slot))
+        assert outcome.detected
+
+    def test_spoof_detected_full_design(self, line_factory):
+        image = crashed_image(line_factory, MiSUDesign.FULL_WPQ)
+        slot = image.drained[0].slot
+        outcome = run_wpq_attack(image, WPQImageSpoofAttack(slot))
+        assert outcome.detected
+
+    def test_relocation_detected(self, line_factory):
+        image = crashed_image(line_factory)
+        slots = [r.slot for r in image.drained[:2]]
+        outcome = run_wpq_attack(image, WPQImageRelocationAttack(*slots))
+        assert outcome.detected
+
+    def test_replay_of_old_drain_detected(self, line_factory):
+        """Records from a previous drain are useless: the persistent
+        pad-counter register moved on, so their MACs verify against the
+        wrong counters."""
+        first = crashed_image(line_factory)
+        slot = first.drained[0].slot
+        old_payload = first.nvm.region_read(WPQ_IMAGE_REGION, slot)
+        old_mac = first.nvm.region_read(WPQ_MAC_REGION, slot)
+        from repro.recovery.recover import recover_system
+
+        recover_system(first)  # advances pad counter + rotates key
+        # Second life on the same NVM/registers/keys.
+        config = first.config
+        sim = Simulator()
+        controller = DolosController(sim, config, nvm=first.nvm, keys=first.keys)
+        controller.registers = first.registers
+        controller.misu.registers = first.registers
+        controller.misu.regenerate_pads()
+        controller.start()
+        controller.submit_write(
+            WriteRequest(HEAP, WriteKind.PERSIST, data=line_factory("fresh"))
+        )
+        sim.run(until=1000)
+        second = crash_system(controller)
+        second.registers = first.registers
+        outcome = run_wpq_attack(
+            second, WPQImageReplayAttack(slot, old_payload, old_mac)
+        )
+        assert outcome.detected
+
+    def test_counter_rollback_detected_at_recovery(self, line_factory):
+        image = crashed_image(line_factory, writes=4)
+        page = HEAP >> 12
+        attack = CounterRollbackAttack(page)
+        # Snapshot the *current* NVM counter block, let recovery... we
+        # instead roll the shadow copy: simplest high-value check is the
+        # shadow itself — roll the shadow entry back to zeros.
+        from repro.security.anubis import KIND_COUNTER
+        from repro.crypto.counters import CounterBlock
+
+        image.nvm.region_write(
+            "anubis_shadow", (page << 1) | KIND_COUNTER, CounterBlock().encode()
+        )
+        from repro.recovery.recover import RecoveryError, recover_system
+
+        with pytest.raises(RecoveryError):
+            recover_system(image)
+
+    def test_untampered_image_recovers(self, line_factory):
+        from repro.recovery.recover import recover_system
+
+        image = crashed_image(line_factory)
+        report = recover_system(image)
+        assert report.wpq_entries_recovered > 0

@@ -1,0 +1,130 @@
+"""Tests for configuration dataclasses and Table 1 defaults."""
+
+import pytest
+
+from repro.config import (
+    ADRConfig,
+    CacheConfig,
+    ControllerKind,
+    MiSUDesign,
+    NVMConfig,
+    SecurityConfig,
+    SimConfig,
+    TreeUpdateScheme,
+    eager_config,
+    lazy_config,
+)
+
+
+class TestTable1Defaults:
+    def test_cache_geometry(self):
+        config = SimConfig()
+        assert config.l1.size_bytes == 32 << 10
+        assert config.l1.associativity == 2
+        assert config.l1.latency == 2
+        assert config.l2.size_bytes == 512 << 10
+        assert config.l2.associativity == 8
+        assert config.l2.latency == 20
+        assert config.llc.size_bytes == 8 << 20
+        assert config.llc.associativity == 16
+        assert config.llc.latency == 32
+
+    def test_nvm_timing(self):
+        nvm = NVMConfig()
+        assert nvm.read_latency == 600  # 150ns @ 4GHz
+        assert nvm.write_latency == 2000  # 500ns @ 4GHz
+        assert nvm.size_bytes == 16 << 30
+
+    def test_security_latencies(self):
+        security = SecurityConfig()
+        assert security.aes_latency == 40
+        assert security.mac_latency == 160
+        assert security.counter_cache.size_bytes == 128 << 10
+        assert security.counter_cache.associativity == 4
+        assert security.mt_cache.size_bytes == 256 << 10
+        assert security.mt_cache.associativity == 8
+        assert security.tree_arity == 8
+
+    def test_masu_hash_latency_eager(self):
+        security = SecurityConfig(tree_update=TreeUpdateScheme.EAGER)
+        assert security.masu_hash_latency == 160 * 10
+
+    def test_masu_hash_latency_lazy(self):
+        security = SecurityConfig(tree_update=TreeUpdateScheme.LAZY)
+        assert security.masu_hash_latency == 160 * 4
+
+    def test_lazy_critical_path_shorter(self):
+        security = SecurityConfig(tree_update=TreeUpdateScheme.LAZY)
+        assert security.masu_critical_hash_latency < security.masu_hash_latency
+
+    def test_misu_hash_latency(self):
+        assert SimConfig().with_(
+            misu_design=MiSUDesign.FULL_WPQ
+        ).misu_hash_latency() == 320
+        assert SimConfig().misu_hash_latency() == 160
+
+
+class TestADRSizing:
+    def test_paper_sizes_at_default_budget(self):
+        adr = ADRConfig()
+        assert adr.usable_entries(MiSUDesign.FULL_WPQ) == 16
+        assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == 13
+        assert adr.usable_entries(MiSUDesign.POST_WPQ) == 10
+
+    def test_fig15_partial_sizes(self):
+        """Section 5.3: budgets 16/32/64/128 -> 13/28/57/113 entries."""
+        expected = {16: 13, 32: 28, 64: 57, 128: 113}
+        for budget, partial in expected.items():
+            adr = ADRConfig(budget_entries=budget)
+            assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == partial
+
+    def test_unpinned_budget_uses_8_9_rule(self):
+        adr = ADRConfig(budget_entries=18)
+        assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == 16
+
+    def test_post_always_at_least_one(self):
+        adr = ADRConfig(budget_entries=4)
+        assert adr.usable_entries(MiSUDesign.POST_WPQ) >= 1
+
+
+class TestSimConfig:
+    def test_wpq_entries_by_controller(self):
+        assert SimConfig().wpq_entries == 13  # Dolos partial
+        baseline = SimConfig().with_(controller=ControllerKind.PRE_WPQ_SECURE)
+        assert baseline.wpq_entries == 16
+
+    def test_with_returns_modified_copy(self):
+        base = SimConfig()
+        changed = base.with_(transaction_size=128)
+        assert changed.transaction_size == 128
+        assert base.transaction_size == 1024
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimConfig().transaction_size = 5
+
+    def test_factory_helpers(self):
+        assert eager_config().security.tree_update is TreeUpdateScheme.EAGER
+        assert lazy_config().security.tree_update is TreeUpdateScheme.LAZY
+        assert lazy_config(transaction_size=256).transaction_size == 256
+
+    def test_issue_interval_per_scheme(self):
+        assert (
+            eager_config().security.masu_issue_interval
+            == eager_config().security.eager_issue_interval
+        )
+        assert (
+            lazy_config().security.masu_issue_interval
+            == lazy_config().security.lazy_issue_interval
+        )
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        config = CacheConfig("x", 64 * 64, 4, 1)
+        assert config.num_lines == 64
+        assert config.num_sets == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 100, 4, 1)

@@ -1,0 +1,237 @@
+"""Tests for the Major Security Unit: functional crypto + timing."""
+
+import pytest
+
+from repro.config import SimConfig, TreeUpdateScheme, eager_config, lazy_config
+from repro.core.masu import COUNTER_REGION, IntegrityError, MajorSecurityUnit
+from repro.core.registers import PersistentRegisters
+from repro.crypto.keys import KeyStore
+from repro.mem.nvm import NVMDevice
+
+
+def build(config=None):
+    config = config or SimConfig()
+    keys = KeyStore(13)
+    registers = PersistentRegisters()
+    nvm = NVMDevice(config.nvm)
+    return MajorSecurityUnit(config, keys, registers, nvm), registers, nvm
+
+
+class TestWriteReadRoundtrip:
+    def test_roundtrip(self, line_factory):
+        masu, _, _ = build()
+        data = line_factory("hello")
+        masu.secure_write(0x1000, data)
+        assert masu.secure_read(0x1000) == data
+
+    def test_ciphertext_in_nvm_differs(self, line_factory):
+        masu, _, nvm = build()
+        data = line_factory("hello")
+        masu.secure_write(0x1000, data)
+        assert nvm.read_line(0x1000) != data
+
+    def test_rewrite_changes_ciphertext(self, line_factory):
+        """Counter-mode freshness: same plaintext twice -> new ciphertext."""
+        masu, _, nvm = build()
+        data = line_factory("same")
+        masu.secure_write(0x1000, data)
+        first = nvm.read_line(0x1000)
+        masu.secure_write(0x1000, data)
+        assert nvm.read_line(0x1000) != first
+        assert masu.secure_read(0x1000) == data
+
+    def test_many_lines_roundtrip(self, line_factory):
+        masu, _, _ = build()
+        payload = {0x1000 + i * 64: line_factory(f"l{i}") for i in range(20)}
+        for address, data in payload.items():
+            masu.secure_write(address, data)
+        for address, data in payload.items():
+            assert masu.secure_read(address) == data
+
+    def test_read_missing_line(self):
+        masu, _, _ = build()
+        with pytest.raises(IntegrityError):
+            masu.secure_read(0xDEAD000)
+
+
+class TestRedoLogProtocol:
+    def test_stage_does_not_touch_state(self, line_factory):
+        masu, registers, nvm = build()
+        masu.stage(0x1000, line_factory("staged"))
+        assert nvm.read_line(0x1000) is None
+        assert masu.counters.counter_for_address(0x1000).value == 0
+        assert registers.redo_log.ready
+
+    def test_apply_commits_staged_write(self, line_factory):
+        masu, registers, _ = build()
+        data = line_factory("staged")
+        masu.stage(0x1000, data)
+        masu.apply()
+        assert masu.secure_read(0x1000) == data
+        assert not registers.redo_log.ready
+
+    def test_double_stage_rejected(self, line_factory):
+        masu, _, _ = build()
+        masu.stage(0x1000, line_factory("a"))
+        with pytest.raises(RuntimeError):
+            masu.stage(0x2000, line_factory("b"))
+
+    def test_apply_without_stage_rejected(self):
+        masu, _, _ = build()
+        with pytest.raises(RuntimeError):
+            masu.apply()
+
+    def test_root_register_tracks_tree(self, line_factory):
+        masu, registers, _ = build()
+        masu.secure_write(0x1000, line_factory("a"))
+        assert registers.tree_root == masu.tree.root
+
+
+class TestTamperDetection:
+    def test_data_tamper_detected(self, line_factory):
+        masu, _, nvm = build()
+        masu.secure_write(0x1000, line_factory("v"))
+        nvm.tamper_line(0x1000, b"\xff" * 64)
+        with pytest.raises(IntegrityError):
+            masu.secure_read(0x1000)
+
+    def test_mac_tamper_detected(self, line_factory):
+        masu, _, _ = build()
+        masu.secure_write(0x1000, line_factory("v"))
+        masu.data_macs.tamper(0x1000, b"\x00" * 8)
+        with pytest.raises(IntegrityError):
+            masu.secure_read(0x1000)
+
+    def test_tree_tamper_detected(self, line_factory):
+        masu, _, _ = build()
+        masu.secure_write(0x1000, line_factory("v"))
+        page = 0x1000 >> 12
+        masu.tree.tamper_node(1, page // 8, b"\x13" * 8)
+        with pytest.raises(IntegrityError):
+            masu.secure_read(0x1000)
+
+
+class TestLazyToCMode:
+    def test_roundtrip(self, line_factory):
+        masu, _, _ = build(lazy_config())
+        data = line_factory("lazy")
+        masu.secure_write(0x3000, data)
+        assert masu.secure_read(0x3000) == data
+
+    def test_toc_version_advances(self, line_factory):
+        masu, _, _ = build(lazy_config())
+        masu.secure_write(0x3000, line_factory("a"))
+        masu.secure_write(0x3000, line_factory("b"))
+        assert masu.toc.leaf_version(0x3000 >> 12) == 2
+
+    def test_toc_root_counter_mirrored(self, line_factory):
+        masu, registers, _ = build(lazy_config())
+        masu.secure_write(0x3000, line_factory("a"))
+        assert registers.toc_root_counter == masu.toc.root_counter
+
+    def test_leaf_mac_tamper_detected(self, line_factory):
+        from repro.core.masu import TOC_LEAF_REGION
+
+        masu, _, nvm = build(lazy_config())
+        masu.secure_write(0x3000, line_factory("a"))
+        nvm.region_write(TOC_LEAF_REGION, 0x3000 >> 12, b"\x00" * 8)
+        with pytest.raises(IntegrityError):
+            masu.secure_read(0x3000)
+
+
+class TestOsirisStride:
+    def test_counter_region_written_on_stride(self, line_factory):
+        masu, _, nvm = build()
+        page = 0x1000 >> 12
+        masu.secure_write(0x1000, line_factory("1"))  # update 1 -> persisted
+        first = nvm.region_read(COUNTER_REGION, page)
+        masu.secure_write(0x1000, line_factory("2"))  # update 2 -> stale copy
+        assert nvm.region_read(COUNTER_REGION, page) == first
+        for i in range(3, 6):
+            masu.secure_write(0x1000, line_factory(str(i)))  # update 5 persists
+        assert nvm.region_read(COUNTER_REGION, page) != first
+
+
+class TestTimingHelpers:
+    def test_counter_hit_is_cheap(self):
+        masu, _, _ = build()
+        masu.counter_cache.access(0, True)  # warm
+        latency = masu.counter_access_latency(0, 0x0, True)
+        assert latency == masu.config.security.counter_cache.latency
+
+    def test_counter_miss_costs_nvm_read(self):
+        masu, _, _ = build()
+        latency = masu.counter_access_latency(0, 0x40000, True)
+        assert latency >= masu.config.nvm.read_latency
+
+    def test_eager_write_latency_includes_full_chain(self):
+        masu, _, _ = build(eager_config())
+        masu.counter_cache.access(0x5000 >> 12, True)
+        latency = masu.write_pipeline_latency(0, 0x5000, critical_path=True)
+        expected_min = (
+            masu.config.security.aes_latency
+            + masu.config.security.mac_latency * masu.config.security.eager_mac_count
+        )
+        assert latency >= expected_min
+
+    def test_lazy_critical_path_shorter_than_backend(self):
+        masu, _, _ = build(lazy_config())
+        page = 0x5000 >> 12
+        masu.counter_cache.access(page, True)
+        critical = masu.write_pipeline_latency(0, 0x5000, critical_path=True)
+        masu2, _, _ = build(lazy_config())
+        masu2.counter_cache.access(page, True)
+        backend = masu2.write_pipeline_latency(0, 0x5000, critical_path=False)
+        assert critical < backend
+
+    def test_read_verify_latency_includes_mac(self):
+        masu, _, _ = build()
+        masu.counter_cache.access(0x5000 >> 12, False)
+        latency = masu.read_verify_latency(0, 0x5000)
+        assert latency >= masu.config.security.mac_latency
+
+    def test_stats_snapshot(self, line_factory):
+        masu, _, _ = build()
+        masu.secure_write(0x1000, line_factory("x"))
+        masu.secure_read(0x1000)
+        stats = masu.stats()
+        assert stats["writes_processed"] == 1
+        assert stats["reads_verified"] == 1
+        assert stats["integrity_failures"] == 0
+
+
+class TestCounterOverflow:
+    def test_sibling_lines_survive_minor_overflow(self, line_factory):
+        """Overflowing one line's minor counter resets the whole block;
+        every other resident line of the page must be re-encrypted or
+        its reads would fail (page re-encryption, Section 2.1)."""
+        masu, _, _ = build()
+        base = 0x1_0000_0000
+        victim = base          # written once, then left alone
+        churner = base + 64    # driven through a minor-counter overflow
+        data = line_factory("victim")
+        masu.secure_write(victim, data)
+        for i in range(130):
+            masu.secure_write(churner, line_factory(f"c{i}"))
+        assert masu.page_reencryptions >= 1
+        assert masu.secure_read(victim) == data
+
+    def test_overflow_bumps_major_counter(self, line_factory):
+        masu, _, _ = build()
+        address = 0x2_0000_0000
+        for i in range(130):
+            masu.secure_write(address, line_factory(f"x{i}"))
+        page = address >> 12
+        assert masu.counters.block_for_page(page).major >= 1
+        assert masu.secure_read(address) == line_factory("x129")
+
+    def test_multiple_resident_lines_all_reencrypted(self, line_factory):
+        masu, _, _ = build()
+        base = 0x3_0000_0000
+        lines = {base + i * 64: line_factory(f"l{i}") for i in range(2, 8)}
+        for address, data in lines.items():
+            masu.secure_write(address, data)
+        for i in range(130):
+            masu.secure_write(base, line_factory(f"hot{i}"))
+        for address, data in lines.items():
+            assert masu.secure_read(address) == data

@@ -1,0 +1,177 @@
+"""Tests for the Minor Security Unit design options."""
+
+import pytest
+
+from repro.config import MiSUDesign, SimConfig, WPQ_ENTRY_BYTES, WPQ_ENTRY_WITH_MAC_BYTES
+from repro.core.misu import (
+    FullWPQMiSU,
+    PartialWPQMiSU,
+    PostWPQMiSU,
+    decode_entry,
+    make_misu,
+)
+from repro.core.registers import PersistentRegisters
+from repro.core.requests import WriteKind, WriteRequest
+from repro.crypto.keys import KeyStore
+from repro.crypto.prf import xor_bytes
+from repro.wpq.queue import WritePendingQueue
+
+
+def build(design):
+    config = SimConfig().with_(misu_design=design)
+    keys = KeyStore(11)
+    registers = PersistentRegisters()
+    wpq = WritePendingQueue(config.wpq_entries)
+    return config, keys, registers, wpq, make_misu(config, keys, registers, wpq)
+
+
+def protect_one(misu, wpq, address=0x1000, tag="x", line_factory=None):
+    data = line_factory(tag)
+    entry = wpq.try_allocate(WriteRequest(address, WriteKind.PERSIST, data=data))
+    misu.protect(entry)
+    return entry, data
+
+
+class TestFactoryAndSizing:
+    def test_factory_builds_right_class(self):
+        assert isinstance(build(MiSUDesign.FULL_WPQ)[4], FullWPQMiSU)
+        assert isinstance(build(MiSUDesign.PARTIAL_WPQ)[4], PartialWPQMiSU)
+        assert isinstance(build(MiSUDesign.POST_WPQ)[4], PostWPQMiSU)
+
+    def test_paper_wpq_sizes(self):
+        """The 16/13/10 split of Section 5.2.1."""
+        assert build(MiSUDesign.FULL_WPQ)[3].capacity == 16
+        assert build(MiSUDesign.PARTIAL_WPQ)[3].capacity == 13
+        assert build(MiSUDesign.POST_WPQ)[3].capacity == 10
+
+    def test_pad_sizes_match_table3(self):
+        assert build(MiSUDesign.FULL_WPQ)[4].pad_bytes == WPQ_ENTRY_BYTES
+        assert build(MiSUDesign.PARTIAL_WPQ)[4].pad_bytes == WPQ_ENTRY_WITH_MAC_BYTES
+
+
+class TestInsertionLatency:
+    def test_full_charges_two_macs(self):
+        config, *_, misu = build(MiSUDesign.FULL_WPQ)
+        assert misu.insertion_latency() == 1 + 2 * config.security.mac_latency
+
+    def test_partial_charges_one_mac(self):
+        config, *_, misu = build(MiSUDesign.PARTIAL_WPQ)
+        assert misu.insertion_latency() == 1 + config.security.mac_latency
+
+    def test_post_commit_is_near_free(self):
+        _, _, _, _, misu = build(MiSUDesign.POST_WPQ)
+        assert misu.insertion_latency() == 1
+
+    def test_post_deferred_latency(self):
+        config, *_, misu = build(MiSUDesign.POST_WPQ)
+        assert misu.deferred_latency() == 1 + config.security.mac_latency
+
+
+class TestEncryption:
+    def test_ciphertext_differs_from_plaintext(self, line_factory):
+        _, _, _, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        entry, data = protect_one(misu, wpq, line_factory=line_factory)
+        assert entry.ciphertext is not None
+        assert entry.ciphertext[:64] != data
+
+    def test_decrypts_with_slot_pad(self, line_factory):
+        _, _, _, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        entry, data = protect_one(misu, wpq, line_factory=line_factory)
+        pad = misu.pad_for_slot(entry.index)[: len(entry.ciphertext)]
+        plaintext = xor_bytes(entry.ciphertext, pad)
+        recovered_data, recovered_address = decode_entry(plaintext)
+        assert recovered_data == data
+        assert recovered_address == 0x1000
+
+    def test_protect_sets_content_metadata(self, line_factory):
+        _, _, _, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        entry, _ = protect_one(misu, wpq, address=0x2040, line_factory=line_factory)
+        assert entry.content_address == 0x2000 | 0x40
+        assert not entry.cleared
+        assert entry.pad_counter == misu.pad_counter_for_slot(entry.index)
+
+    def test_pads_unique_per_slot(self):
+        _, _, _, _, misu = build(MiSUDesign.PARTIAL_WPQ)
+        pads = {misu.pad_for_slot(i) for i in range(misu.wpq.capacity)}
+        assert len(pads) == misu.wpq.capacity
+
+    def test_pads_change_with_register(self):
+        _, _, registers, _, misu = build(MiSUDesign.PARTIAL_WPQ)
+        old = misu.pad_for_slot(0)
+        misu.advance_pad_counter()
+        misu.regenerate_pads()
+        assert misu.pad_for_slot(0) != old
+
+    def test_advance_pad_counter_steps_by_capacity(self):
+        _, _, registers, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        misu.advance_pad_counter()
+        assert registers.wpq_pad_counter == wpq.capacity
+
+
+class TestEntryMACs:
+    def test_mac_binds_ciphertext(self, line_factory):
+        _, _, _, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        entry, _ = protect_one(misu, wpq, line_factory=line_factory)
+        good = entry.mac
+        entry.ciphertext = b"\x00" * len(entry.ciphertext)
+        assert misu.entry_mac(entry) != good
+
+    def test_mac_binds_slot(self, line_factory):
+        _, _, _, wpq, misu = build(MiSUDesign.PARTIAL_WPQ)
+        a, _ = protect_one(misu, wpq, 0x1000, "a", line_factory)
+        b, _ = protect_one(misu, wpq, 0x2000, "a", line_factory)
+        assert a.mac != b.mac
+
+
+class TestFullWPQTree:
+    def test_root_updates_on_protect(self, line_factory):
+        _, _, registers, wpq, misu = build(MiSUDesign.FULL_WPQ)
+        empty_root = registers.wpq_root
+        protect_one(misu, wpq, line_factory=line_factory)
+        assert registers.wpq_root != empty_root
+
+    def test_root_recomputable_from_entry_macs(self, line_factory):
+        _, _, registers, wpq, misu = build(MiSUDesign.FULL_WPQ)
+        for i in range(5):
+            protect_one(misu, wpq, 0x1000 + i * 64, f"t{i}", line_factory)
+        macs = [
+            e.mac if e.mac else b"\x00" * 8 for e in wpq.entries
+        ]
+        assert misu.compute_root_over(macs) == registers.wpq_root
+
+    def test_root_covers_cleared_content(self, line_factory):
+        """Clearing an entry must not change the root (no re-MAC)."""
+        _, _, registers, wpq, misu = build(MiSUDesign.FULL_WPQ)
+        entry, _ = protect_one(misu, wpq, line_factory=line_factory)
+        root = registers.wpq_root
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        assert registers.wpq_root == root
+
+
+class TestPostDeferred:
+    def test_busy_window(self):
+        _, _, _, _, misu = build(MiSUDesign.POST_WPQ)
+        done = misu.start_deferred(now=100)
+        assert misu.is_busy(150)
+        assert not misu.is_busy(done)
+        assert misu.deferred_macs == 1
+
+
+class TestStorageOverhead:
+    def test_table3_values(self):
+        """Exact Table 3 reproduction at the default 16-entry budget."""
+        expectations = {
+            MiSUDesign.FULL_WPQ: (192, 72 * 16),
+            MiSUDesign.PARTIAL_WPQ: (128, 80 * 13),
+            MiSUDesign.POST_WPQ: (128, 80 * 10),
+        }
+        for design, (macs, pads) in expectations.items():
+            overhead = build(design)[4].storage_overhead()
+            assert overhead["persistent_counter"] == 8
+            assert overhead["macs"] == macs
+            assert overhead["encryption_pads"] == pads
+
+    def test_tag_array_is_8b_per_entry(self):
+        overhead = build(MiSUDesign.PARTIAL_WPQ)[4].storage_overhead()
+        assert overhead["volatile_tag_array"] == 8 * 13

@@ -1,0 +1,128 @@
+"""Tests for split-counter blocks and the counter store."""
+
+import pytest
+
+from repro.crypto.counters import (
+    COUNTERS_PER_BLOCK,
+    MINOR_LIMIT,
+    CounterBlock,
+    CounterStore,
+    SplitCounter,
+)
+
+
+class TestSplitCounter:
+    def test_value_combines_major_and_minor(self):
+        assert SplitCounter(0, 5).value == 5
+        assert SplitCounter(1, 0).value == MINOR_LIMIT
+        assert SplitCounter(2, 3).value == 2 * MINOR_LIMIT + 3
+
+
+class TestCounterBlock:
+    def test_initial_counters_zero(self):
+        block = CounterBlock()
+        for i in range(COUNTERS_PER_BLOCK):
+            assert block.read(i).value == 0
+
+    def test_increment_advances_one_line_only(self):
+        block = CounterBlock()
+        counter, overflowed = block.increment(7)
+        assert not overflowed
+        assert counter.value == 1
+        assert block.read(7).value == 1
+        assert block.read(8).value == 0
+
+    def test_minor_overflow_resets_all_minors(self):
+        block = CounterBlock()
+        for _ in range(MINOR_LIMIT - 1):
+            block.increment(3)
+        block.increment(5)  # some other line has a nonzero minor
+        counter, overflowed = block.increment(3)
+        assert overflowed
+        assert block.major == 1
+        assert all(m == 0 for m in block.minors)
+        assert counter.value == MINOR_LIMIT  # major<<7 | 0
+        assert block.overflows == 1
+
+    def test_update_count(self):
+        block = CounterBlock()
+        for _ in range(5):
+            block.increment(0)
+        assert block.updates == 5
+
+    def test_snapshot_restore_roundtrip(self):
+        block = CounterBlock()
+        block.increment(1)
+        block.increment(2)
+        snap = block.snapshot()
+        block.increment(1)
+        block.restore(snap)
+        assert block.read(1).value == 1
+        assert block.read(2).value == 1
+
+    def test_restore_rejects_bad_shape(self):
+        block = CounterBlock()
+        with pytest.raises(ValueError):
+            block.restore((0, (1, 2, 3)))
+
+    def test_encode_is_64_bytes(self):
+        block = CounterBlock()
+        assert len(block.encode()) == 64
+
+    def test_encode_injective_on_minors(self):
+        a = CounterBlock()
+        b = CounterBlock()
+        a.increment(0)
+        b.increment(1)
+        assert a.encode() != b.encode()
+
+    def test_encode_decode_roundtrip(self):
+        block = CounterBlock()
+        for i in range(0, 64, 3):
+            for _ in range(i % 7 + 1):
+                block.increment(i)
+        block.major = 12345
+        clone = CounterBlock.decode(block.encode())
+        assert clone.major == block.major
+        assert clone.minors == block.minors
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            CounterBlock.decode(b"\x00" * 4)
+
+    def test_index_bounds(self):
+        block = CounterBlock()
+        with pytest.raises(IndexError):
+            block.read(64)
+        with pytest.raises(IndexError):
+            block.increment(-1)
+
+
+class TestCounterStore:
+    def test_locate_maps_address(self):
+        page, line = CounterStore.locate(0x1000)  # 4KB page 1, line 0
+        assert (page, line) == (1, 0)
+        page, line = CounterStore.locate(0x1040)
+        assert (page, line) == (1, 1)
+        page, line = CounterStore.locate(0x2FC0)
+        assert (page, line) == (2, 63)
+
+    def test_blocks_created_on_demand(self):
+        store = CounterStore()
+        assert store.touched_pages == 0
+        store.counter_for_address(0x10000)
+        assert store.touched_pages == 1
+
+    def test_increment_for_address(self):
+        store = CounterStore()
+        counter, overflowed = store.increment_for_address(0x5040)
+        assert counter.value == 1
+        assert not overflowed
+        assert store.counter_for_address(0x5040).value == 1
+        assert store.counter_for_address(0x5000).value == 0
+
+    def test_same_page_shares_block(self):
+        store = CounterStore()
+        store.increment_for_address(0x7000)
+        store.increment_for_address(0x7040)
+        assert store.touched_pages == 1

@@ -1,0 +1,49 @@
+"""Tests for the processor key store."""
+
+import pytest
+
+from repro.crypto.keys import KeyStore
+
+
+class TestKeyStore:
+    def test_keys_are_domain_separated(self, keys):
+        assert keys.memory_key != keys.mac_key
+        assert keys.memory_key != keys.wpq_key
+        assert keys.mac_key != keys.wpq_key
+
+    def test_deterministic_per_seed(self):
+        a = KeyStore(1)
+        b = KeyStore(1)
+        assert a.memory_key == b.memory_key
+        assert a.wpq_key == b.wpq_key
+
+    def test_different_seeds_differ(self):
+        assert KeyStore(1).memory_key != KeyStore(2).memory_key
+
+    def test_wpq_key_rotates_on_boot(self, keys):
+        old = keys.wpq_key
+        new = keys.rotate_wpq_key()
+        assert new != old
+        assert keys.wpq_key == new
+        assert keys.boot_epoch == 1
+
+    def test_memory_key_stable_across_boots(self, keys):
+        before = keys.memory_key
+        keys.rotate_wpq_key()
+        assert keys.memory_key == before
+
+    def test_old_epoch_key_recoverable(self, keys):
+        epoch0 = keys.wpq_key
+        keys.rotate_wpq_key()
+        assert keys.wpq_key_for_epoch(0) == epoch0
+
+    def test_future_epoch_rejected(self, keys):
+        with pytest.raises(ValueError):
+            keys.wpq_key_for_epoch(5)
+
+    def test_negative_epoch_rejected(self, keys):
+        with pytest.raises(ValueError):
+            keys.wpq_key_for_epoch(-1)
+
+    def test_key_length(self, keys):
+        assert len(keys.memory_key) == KeyStore.KEY_BYTES

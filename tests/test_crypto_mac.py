@@ -1,0 +1,60 @@
+"""Tests for MAC computation and field encoding."""
+
+import pytest
+
+from repro.config import MAC_BYTES
+from repro.crypto.mac import compute_mac, mac_over_fields, macs_equal
+
+
+class TestComputeMac:
+    def test_default_length(self):
+        assert len(compute_mac(b"k", b"m")) == MAC_BYTES
+
+    def test_deterministic(self):
+        assert compute_mac(b"k", b"m") == compute_mac(b"k", b"m")
+
+    def test_key_dependence(self):
+        assert compute_mac(b"k1", b"m") != compute_mac(b"k2", b"m")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            compute_mac(b"", b"m")
+
+
+class TestMacOverFields:
+    def test_field_boundaries_matter(self):
+        """(b"ab", b"c") must differ from (b"a", b"bc")."""
+        assert mac_over_fields(b"k", b"ab", b"c") != mac_over_fields(b"k", b"a", b"bc")
+
+    def test_type_tags_matter(self):
+        assert mac_over_fields(b"k", 1) != mac_over_fields(b"k", "1")
+
+    def test_int_fields(self):
+        assert mac_over_fields(b"k", 5, 6) != mac_over_fields(b"k", 6, 5)
+
+    def test_huge_int_supported(self):
+        big = 2**100
+        assert mac_over_fields(b"k", big) == mac_over_fields(b"k", big)
+        assert mac_over_fields(b"k", big) != mac_over_fields(b"k", big + 1)
+
+    def test_negative_int(self):
+        assert mac_over_fields(b"k", -1) != mac_over_fields(b"k", 1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            mac_over_fields(b"k", 3.14)
+
+    def test_mixed_fields(self):
+        mac = mac_over_fields(b"k", "data", 0x1000, 42, b"\x00" * 64)
+        assert len(mac) == MAC_BYTES
+
+
+class TestMacsEqual:
+    def test_equal(self):
+        assert macs_equal(b"\x01\x02", b"\x01\x02")
+
+    def test_unequal_content(self):
+        assert not macs_equal(b"\x01\x02", b"\x01\x03")
+
+    def test_unequal_length(self):
+        assert not macs_equal(b"\x01", b"\x01\x02")

@@ -1,0 +1,168 @@
+"""Tests for generator processes, signals and waiting."""
+
+import pytest
+
+from repro.engine import Delay, Process, Signal, SimulationError, Simulator, WaitSignal
+from repro.engine.process import spawn
+
+
+class TestDelay:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-5)
+
+
+class TestSignal:
+    def test_fire_resumes_all_waiters(self, sim):
+        signal = Signal(sim, "s")
+        seen = []
+        signal.subscribe(lambda v: seen.append(("a", v)))
+        signal.subscribe(lambda v: seen.append(("b", v)))
+        signal.fire(42)
+        assert seen == [("a", 42), ("b", 42)]
+
+    def test_fire_clears_waiters(self, sim):
+        signal = Signal(sim)
+        signal.subscribe(lambda v: None)
+        signal.fire()
+        assert signal.waiter_count == 0
+        signal.fire()  # no waiters: no error
+        assert signal.fire_count == 2
+
+    def test_subscribers_added_during_fire_wait_for_next(self, sim):
+        signal = Signal(sim)
+        seen = []
+
+        def resubscribe(value):
+            seen.append(value)
+            signal.subscribe(lambda v: seen.append(v))
+
+        signal.subscribe(resubscribe)
+        signal.fire(1)
+        assert seen == [1]
+        signal.fire(2)
+        assert seen == [1, 2]
+
+
+class TestProcess:
+    def test_simple_delays_accumulate(self, sim):
+        log = []
+
+        def worker():
+            yield Delay(5)
+            log.append(sim.now)
+            yield Delay(7)
+            log.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert log == [5, 12]
+
+    def test_return_value_captured(self, sim):
+        def worker():
+            yield Delay(1)
+            return "result"
+
+        process = Process(sim, worker())
+        sim.run()
+        assert process.finished
+        assert process.result == "result"
+
+    def test_wait_signal_receives_fired_value(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def worker():
+            value = yield WaitSignal(signal)
+            got.append((sim.now, value))
+
+        Process(sim, worker())
+        sim.schedule(30, lambda: signal.fire("payload"))
+        sim.run()
+        assert got == [(30, "payload")]
+
+    def test_wait_on_child_process(self, sim):
+        def child():
+            yield Delay(10)
+            return 99
+
+        def parent():
+            result = yield Process(sim, child())
+            return result + 1
+
+        p = Process(sim, parent())
+        sim.run()
+        assert p.result == 100
+        assert sim.now == 10
+
+    def test_wait_on_already_finished_child(self, sim):
+        def child():
+            yield Delay(1)
+            return "done"
+
+        child_proc = Process(sim, child())
+
+        def parent():
+            yield Delay(50)
+            result = yield child_proc
+            return result
+
+        p = Process(sim, parent())
+        sim.run()
+        assert p.result == "done"
+
+    def test_done_signal_fires_on_completion(self, sim):
+        seen = []
+
+        def worker():
+            yield Delay(3)
+            return "v"
+
+        p = Process(sim, worker())
+        p.done_signal.subscribe(lambda v: seen.append(v))
+        sim.run()
+        assert seen == ["v"]
+
+    def test_start_delay(self, sim):
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield Delay(1)
+
+        Process(sim, worker(), start_delay=25)
+        sim.run()
+        assert log == [25]
+
+    def test_unsupported_directive_raises(self, sim):
+        def worker():
+            yield "garbage"
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_spawn_helper(self, sim):
+        def worker():
+            yield Delay(2)
+            return 5
+
+        p = spawn(sim, worker(), name="w")
+        sim.run()
+        assert p.result == 5
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, step):
+            for _ in range(3):
+                yield Delay(step)
+                log.append((name, sim.now))
+
+        Process(sim, worker("fast", 2))
+        Process(sim, worker("slow", 5))
+        sim.run()
+        assert log == [
+            ("fast", 2), ("fast", 4), ("slow", 5),
+            ("fast", 6), ("slow", 10), ("slow", 15),
+        ]

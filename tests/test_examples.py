@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example must run clean.
+
+Each example is executed in a subprocess (as a user would run it) with
+its workload sizes untouched; we only assert a zero exit and the
+expected headline strings in the output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "Dolos speedup over baseline",
+    "crash_recovery_demo.py": "persisted writes intact",
+    "design_space_sweep.py": "Speedup over Pre-WPQ-Secure",
+    "custom_workload.py": "persistent queue",
+    "attack_gallery.py": "Every in-scope attack detected",
+    "wpq_occupancy_timeline.py": "occupancy",
+    "cycle_breakdown.py": "Cycle breakdown",
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs_clean(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_all_examples_are_covered():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(CASES), (
+        "new example scripts must be added to the smoke-test table"
+    )

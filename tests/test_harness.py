@@ -1,0 +1,135 @@
+"""Tests for the runner, tables, and experiment harness."""
+
+import pytest
+
+from repro.config import ControllerKind, MiSUDesign, SimConfig
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    TraceCache,
+    run_experiment,
+    sec55_recovery,
+    tab03_storage,
+)
+from repro.harness.runner import RunResult, geomean, run_trace, run_workload, speedup
+from repro.harness.tables import render_table
+from repro.workloads import generate_trace
+
+
+class TestRunner:
+    def test_run_workload_produces_cycles(self):
+        result = run_workload(SimConfig(), "hashmap", transactions=20)
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.cpi > 0
+
+    def test_run_trace_deterministic(self):
+        trace = generate_trace("ctree", 20, 256, seed=2)
+        a = run_trace(SimConfig(), trace, "ctree", 20)
+        b = run_trace(SimConfig(), trace, "ctree", 20)
+        assert a.cycles == b.cycles
+
+    def test_speedup(self):
+        slow = RunResult("w", ControllerKind.DOLOS, MiSUDesign.PARTIAL_WPQ,
+                         1, 1024, cycles=200, instructions=10)
+        fast = RunResult("w", ControllerKind.DOLOS, MiSUDesign.PARTIAL_WPQ,
+                         1, 1024, cycles=100, instructions=10)
+        assert speedup(slow, fast) == 2.0
+        with pytest.raises(ValueError):
+            speedup(slow, RunResult("w", ControllerKind.DOLOS,
+                                    MiSUDesign.PARTIAL_WPQ, 1, 1024, 0, 1))
+
+    def test_retries_per_kwr(self):
+        result = RunResult(
+            "w", ControllerKind.DOLOS, MiSUDesign.PARTIAL_WPQ, 1, 1024,
+            cycles=1, instructions=1,
+            stats={"controller.writes": 2000, "wpq.retry_events": 100},
+        )
+        assert result.retries_per_kwr == 50.0
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in text
+
+    def test_columns_align(self):
+        text = render_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])
+
+
+class TestExperiments:
+    def test_registry_covers_all_artifacts(self):
+        paper_artifacts = {
+            "motivation", "fig06", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "tab02", "tab03", "sec55",
+        }
+        assert paper_artifacts <= set(EXPERIMENTS)
+        assert "breakdown" in EXPERIMENTS  # analysis view
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_trace_cache_reuses(self):
+        cache = TraceCache()
+        a = cache.get("hashmap", 10, 256, 1)
+        b = cache.get("hashmap", 10, 256, 1)
+        assert a is b
+        c = cache.get("hashmap", 10, 256, 2)
+        assert c is not a
+
+    def test_tab03_matches_paper(self):
+        result = tab03_storage()
+        rows = {row[0]: row[1:] for row in result.rows}
+        assert rows["persistent_counter"] == [8, 8, 8]
+        assert rows["macs"] == [192, 128, 128]
+        assert rows["encryption_pads"] == [72 * 16, 80 * 13, 80 * 10]
+
+    def test_sec55_matches_paper(self):
+        result = sec55_recovery()
+        full_row = result.rows[0]
+        assert full_row[6] == 44480
+
+    def test_render_includes_summary_and_notes(self):
+        result = sec55_recovery()
+        text = result.render()
+        assert "44480" in text
+        assert "Paper" in text
+
+    def test_small_fig12_run(self):
+        """A tiny end-to-end fig12: Dolos must beat the baseline on
+        every workload, and Post must trail Partial on average."""
+        result = run_experiment("fig12", transactions=25, seed=1)
+        assert len(result.rows) == 6
+        for row in result.rows:
+            _, full, partial, post = row
+            assert full > 1.0
+            assert partial > 1.0
+            assert post > 1.0
+        assert (
+            result.summary["mean Partial-WPQ-MiSU"]
+            >= result.summary["mean Post-WPQ-MiSU"]
+        )
+
+    def test_small_tab02_run(self):
+        result = run_experiment("tab02", transactions=25, seed=1)
+        assert len(result.rows) == 6
+        # Full <= Partial <= Post per workload (larger queue, fewer
+        # retries); tiny 25-txn runs carry some noise, so allow 15%.
+        full_sum = partial_sum = post_sum = 0.0
+        for row in result.rows:
+            _, full, partial, post = row
+            assert full <= partial * 1.15 <= post * 1.15**2
+            full_sum += full
+            partial_sum += partial
+            post_sum += post
+        # The ordering must hold strictly on the aggregate.
+        assert full_sum <= partial_sum <= post_sum

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: paper-shape assertions.
+
+These run small but complete simulations and assert the *relative*
+results the paper reports — who wins, orderings, saturation — rather
+than absolute cycle counts.
+"""
+
+import pytest
+
+from repro.config import ControllerKind, MiSUDesign, SimConfig, eager_config, lazy_config
+from repro.harness.runner import run_trace, speedup
+from repro.workloads import generate_trace
+
+TXNS = 60
+
+
+@pytest.fixture(scope="module")
+def hashmap_trace():
+    return generate_trace("hashmap", TXNS, 1024, seed=3)
+
+
+def run(config, trace):
+    return run_trace(config, trace, "trace", TXNS)
+
+
+class TestFigure5Ordering:
+    """ideal <= postwpq-hypothetical <= dolos <= baseline (in cycles)."""
+
+    def test_controller_ordering(self, hashmap_trace):
+        ideal = run(
+            eager_config(controller=ControllerKind.NON_SECURE_IDEAL), hashmap_trace
+        )
+        hypothetical = run(
+            eager_config(controller=ControllerKind.POST_WPQ_HYPOTHETICAL),
+            hashmap_trace,
+        )
+        dolos = run(eager_config(), hashmap_trace)
+        baseline = run(
+            eager_config(controller=ControllerKind.PRE_WPQ_SECURE), hashmap_trace
+        )
+        assert ideal.cycles <= hypothetical.cycles
+        assert hypothetical.cycles <= dolos.cycles
+        assert dolos.cycles < baseline.cycles
+
+    def test_dolos_speedup_in_paper_band(self, hashmap_trace):
+        baseline = run(
+            eager_config(controller=ControllerKind.PRE_WPQ_SECURE), hashmap_trace
+        )
+        dolos = run(eager_config(), hashmap_trace)
+        # Paper: 1.66x average; individual workloads 1.4-2.0.
+        assert 1.2 < speedup(baseline, dolos) < 2.5
+
+
+class TestMiSUDesignOrdering:
+    def test_retry_ordering_full_partial_post(self, hashmap_trace):
+        """Table 2: smaller queues retry more."""
+        retries = {}
+        for design in MiSUDesign:
+            result = run(eager_config(misu_design=design), hashmap_trace)
+            retries[design] = result.retries_per_kwr
+        assert retries[MiSUDesign.FULL_WPQ] <= retries[MiSUDesign.PARTIAL_WPQ]
+        assert retries[MiSUDesign.PARTIAL_WPQ] <= retries[MiSUDesign.POST_WPQ]
+
+    def test_lazy_speedup_below_eager(self, hashmap_trace):
+        """Figure 16 vs Figure 12: lazy backends leave less to gain."""
+
+        def dolos_speedup(factory):
+            baseline = run(
+                factory(controller=ControllerKind.PRE_WPQ_SECURE), hashmap_trace
+            )
+            dolos = run(factory(), hashmap_trace)
+            return speedup(baseline, dolos)
+
+        assert dolos_speedup(lazy_config) < dolos_speedup(eager_config)
+
+
+class TestWPQSizeSensitivity:
+    def test_bigger_wpq_fewer_retries(self):
+        """Figure 15: retries collapse once the queue is ~28 entries."""
+        from repro.config import ADRConfig
+
+        trace = generate_trace("hashmap", TXNS, 1024, seed=3)
+        small = run_trace(
+            eager_config(adr=ADRConfig(budget_entries=16)), trace, "t", TXNS
+        )
+        large = run_trace(
+            eager_config(adr=ADRConfig(budget_entries=64)), trace, "t", TXNS
+        )
+        assert large.retries_per_kwr < small.retries_per_kwr
+        assert large.cycles <= small.cycles
+
+
+class TestTransactionSizeSensitivity:
+    def test_larger_transactions_more_retries(self):
+        """Figure 13: larger transactions fill the WPQ."""
+        small_trace = generate_trace("hashmap", TXNS, 128, seed=3)
+        large_trace = generate_trace("hashmap", TXNS, 2048, seed=3)
+        small = run_trace(eager_config(transaction_size=128), small_trace, "t", TXNS)
+        large = run_trace(eager_config(transaction_size=2048), large_trace, "t", TXNS)
+        assert small.retries_per_kwr < large.retries_per_kwr
+
+    def test_speedup_positive_even_at_2048(self):
+        """Figure 14: even 2KB transactions still gain."""
+        trace = generate_trace("hashmap", TXNS, 2048, seed=3)
+        baseline = run_trace(
+            eager_config(
+                controller=ControllerKind.PRE_WPQ_SECURE, transaction_size=2048
+            ),
+            trace, "t", TXNS,
+        )
+        dolos = run_trace(
+            eager_config(transaction_size=2048), trace, "t", TXNS
+        )
+        assert speedup(baseline, dolos) > 1.0
+
+
+class TestCoalescingAblation:
+    def test_coalescing_never_hurts(self):
+        trace = generate_trace("redis", TXNS, 512, seed=3)
+        on = run_trace(eager_config(), trace, "t", TXNS)
+        off = run_trace(eager_config(wpq_coalescing=False), trace, "t", TXNS)
+        assert on.cycles <= off.cycles
+
+
+class TestCrossWorkloadShape:
+    def test_nstore_has_least_retries(self):
+        """Table 2's standout row."""
+        retries = {}
+        for name in ("hashmap", "nstore-ycsb"):
+            trace = generate_trace(name, TXNS, 1024, seed=3)
+            retries[name] = run_trace(eager_config(), trace, name, TXNS).retries_per_kwr
+        assert retries["nstore-ycsb"] < retries["hashmap"]

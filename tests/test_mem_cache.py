@@ -1,0 +1,119 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.mem.cache import CacheLineState, SetAssociativeCache
+
+
+def small_cache(sets=4, ways=2) -> SetAssociativeCache:
+    config = CacheConfig("t", sets * ways * 64, ways, 1)
+    return SetAssociativeCache(config)
+
+
+class TestGeometry:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 100, 2, 1)  # not multiple of line
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 64 * 3, 2, 1)  # lines not divisible by ways
+
+    def test_line_alignment(self):
+        cache = small_cache()
+        assert cache.line_address(0x1234) == 0x1200
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000, False)
+        cache.insert(0x1000, dirty=False)
+        assert cache.access(0x1000, False)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache()
+        cache.insert(0x1000, dirty=False)
+        cache.access(0x1000, is_write=True)
+        assert cache.lookup(0x1000) is CacheLineState.DIRTY
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.insert(0x0, dirty=False)
+        cache.insert(0x40, dirty=False)
+        cache.access(0x0, False)  # touch 0x0: now 0x40 is LRU
+        victim = cache.insert(0x80, dirty=False)
+        assert victim is not None
+        assert victim.address == 0x40
+
+    def test_dirty_eviction_reported(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.insert(0x0, dirty=True)
+        victim = cache.insert(0x40, dirty=False)
+        assert victim.dirty
+        assert cache.dirty_evictions == 1
+
+    def test_reinsert_does_not_downgrade_dirty(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        cache.insert(0x0, dirty=False)
+        assert cache.lookup(0x0) is CacheLineState.DIRTY
+
+    def test_same_set_different_tags_coexist(self):
+        cache = small_cache(sets=4, ways=2)
+        # Addresses 0x0 and 4 sets * 64 = 0x400 map to the same set.
+        cache.insert(0x0, dirty=False)
+        cache.insert(0x400, dirty=False)
+        assert cache.contains(0x0)
+        assert cache.contains(0x400)
+
+
+class TestFlushOps:
+    def test_clean_line_keeps_resident(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        assert cache.clean_line(0x0)
+        assert cache.lookup(0x0) is CacheLineState.CLEAN
+
+    def test_clean_line_absent(self):
+        cache = small_cache()
+        assert not cache.clean_line(0x0)
+
+    def test_clean_line_already_clean(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=False)
+        assert not cache.clean_line(0x0)
+
+    def test_invalidate_returns_dirty_victim(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        victim = cache.invalidate_line(0x0)
+        assert victim.dirty
+        assert not cache.contains(0x0)
+
+    def test_invalidate_absent(self):
+        cache = small_cache()
+        assert cache.invalidate_line(0x0) is None
+
+
+class TestIntrospection:
+    def test_resident_lines_roundtrip(self):
+        cache = small_cache()
+        cache.insert(0x0, dirty=True)
+        cache.insert(0x40, dirty=False)
+        lines = dict(cache.resident_lines())
+        assert lines[0x0] is CacheLineState.DIRTY
+        assert lines[0x40] is CacheLineState.CLEAN
+
+    def test_occupancy(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.insert(i * 64, dirty=False)
+        assert cache.occupancy == 5
+
+    def test_stats_dict(self):
+        cache = small_cache()
+        cache.access(0x0, False)
+        stats = cache.stats()
+        assert stats["misses"] == 1

@@ -1,0 +1,108 @@
+"""Tests for the three-level cache hierarchy and persist primitives."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.mem.hierarchy import CacheHierarchy
+
+
+@pytest.fixture
+def hierarchy(config):
+    return CacheHierarchy(config)
+
+
+class TestAccessPath:
+    def test_cold_miss_needs_memory(self, hierarchy):
+        result = hierarchy.access(0x1000, is_write=False)
+        assert result.needs_memory
+        expected = (
+            hierarchy.l1.config.latency
+            + hierarchy.l2.config.latency
+            + hierarchy.llc.config.latency
+        )
+        assert result.latency == expected
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0x1000, False)
+        result = hierarchy.access(0x1000, False)
+        assert not result.needs_memory
+        assert result.latency == hierarchy.l1.config.latency
+
+    def test_store_marks_l1_dirty(self, hierarchy):
+        hierarchy.access(0x1000, is_write=True)
+        assert 0x1000 in hierarchy.dirty_lines()
+
+    def test_load_does_not_dirty(self, hierarchy):
+        hierarchy.access(0x1000, is_write=False)
+        assert hierarchy.dirty_lines() == []
+
+    def test_l2_hit_fills_l1(self, hierarchy):
+        """After filling, evict from tiny L1 so the line sits in L2."""
+        hierarchy.access(0x0, False)
+        # Thrash the L1 set: L1 is 2-way; two conflicting lines evict 0x0.
+        l1_sets = hierarchy.l1.config.num_sets
+        stride = l1_sets * 64
+        hierarchy.access(stride, False)
+        hierarchy.access(2 * stride, False)
+        assert not hierarchy.l1.contains(0x0)
+        result = hierarchy.access(0x0, False)
+        assert not result.needs_memory  # L2 (or LLC) hit
+        assert hierarchy.l1.contains(0x0)
+
+
+class TestPersistPrimitives:
+    def test_clwb_dirty_line_returns_address(self, hierarchy):
+        hierarchy.access(0x2000, is_write=True)
+        assert hierarchy.clwb(0x2000) == 0x2000
+
+    def test_clwb_keeps_line_resident_clean(self, hierarchy):
+        hierarchy.access(0x2000, is_write=True)
+        hierarchy.clwb(0x2000)
+        assert hierarchy.l1.contains(0x2000)
+        assert hierarchy.dirty_lines() == []
+
+    def test_clwb_clean_line_returns_none(self, hierarchy):
+        hierarchy.access(0x2000, is_write=False)
+        assert hierarchy.clwb(0x2000) is None
+        assert hierarchy.flush_misses == 1
+
+    def test_clwb_absent_line_returns_none(self, hierarchy):
+        assert hierarchy.clwb(0x9999000) is None
+
+    def test_clwb_unaligned_address(self, hierarchy):
+        hierarchy.access(0x2008, is_write=True)
+        assert hierarchy.clwb(0x2010) == 0x2000
+
+    def test_clflush_invalidates(self, hierarchy):
+        hierarchy.access(0x2000, is_write=True)
+        assert hierarchy.clflush(0x2000) == 0x2000
+        assert not hierarchy.l1.contains(0x2000)
+
+    def test_flush_latency_sums_levels(self, hierarchy, config):
+        assert hierarchy.flush_latency() == (
+            config.l1.latency + config.l2.latency + config.llc.latency
+        )
+
+    def test_double_clwb_second_is_clean(self, hierarchy):
+        hierarchy.access(0x2000, is_write=True)
+        assert hierarchy.clwb(0x2000) == 0x2000
+        assert hierarchy.clwb(0x2000) is None
+
+
+class TestWritebacks:
+    def test_dirty_llc_eviction_reported(self, config):
+        # Tiny hierarchy to force LLC evictions quickly.
+        from repro.config import CacheConfig
+
+        small = config.with_(
+            l1=CacheConfig("L1", 2 * 64, 1, 2),
+            l2=CacheConfig("L2", 4 * 64, 1, 20),
+            llc=CacheConfig("LLC", 8 * 64, 1, 32),
+        )
+        hierarchy = CacheHierarchy(small)
+        writebacks = []
+        # Write many conflicting dirty lines through one set.
+        for i in range(64):
+            result = hierarchy.access(i * 8 * 64, is_write=True)
+            writebacks.extend(result.writebacks)
+        assert writebacks, "expected dirty lines to leave the LLC"

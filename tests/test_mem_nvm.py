@@ -1,0 +1,121 @@
+"""Tests for the NVM device: functional store + banked timing."""
+
+import pytest
+
+from repro.config import NVMConfig
+from repro.mem.nvm import NVMDevice
+
+
+class TestFunctionalStore:
+    def test_read_unwritten_is_none(self, nvm):
+        assert nvm.read_line(0x1000) is None
+
+    def test_write_read_roundtrip(self, nvm, line_factory):
+        data = line_factory("a")
+        nvm.write_line(0x1000, data)
+        assert nvm.read_line(0x1000) == data
+
+    def test_line_alignment(self, nvm, line_factory):
+        data = line_factory("b")
+        nvm.write_line(0x1010, data)  # unaligned address
+        assert nvm.read_line(0x1000) == data
+
+    def test_wrong_size_rejected(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.write_line(0, b"short")
+
+    def test_tamper_is_visible(self, nvm, line_factory):
+        nvm.write_line(0, line_factory("x"))
+        nvm.tamper_line(0, b"\xff" * 64)
+        assert nvm.read_line(0) == b"\xff" * 64
+
+    def test_resident_count(self, nvm, line_factory):
+        nvm.write_line(0, line_factory("1"))
+        nvm.write_line(64, line_factory("2"))
+        nvm.write_line(0, line_factory("3"))  # overwrite
+        assert nvm.resident_line_count == 2
+
+
+class TestRegions:
+    def test_region_isolation(self, nvm):
+        nvm.region_write("a", 1, b"x")
+        nvm.region_write("b", 1, b"y")
+        assert nvm.region_read("a", 1) == b"x"
+        assert nvm.region_read("b", 1) == b"y"
+
+    def test_region_read_missing(self, nvm):
+        assert nvm.region_read("a", 99) is None
+
+    def test_region_clear(self, nvm):
+        nvm.region_write("a", 1, b"x")
+        nvm.region_clear("a")
+        assert nvm.region_read("a", 1) is None
+
+    def test_meta_stats(self, nvm):
+        nvm.region_write("a", 1, b"x")
+        nvm.region_read("a", 1)
+        assert nvm.meta_writes == 1
+        assert nvm.meta_reads == 1
+
+
+class TestTiming:
+    def test_read_latency(self):
+        nvm = NVMDevice(NVMConfig())
+        done = nvm.timed_access(100, 0x0, is_write=False)
+        assert done == 100 + nvm.config.read_latency
+
+    def test_write_latency(self):
+        nvm = NVMDevice(NVMConfig())
+        done = nvm.timed_access(100, 0x0, is_write=True)
+        assert done == 100 + nvm.config.write_latency
+
+    def test_same_bank_writes_serialize(self):
+        nvm = NVMDevice(NVMConfig(num_banks=2))
+        first = nvm.timed_access(0, 0x0, True)
+        second = nvm.timed_access(0, 0x0 + 2 * 64, True)  # same bank
+        assert second == first + nvm.config.write_latency
+
+    def test_different_banks_overlap(self):
+        nvm = NVMDevice(NVMConfig(num_banks=2))
+        first = nvm.timed_access(0, 0x0, True)
+        second = nvm.timed_access(0, 0x40, True)  # adjacent line, other bank
+        assert second == first
+
+    def test_reads_have_priority_over_writes(self):
+        """Reads must not queue behind the drained write stream."""
+        nvm = NVMDevice(NVMConfig(num_banks=1))
+        nvm.timed_access(0, 0x0, True)  # bank busy with a write
+        read_done = nvm.timed_access(0, 0x0, False)
+        assert read_done == nvm.config.read_latency
+
+    def test_write_accept_before_completion(self):
+        nvm = NVMDevice(NVMConfig())
+        accepted, done = nvm.timed_write_accept(0, 0x0)
+        assert accepted == nvm.config.accept_latency
+        assert done == nvm.config.write_latency
+
+    def test_write_accept_queues_behind_busy_bank(self):
+        nvm = NVMDevice(NVMConfig(num_banks=1))
+        _, first_done = nvm.timed_write_accept(0, 0x0)
+        accepted, _ = nvm.timed_write_accept(0, 0x0)
+        assert accepted == first_done + nvm.config.accept_latency
+
+    def test_reset_timing(self):
+        nvm = NVMDevice(NVMConfig(num_banks=1))
+        nvm.timed_access(0, 0x0, True)
+        nvm.reset_timing()
+        assert nvm.timed_access(0, 0x0, True) == nvm.config.write_latency
+
+    def test_stats_counters(self):
+        nvm = NVMDevice(NVMConfig())
+        nvm.timed_access(0, 0, True)
+        nvm.timed_access(0, 64, False)
+        nvm.timed_meta_access(0, 5, False)
+        stats = nvm.stats()
+        assert stats["writes"] == 1
+        assert stats["reads"] == 1
+        assert stats["meta_reads"] == 1
+
+    def test_bank_validation(self):
+        with pytest.raises(ValueError):
+            NVMConfig(num_banks=0)

@@ -1,0 +1,186 @@
+"""Tests for the mini-PMDK: heap, recorder, transactions."""
+
+import pytest
+
+from repro.cpu.trace import (
+    OP_CLWB,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    summarize,
+)
+from repro.persistence.heap import HeapExhaustedError, PersistentHeap
+from repro.persistence.recorder import TraceRecorder, lines_spanned
+from repro.persistence.tx import Transaction, UndoLog
+
+
+class TestHeap:
+    def test_alloc_returns_distinct_addresses(self):
+        heap = PersistentHeap()
+        a = heap.alloc(16)
+        b = heap.alloc(16)
+        assert a != b
+
+    def test_alignment(self):
+        heap = PersistentHeap()
+        assert heap.alloc(3) % 8 == 0
+        assert heap.alloc_aligned(100, 64) % 64 == 0
+
+    def test_free_list_reuse(self):
+        heap = PersistentHeap()
+        a = heap.alloc(32)
+        heap.free(a, 32)
+        assert heap.alloc(32) == a
+
+    def test_size_classes_do_not_cross(self):
+        heap = PersistentHeap()
+        a = heap.alloc(32)
+        heap.free(a, 32)
+        b = heap.alloc(64)
+        assert b != a
+
+    def test_exhaustion(self):
+        heap = PersistentHeap(size=1024)
+        with pytest.raises(HeapExhaustedError):
+            heap.alloc(4096)
+
+    def test_invalid_requests(self):
+        heap = PersistentHeap()
+        with pytest.raises(ValueError):
+            heap.alloc(0)
+        with pytest.raises(ValueError):
+            heap.alloc_aligned(8, 3)
+
+    def test_base_alignment_required(self):
+        with pytest.raises(ValueError):
+            PersistentHeap(base=0x1001)
+
+    def test_used_bytes(self):
+        heap = PersistentHeap()
+        heap.alloc(64)
+        assert heap.used_bytes >= 64
+
+
+class TestLinesSpanned:
+    def test_single_line(self):
+        assert lines_spanned(0x1000, 8) == [0x1000]
+
+    def test_straddles_boundary(self):
+        assert lines_spanned(0x1038, 16) == [0x1000, 0x1040]
+
+    def test_multi_line(self):
+        assert lines_spanned(0x1000, 200) == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+    def test_empty(self):
+        assert lines_spanned(0x1000, 0) == []
+
+
+class TestRecorder:
+    def test_store_expands_to_lines(self):
+        rec = TraceRecorder()
+        rec.store(0x1030, 64)
+        assert rec.ops == [(OP_STORE, 0x1000), (OP_STORE, 0x1040)]
+
+    def test_persist_is_flush_then_fence(self):
+        rec = TraceRecorder()
+        rec.persist(0x1000, 8)
+        assert rec.ops == [(OP_CLWB, 0x1000), (OP_FENCE,)]
+
+    def test_zero_work_skipped(self):
+        rec = TraceRecorder()
+        rec.work(0)
+        assert rec.ops == []
+
+    def test_tx_ids_monotonic(self):
+        rec = TraceRecorder()
+        assert rec.tx_begin() == 0
+        rec.tx_end(0)
+        assert rec.tx_begin() == 1
+
+
+class TestTransaction:
+    def make_tx(self):
+        heap = PersistentHeap()
+        rec = TraceRecorder()
+        log = UndoLog(heap)
+        commit = heap.alloc_aligned(64, 64)
+        return Transaction(rec, log, commit), rec, heap
+
+    def test_snapshot_emits_log_persist(self):
+        tx, rec, heap = self.make_tx()
+        target = heap.alloc(64)
+        with tx:
+            tx.snapshot(target, 64)
+            tx.store(target, 64)
+        summary = summarize(list(rec.ops))
+        # Log record persisted + data flushed + commit marker persisted.
+        assert summary.fences == 3
+        assert summary.clwbs >= 3
+
+    def test_commit_flushes_dirty_lines(self):
+        tx, rec, heap = self.make_tx()
+        target = heap.alloc(128)
+        with tx:
+            tx.store(target, 128)
+        flushed = {op[1] for op in rec.ops if op[0] == OP_CLWB}
+        for line in lines_spanned(target, 128):
+            assert line in flushed
+
+    def test_early_flush_removes_from_commit_set(self):
+        tx, rec, heap = self.make_tx()
+        target = heap.alloc(64)
+        with tx:
+            tx.store(target, 64)
+            tx.flush(target, 64)
+            assert tx.dirty_line_count == 0
+
+    def test_abort_on_exception(self):
+        tx, rec, heap = self.make_tx()
+        target = heap.alloc(64)
+        with pytest.raises(RuntimeError):
+            with tx:
+                tx.store(target, 64)
+                raise RuntimeError("boom")
+        # Abort path still closed the transaction markers.
+        codes = [op[0] for op in rec.ops]
+        assert OP_TXBEGIN in codes
+        assert OP_TXEND in codes
+
+    def test_nested_begin_rejected(self):
+        tx, _, _ = self.make_tx()
+        tx.begin()
+        with pytest.raises(RuntimeError):
+            tx.begin()
+
+    def test_ops_require_active_tx(self):
+        tx, _, heap = self.make_tx()
+        with pytest.raises(RuntimeError):
+            tx.store(heap.alloc(8), 8)
+
+    def test_persist_mid_transaction(self):
+        tx, rec, heap = self.make_tx()
+        target = heap.alloc(64)
+        with tx:
+            tx.store(target, 64)
+            tx.persist(target, 64)
+            assert tx.dirty_line_count == 0
+        summary = summarize(list(rec.ops))
+        assert summary.fences >= 2
+
+
+class TestUndoLog:
+    def test_records_advance(self):
+        heap = PersistentHeap()
+        log = UndoLog(heap, capacity_bytes=1024)
+        a = log.append_offset(100)
+        b = log.append_offset(100)
+        assert b == a + 100
+
+    def test_wraparound(self):
+        heap = PersistentHeap()
+        log = UndoLog(heap, capacity_bytes=256)
+        log.append_offset(200)
+        wrapped = log.append_offset(200)
+        assert wrapped == log.base

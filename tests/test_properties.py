@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for core data structures and
+crypto invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.counters import COUNTERS_PER_BLOCK, CounterBlock
+from repro.crypto.mac import mac_over_fields
+from repro.crypto.prf import ctr_pad, xor_bytes
+from repro.engine.resources import PipelineLane
+from repro.mem.cache import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.persistence.heap import PersistentHeap
+from repro.persistence.recorder import lines_spanned
+from repro.security.merkle import MerkleTree
+from repro.wpq.queue import WritePendingQueue
+from repro.core.requests import WriteKind, WriteRequest
+
+KEY = b"\x09" * 32
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+counters = st.integers(min_value=0, max_value=(1 << 50) - 1)
+payloads = st.binary(min_size=64, max_size=64)
+
+
+class TestCryptoProperties:
+    @given(addresses, counters, payloads)
+    @settings(max_examples=50, deadline=None)
+    def test_ctr_roundtrip(self, address, counter, plaintext):
+        pad = ctr_pad(KEY, address, counter, 64)
+        assert xor_bytes(xor_bytes(plaintext, pad), pad) == plaintext
+
+    @given(addresses, addresses, counters)
+    @settings(max_examples=50, deadline=None)
+    def test_pads_unique_per_line(self, a, b, counter):
+        # Pads are per 64-byte line: distinct lines -> distinct pads.
+        if a >> 6 != b >> 6:
+            assert ctr_pad(KEY, a, counter) != ctr_pad(KEY, b, counter)
+
+    @given(
+        st.lists(
+            st.one_of(st.integers(-(2**40), 2**40), st.binary(max_size=32)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mac_deterministic(self, fields):
+        assert mac_over_fields(KEY, *fields) == mac_over_fields(KEY, *fields)
+
+
+class TestCounterBlockProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=COUNTERS_PER_BLOCK - 1),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip(self, increments):
+        block = CounterBlock()
+        for line in increments:
+            block.increment(line)
+        clone = CounterBlock.decode(block.encode())
+        assert clone.major == block.major
+        assert clone.minors == block.minors
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=COUNTERS_PER_BLOCK - 1),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_counter_values_never_repeat_per_line(self, increments):
+        """The IV-uniqueness invariant: per line, successive counter
+        values are strictly increasing (no pad reuse)."""
+        block = CounterBlock()
+        seen = {line: {0} for line in range(COUNTERS_PER_BLOCK)}
+        for line in increments:
+            counter, overflowed = block.increment(line)
+            if overflowed:
+                # All minors reset under a new major: values still fresh.
+                seen = {l: set() for l in range(COUNTERS_PER_BLOCK)}
+            assert counter.value not in seen[line]
+            seen[line].add(counter.value)
+
+
+class TestMerkleProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=511),
+            st.binary(min_size=1, max_size=16),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_rebuild(self, leaves):
+        tree = MerkleTree(KEY, 512)
+        for index, content in leaves.items():
+            tree.update_leaf(index, content)
+        fresh = MerkleTree(KEY, 512)
+        assert fresh.rebuild_from_leaves(leaves) == tree.root
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=511),
+            st.binary(min_size=1, max_size=16),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_leaves_verify(self, leaves):
+        tree = MerkleTree(KEY, 512)
+        for index, content in leaves.items():
+            tree.update_leaf(index, content)
+        for index, content in leaves.items():
+            assert tree.verify_leaf(index, content)
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, refs):
+        cache = SetAssociativeCache(CacheConfig("p", 8 * 64, 2, 1))
+        for line, is_write in refs:
+            address = line * 64
+            if not cache.access(address, is_write):
+                cache.insert(address, dirty=is_write)
+            assert cache.occupancy <= cache.config.num_lines
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inserted_line_is_resident(self, lines):
+        cache = SetAssociativeCache(CacheConfig("p", 16 * 64, 4, 1))
+        for line in lines:
+            cache.insert(line * 64, dirty=False)
+            assert cache.contains(line * 64)
+
+
+class TestWPQProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["alloc", "drain"]),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, ops):
+        wpq = WritePendingQueue(4)
+        next_addr = 0
+        for op in ops:
+            if op == "alloc":
+                wpq.try_allocate(
+                    WriteRequest(next_addr, WriteKind.PERSIST)
+                )
+                next_addr += 64
+            else:
+                entry = wpq.oldest_pending()
+                if entry is not None:
+                    wpq.begin_fetch(entry)
+                    wpq.mark_cleared(entry)
+            assert 0 <= wpq.occupancy <= wpq.capacity
+
+
+class TestHeapProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=50)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        heap = PersistentHeap()
+        spans = []
+        for size in sizes:
+            address = heap.alloc(size)
+            for start, end in spans:
+                assert address + size <= start or address >= end
+            spans.append((address, address + size))
+
+
+class TestMiscProperties:
+    @given(addresses, st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=50, deadline=None)
+    def test_lines_spanned_covers_range(self, address, size):
+        lines = lines_spanned(address, size)
+        assert lines[0] <= address
+        assert lines[-1] + 64 >= address + size
+        assert all(b - a == 64 for a, b in zip(lines, lines[1:]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10000),
+                st.integers(min_value=0, max_value=500),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_lane_starts_monotonic(self, bookings):
+        lane = PipelineLane(7)
+        previous_start = -1
+        now = 0
+        for advance, latency in bookings:
+            now += advance
+            start, done = lane.book(now, latency)
+            assert start >= previous_start + lane.interval or previous_start == -1
+            assert start >= now
+            assert done == start + latency
+            previous_start = start

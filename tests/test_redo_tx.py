@@ -1,0 +1,104 @@
+"""Tests for redo-log transactions and the logging-style workload."""
+
+import pytest
+
+from repro.cpu.trace import OP_FENCE, summarize
+from repro.persistence.heap import PersistentHeap
+from repro.persistence.recorder import TraceRecorder
+from repro.persistence.redo_tx import RedoTransaction
+from repro.persistence.tx import UndoLog
+from repro.workloads.synthetic import LoggedUpdateWorkload
+
+
+def make_tx():
+    heap = PersistentHeap()
+    rec = TraceRecorder()
+    log = UndoLog(heap)
+    commit = heap.alloc_aligned(64, 64)
+    return RedoTransaction(rec, log, commit), rec, heap
+
+
+class TestRedoTransaction:
+    def test_two_plus_one_ordering_points(self):
+        """Log persist + commit persist + apply persist = 3 fences,
+        independent of the write-set size."""
+        tx, rec, heap = make_tx()
+        targets = [heap.alloc(64) for _ in range(10)]
+        with tx:
+            for target in targets:
+                tx.store(target, 64)
+        summary = summarize(list(rec.ops))
+        assert summary.fences == 3
+
+    def test_undo_fences_scale_with_writes(self):
+        """Contrast: undo logging fences once per snapshot."""
+        from repro.persistence.tx import Transaction
+
+        heap = PersistentHeap()
+        rec = TraceRecorder()
+        log = UndoLog(heap)
+        commit = heap.alloc_aligned(64, 64)
+        tx = Transaction(rec, log, commit)
+        targets = [heap.alloc(64) for _ in range(10)]
+        with tx:
+            for target in targets:
+                tx.snapshot(target, 64)
+                tx.store(target, 64)
+        summary = summarize(list(rec.ops))
+        assert summary.fences >= 10
+
+    def test_abort_applies_nothing(self):
+        tx, rec, heap = make_tx()
+        target = heap.alloc(64)
+        with pytest.raises(RuntimeError):
+            with tx:
+                tx.store(target, 64)
+                raise RuntimeError("boom")
+        # No flush of the target address: nothing was applied.
+        from repro.cpu.trace import OP_CLWB
+
+        flushed = {op[1] for op in rec.ops if op[0] == OP_CLWB}
+        assert (target & ~0x3F) not in flushed
+
+    def test_buffered_writes_counter(self):
+        tx, _, heap = make_tx()
+        with tx:
+            tx.store(heap.alloc(8), 8)
+            tx.store(heap.alloc(8), 8)
+            assert tx.buffered_writes == 2
+
+    def test_nested_begin_rejected(self):
+        tx, _, _ = make_tx()
+        tx.begin()
+        with pytest.raises(RuntimeError):
+            tx.begin()
+
+    def test_ops_require_active(self):
+        tx, _, heap = make_tx()
+        with pytest.raises(RuntimeError):
+            tx.store(heap.alloc(8), 8)
+
+
+class TestLoggedUpdateWorkload:
+    def test_style_validation(self):
+        with pytest.raises(ValueError):
+            LoggedUpdateWorkload(tx_style="wal")
+
+    def test_redo_fewer_fences_than_undo(self):
+        undo = LoggedUpdateWorkload(tx_style="undo").generate(20, 512, seed=1)
+        redo = LoggedUpdateWorkload(tx_style="redo").generate(20, 512, seed=1)
+        assert summarize(redo).fences < summarize(undo).fences
+
+    def test_both_styles_simulate(self):
+        from repro.config import SimConfig
+        from repro.harness.runner import run_trace
+
+        for style in ("undo", "redo"):
+            trace = LoggedUpdateWorkload(tx_style=style).generate(15, 512, seed=1)
+            result = run_trace(SimConfig(), trace, style, 15)
+            assert result.cycles > 0
+
+    def test_registered(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        assert "logged-update" in ALL_WORKLOADS

@@ -1,0 +1,137 @@
+"""Tests for the N-ary Merkle tree."""
+
+import pytest
+
+from repro.security.merkle import EMPTY_HASH, MerkleTree
+
+KEY = b"\x01" * 32
+
+
+@pytest.fixture
+def tree():
+    return MerkleTree(KEY, num_leaves=4096, arity=8)
+
+
+class TestStructure:
+    def test_height_covers_leaves(self, tree):
+        assert tree.arity ** tree.height >= tree.num_leaves
+
+    def test_height_of_small_tree(self):
+        assert MerkleTree(KEY, num_leaves=8, arity=8).height == 1
+        assert MerkleTree(KEY, num_leaves=9, arity=8).height == 2
+        assert MerkleTree(KEY, num_leaves=1).height == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MerkleTree(KEY, 0)
+        with pytest.raises(ValueError):
+            MerkleTree(KEY, 8, arity=1)
+
+    def test_path_ends_at_root(self, tree):
+        path = tree.path_nodes(4095)
+        assert path[0] == (0, 4095)
+        assert path[-1] == (tree.height, 0)
+
+    def test_empty_tree_root(self, tree):
+        assert tree.root == EMPTY_HASH
+
+
+class TestUpdateVerify:
+    def test_update_changes_root(self, tree):
+        before = tree.root
+        tree.update_leaf(5, b"leaf-five")
+        assert tree.root != before
+
+    def test_verify_accepts_current_leaf(self, tree):
+        tree.update_leaf(5, b"leaf-five")
+        assert tree.verify_leaf(5, b"leaf-five")
+
+    def test_verify_rejects_wrong_content(self, tree):
+        tree.update_leaf(5, b"leaf-five")
+        assert not tree.verify_leaf(5, b"leaf-5ive")
+
+    def test_verify_rejects_relocated_leaf(self, tree):
+        tree.update_leaf(5, b"content")
+        tree.update_leaf(9, b"other")
+        # Same bytes, different index: leaf hash binds the index.
+        assert not tree.verify_leaf(9, b"content")
+
+    def test_update_path_length(self, tree):
+        updated = tree.update_leaf(100, b"x")
+        assert len(updated) == tree.height + 1
+
+    def test_sibling_update_preserves_other_leaves(self, tree):
+        tree.update_leaf(8, b"first")
+        tree.update_leaf(9, b"second")  # same parent
+        assert tree.verify_leaf(8, b"first")
+        assert tree.verify_leaf(9, b"second")
+
+    def test_leaf_out_of_range(self, tree):
+        with pytest.raises(IndexError):
+            tree.update_leaf(4096, b"x")
+        with pytest.raises(IndexError):
+            tree.verify_leaf(-1, b"x")
+
+    def test_same_content_same_root(self):
+        a = MerkleTree(KEY, 64)
+        b = MerkleTree(KEY, 64)
+        for i in (1, 5, 33):
+            a.update_leaf(i, f"leaf{i}".encode())
+            b.update_leaf(i, f"leaf{i}".encode())
+        assert a.root == b.root
+
+    def test_update_order_does_not_matter(self):
+        a = MerkleTree(KEY, 64)
+        b = MerkleTree(KEY, 64)
+        a.update_leaf(1, b"one")
+        a.update_leaf(2, b"two")
+        b.update_leaf(2, b"two")
+        b.update_leaf(1, b"one")
+        assert a.root == b.root
+
+
+class TestTampering:
+    def test_tampered_internal_node_detected(self, tree):
+        tree.update_leaf(5, b"x")
+        tree.tamper_node(1, 0, b"\xde\xad\xbe\xef\xde\xad\xbe\xef")
+        assert not tree.verify_leaf(5, b"x")
+
+    def test_tampered_leaf_hash_detected(self, tree):
+        tree.update_leaf(5, b"x")
+        tree.tamper_node(0, 5, b"\x00" * 8)
+        assert not tree.verify_leaf(5, b"x")
+
+
+class TestRecomputeAndRebuild:
+    def test_recompute_node_fixes_stale_parent(self, tree):
+        tree.update_leaf(5, b"x")
+        tree.tamper_node(1, 0, b"\x11" * 8)
+        tree.recompute_node(1, 0)
+        assert tree.verify_leaf(5, b"x")
+
+    def test_recompute_level_bounds(self, tree):
+        with pytest.raises(ValueError):
+            tree.recompute_node(0, 0)
+        with pytest.raises(ValueError):
+            tree.recompute_node(tree.height + 1, 0)
+
+    def test_rebuild_matches_incremental_root(self, tree):
+        leaves = {i: f"leaf-{i}".encode() for i in (0, 7, 8, 100, 4095)}
+        for index, content in leaves.items():
+            tree.update_leaf(index, content)
+        incremental_root = tree.root
+        fresh = MerkleTree(KEY, 4096, arity=8)
+        rebuilt_root = fresh.rebuild_from_leaves(leaves)
+        assert rebuilt_root == incremental_root
+
+    def test_rebuild_discards_stale_state(self, tree):
+        tree.update_leaf(5, b"old")
+        tree.rebuild_from_leaves({6: b"new"})
+        assert tree.verify_leaf(6, b"new")
+        assert not tree.verify_leaf(5, b"old")
+
+    def test_export_nodes_snapshot(self, tree):
+        tree.update_leaf(5, b"x")
+        nodes = tree.export_nodes()
+        assert (0, 5) in nodes
+        assert (tree.height, 0) in nodes

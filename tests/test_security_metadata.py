@@ -1,0 +1,189 @@
+"""Tests for the metadata cache, data-MAC store, Anubis shadow and Osiris."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.crypto.prf import ctr_pad, xor_bytes
+from repro.security.anubis import (
+    KIND_COUNTER,
+    KIND_TREE_NODE,
+    ShadowTracker,
+)
+from repro.security.data_mac import DataMACStore
+from repro.security.metadata_cache import MetadataCache
+from repro.security.osiris import OsirisRecovery
+
+MAC_KEY = b"\x03" * 32
+ENC_KEY = b"\x04" * 32
+
+
+@pytest.fixture
+def meta_cache():
+    return MetadataCache(CacheConfig("m", 8 * 64, 2, 2), "m")
+
+
+class TestMetadataCache:
+    def test_miss_then_hit(self, meta_cache):
+        assert not meta_cache.access(5, False)
+        assert meta_cache.access(5, False)
+        assert meta_cache.misses == 1
+        assert meta_cache.accesses == 2
+
+    def test_dirty_eviction_callback(self, meta_cache):
+        evicted = []
+        meta_cache.on_dirty_eviction = evicted.append
+        # 4 sets x 2 ways; keys colliding in one set: stride = num_sets.
+        sets = 4
+        meta_cache.access(0, True)
+        meta_cache.access(sets, True)
+        meta_cache.access(2 * sets, True)  # evicts key 0 dirty
+        assert evicted == [0]
+
+    def test_dirty_keys(self, meta_cache):
+        meta_cache.access(1, True)
+        meta_cache.access(2, False)
+        assert meta_cache.dirty_keys() == [1]
+
+    def test_flush_all(self, meta_cache):
+        flushed = []
+        meta_cache.on_dirty_eviction = flushed.append
+        meta_cache.access(1, True)
+        meta_cache.access(2, True)
+        assert meta_cache.flush_all() == [1, 2]
+        assert flushed == [1, 2]
+        assert meta_cache.dirty_keys() == []
+
+    def test_hit_rate(self, meta_cache):
+        meta_cache.access(1, False)
+        meta_cache.access(1, False)
+        assert meta_cache.hit_rate == 0.5
+        assert MetadataCache(CacheConfig("e", 64, 1, 1)).hit_rate == 0.0
+
+
+class TestDataMACStore:
+    def test_store_verify_roundtrip(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        data = line_factory("v")
+        store.store(0x1000, 7, data)
+        assert store.verify(0x1000, 7, data)
+
+    def test_wrong_counter_fails(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        data = line_factory("v")
+        store.store(0x1000, 7, data)
+        assert not store.verify(0x1000, 8, data)
+
+    def test_wrong_address_fails(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        data = line_factory("v")
+        store.store(0x1000, 7, data)
+        assert not store.verify(0x2000, 7, data)
+
+    def test_missing_mac_fails(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        assert not store.verify(0x1000, 0, line_factory("v"))
+        assert store.verify_failures == 1
+
+    def test_tampered_mac_fails(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        data = line_factory("v")
+        store.store(0x1000, 7, data)
+        store.tamper(0x1000, b"\x00" * 8)
+        assert not store.verify(0x1000, 7, data)
+
+    def test_unaligned_address_normalized(self, nvm, line_factory):
+        store = DataMACStore(nvm, MAC_KEY)
+        data = line_factory("v")
+        store.store(0x1010, 7, data)
+        assert store.load(0x1000) is not None
+
+
+class TestShadowTracker:
+    def test_record_and_iterate(self, nvm):
+        shadow = ShadowTracker(nvm)
+        shadow.record(KIND_COUNTER, 5, b"five")
+        shadow.record(KIND_TREE_NODE, ShadowTracker.tree_key(2, 9), b"node")
+        entries = list(shadow.entries())
+        assert (KIND_COUNTER, 5, b"five") in entries
+        assert shadow.entry_count() == 2
+
+    def test_record_overwrites(self, nvm):
+        shadow = ShadowTracker(nvm)
+        shadow.record(KIND_COUNTER, 5, b"old")
+        shadow.record(KIND_COUNTER, 5, b"new")
+        assert shadow.entry_count() == 1
+        assert list(shadow.entries())[0][2] == b"new"
+
+    def test_kinds_do_not_collide(self, nvm):
+        shadow = ShadowTracker(nvm)
+        shadow.record(KIND_COUNTER, 5, b"c")
+        shadow.record(KIND_TREE_NODE, 5, b"t")
+        assert shadow.entry_count() == 2
+
+    def test_forget(self, nvm):
+        shadow = ShadowTracker(nvm)
+        shadow.record(KIND_COUNTER, 5, b"x")
+        shadow.forget(KIND_COUNTER, 5)
+        assert shadow.entry_count() == 0
+        shadow.forget(KIND_COUNTER, 5)  # idempotent
+
+    def test_tree_key_roundtrip(self):
+        key = ShadowTracker.tree_key(7, 123456)
+        assert ShadowTracker.split_tree_key(key) == (7, 123456)
+
+    def test_clear(self, nvm):
+        shadow = ShadowTracker(nvm)
+        shadow.record(KIND_COUNTER, 1, b"x")
+        shadow.clear()
+        assert shadow.entry_count() == 0
+
+
+class TestOsiris:
+    def _encrypt(self, address, counter, plaintext):
+        return xor_bytes(plaintext, ctr_pad(ENC_KEY, address, counter, 64))
+
+    def test_recover_exact_counter(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY, stride=4)
+        data = line_factory("d")
+        osiris.store_ecc(0x1000, data)
+        ciphertext = self._encrypt(0x1000, 10, data)
+        assert osiris.recover_counter(0x1000, ciphertext, 10) == 10
+
+    def test_recover_stale_counter_within_stride(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY, stride=4)
+        data = line_factory("d")
+        osiris.store_ecc(0x1000, data)
+        ciphertext = self._encrypt(0x1000, 13, data)
+        # NVM's stale counter says 10; true counter 13 is within stride.
+        assert osiris.recover_counter(0x1000, ciphertext, 10) == 13
+
+    def test_beyond_stride_unrecoverable(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY, stride=4)
+        data = line_factory("d")
+        osiris.store_ecc(0x1000, data)
+        ciphertext = self._encrypt(0x1000, 20, data)
+        assert osiris.recover_counter(0x1000, ciphertext, 10) is None
+
+    def test_missing_ecc_unrecoverable(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY)
+        ciphertext = self._encrypt(0x1000, 1, line_factory("d"))
+        assert osiris.recover_counter(0x1000, ciphertext, 0) is None
+
+    def test_tampered_ciphertext_unrecoverable(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY)
+        data = line_factory("d")
+        osiris.store_ecc(0x1000, data)
+        assert osiris.recover_counter(0x1000, b"\xff" * 64, 0) is None
+
+    def test_stride_validation(self, nvm):
+        with pytest.raises(ValueError):
+            OsirisRecovery(nvm, ENC_KEY, MAC_KEY, stride=0)
+
+    def test_probe_accounting(self, nvm, line_factory):
+        osiris = OsirisRecovery(nvm, ENC_KEY, MAC_KEY, stride=4)
+        data = line_factory("d")
+        osiris.store_ecc(0x1000, data)
+        ciphertext = self._encrypt(0x1000, 12, data)
+        osiris.recover_counter(0x1000, ciphertext, 10)
+        assert osiris.probe_count == 3  # probed 10, 11, 12
+        assert osiris.recoveries == 1

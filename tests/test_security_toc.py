@@ -1,0 +1,89 @@
+"""Tests for the SGX-style Tree of Counters."""
+
+import pytest
+
+from repro.security.toc import TreeOfCounters
+
+KEY = b"\x02" * 32
+
+
+@pytest.fixture
+def toc():
+    return TreeOfCounters(KEY, num_leaves=512, arity=8)
+
+
+class TestVersions:
+    def test_initial_version_zero(self, toc):
+        assert toc.leaf_version(0) == 0
+
+    def test_bump_increments_leaf_version(self, toc):
+        toc.bump_leaf(5)
+        assert toc.leaf_version(5) == 1
+        toc.bump_leaf(5)
+        assert toc.leaf_version(5) == 2
+
+    def test_bump_advances_root_counter(self, toc):
+        toc.bump_leaf(1)
+        toc.bump_leaf(2)
+        assert toc.root_counter == 2
+
+    def test_bump_touches_whole_path(self, toc):
+        touched = toc.bump_leaf(100)
+        assert len(touched) == toc.height
+
+    def test_other_leaves_unchanged(self, toc):
+        toc.bump_leaf(5)
+        assert toc.leaf_version(6) == 0
+
+    def test_leaf_bounds(self, toc):
+        with pytest.raises(IndexError):
+            toc.bump_leaf(512)
+
+
+class TestVerification:
+    def test_fresh_bumped_path_verifies(self, toc):
+        toc.bump_leaf(5)
+        assert toc.verify_leaf_path(5)
+
+    def test_sibling_paths_stay_consistent(self, toc):
+        toc.bump_leaf(8)
+        toc.bump_leaf(9)
+        assert toc.verify_leaf_path(8)
+        assert toc.verify_leaf_path(9)
+
+    def test_counter_tamper_detected(self, toc):
+        toc.bump_leaf(5)
+        toc.tamper_counter(1, 5 // 8, 5 % 8, 99)
+        assert not toc.verify_leaf_path(5)
+
+    def test_mac_tamper_detected(self, toc):
+        toc.bump_leaf(5)
+        toc.tamper_mac(1, 5 // 8, b"\x00" * 8)
+        assert not toc.verify_leaf_path(5)
+
+    def test_rollback_detected_via_parent_counter(self, toc):
+        """Rolling node-and-MAC back to an old consistent pair must fail
+        because the parent's counter has moved on."""
+        toc.bump_leaf(5)
+        node = toc._node(1, 0)
+        old_counters = list(node.counters)
+        old_mac = node.mac
+        toc.bump_leaf(5)  # moves parents forward
+        node.counters = old_counters
+        node.mac = old_mac
+        assert not toc.verify_leaf_path(5)
+
+    def test_root_counter_rollback_detected(self, toc):
+        toc.bump_leaf(5)
+        toc.root_counter -= 1
+        assert not toc.verify_leaf_path(5)
+
+
+class TestValidation:
+    def test_num_leaves_validation(self):
+        with pytest.raises(ValueError):
+            TreeOfCounters(KEY, 0)
+
+    def test_node_update_count(self, toc):
+        toc.bump_leaf(0)
+        assert toc.node_updates == toc.height

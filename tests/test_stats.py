@@ -1,0 +1,96 @@
+"""Tests for the statistics registry."""
+
+import pytest
+
+from repro.stats import Histogram, StatsRegistry
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        stats = StatsRegistry()
+        stats.add("a")
+        stats.add("a", 4)
+        assert stats.get("a") == 5
+
+    def test_missing_default(self):
+        assert StatsRegistry().get("nope") == 0
+        assert StatsRegistry().get("nope", 7) == 7
+
+    def test_set_overwrites(self):
+        stats = StatsRegistry()
+        stats.add("a", 3)
+        stats.set("a", 1)
+        assert stats.get("a") == 1
+
+    def test_ratio(self):
+        stats = StatsRegistry()
+        stats.add("hits", 3)
+        stats.add("total", 4)
+        assert stats.ratio("hits", "total") == 0.75
+        assert stats.ratio("hits", "zero") == 0.0
+
+    def test_as_dict(self):
+        stats = StatsRegistry()
+        stats.add("x", 2)
+        assert stats.as_dict() == {"x": 2}
+
+
+class TestHistogram:
+    def test_record_and_mean(self):
+        hist = Histogram()
+        for value in (1, 2, 3):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == 2.0
+        assert hist.min_value == 1
+        assert hist.max_value == 3
+
+    def test_weighted_record(self):
+        hist = Histogram()
+        hist.record(10, weight=5)
+        assert hist.count == 5
+        assert hist.mean == 10.0
+
+    def test_percentile(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.record(value)
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(1.0) == 100
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0
+
+
+class TestScopes:
+    def test_scope_prefixes(self):
+        stats = StatsRegistry()
+        scope = stats.scope("wpq")
+        scope.add("retries", 2)
+        assert stats.get("wpq.retries") == 2
+        assert scope.get("retries") == 2
+
+    def test_nested_scope(self):
+        stats = StatsRegistry()
+        inner = stats.scope("a").scope("b")
+        inner.add("c")
+        assert stats.get("a.b.c") == 1
+
+    def test_scope_histogram(self):
+        stats = StatsRegistry()
+        stats.scope("core").record("tx", 5)
+        assert stats.histogram("core.tx").count == 1
+
+    def test_dump_renders_everything(self):
+        stats = StatsRegistry()
+        stats.add("counter", 1)
+        stats.record("hist", 2)
+        text = stats.dump()
+        assert "counter" in text
+        assert "hist" in text

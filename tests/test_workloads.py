@@ -1,0 +1,171 @@
+"""Tests for the WHISPER-style workload generators."""
+
+import pytest
+
+from repro.cpu.trace import OP_CLWB, OP_FENCE, summarize
+from repro.workloads import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    WHISPER_WORKLOADS,
+    generate_trace,
+    get_workload,
+)
+from repro.workloads.synthetic import ReadHeavyWorkload, SyntheticWorkload
+
+SMALL = 30  # transactions per test run (keep the suite fast)
+
+
+class TestRegistry:
+    def test_whisper_set_matches_paper(self):
+        assert list(WHISPER_WORKLOADS) == [
+            "hashmap", "ctree", "btree", "rbtree", "nstore-ycsb", "redis",
+        ]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_get_returns_fresh_instances(self):
+        assert get_workload("hashmap") is not get_workload("hashmap")
+
+
+@pytest.mark.parametrize("name", list(WHISPER_WORKLOADS) + list(EXTRA_WORKLOADS))
+class TestEveryWorkload:
+    def test_generates_nonempty_trace(self, name):
+        trace = generate_trace(name, SMALL, 1024, seed=1)
+        assert len(trace) > 0
+
+    def test_transaction_markers_match(self, name):
+        summary = summarize(generate_trace(name, SMALL, 1024, seed=1))
+        assert summary.transactions == SMALL
+
+    def test_has_persist_operations(self, name):
+        summary = summarize(generate_trace(name, SMALL, 1024, seed=1))
+        assert summary.clwbs > 0
+        assert summary.fences > 0
+
+    def test_deterministic_per_seed(self, name):
+        a = generate_trace(name, SMALL, 1024, seed=5)
+        b = generate_trace(name, SMALL, 1024, seed=5)
+        assert a == b
+
+    def test_seed_changes_trace(self, name):
+        a = generate_trace(name, SMALL, 1024, seed=1)
+        b = generate_trace(name, SMALL, 1024, seed=2)
+        assert a != b
+
+    def test_payload_scales_flushes(self, name):
+        small = summarize(generate_trace(name, SMALL, 128, seed=1))
+        large = summarize(generate_trace(name, SMALL, 2048, seed=1))
+        assert large.clwbs > small.clwbs
+
+    def test_addresses_are_line_aligned(self, name):
+        for op in generate_trace(name, SMALL, 256, seed=1):
+            if op[0] == OP_CLWB:
+                assert op[1] % 64 == 0
+
+
+class TestValidation:
+    def test_transactions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            generate_trace("hashmap", 0)
+
+    def test_payload_minimum(self):
+        with pytest.raises(ValueError):
+            generate_trace("hashmap", 1, payload_bytes=4)
+
+
+class TestWorkloadShapes:
+    def test_nstore_spreads_persists(self):
+        """NStore-YCSB's per-fence bursts must be far smaller than the
+        tree workloads' (the Table 2 signature)."""
+
+        def max_burst(name):
+            burst = longest = 0
+            for op in generate_trace(name, SMALL, 1024, seed=1):
+                if op[0] == OP_CLWB:
+                    burst += 1
+                elif op[0] == OP_FENCE:
+                    longest = max(longest, burst)
+                    burst = 0
+            return longest
+
+        assert max_burst("nstore-ycsb") < max_burst("hashmap")
+
+    def test_redis_is_append_heavy(self):
+        summary = summarize(generate_trace("redis", SMALL, 1024, seed=1))
+        # AOF appends + value writes: many stores per transaction.
+        assert summary.stores / summary.transactions > 10
+
+
+class TestSyntheticWorkloads:
+    def test_exact_flush_count(self):
+        workload = SyntheticWorkload(lines_per_tx=4, fences_per_tx=2)
+        trace = workload.generate(10, 64, seed=0)
+        summary = summarize(trace)
+        assert summary.clwbs == 40
+        assert summary.fences == 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(lines_per_tx=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkload(fences_per_tx=0)
+
+    def test_read_heavy_mostly_loads(self):
+        workload = ReadHeavyWorkload(loads_per_tx=32)
+        summary = summarize(workload.generate(10, 64, seed=0))
+        assert summary.loads >= 10 * 32
+        assert summary.clwbs == 10
+
+    def test_registry_includes_synthetics(self):
+        assert "synthetic" in ALL_WORKLOADS
+        assert "read-heavy" in ALL_WORKLOADS
+
+    def test_registry_includes_extras(self):
+        assert set(EXTRA_WORKLOADS) == {"memcached", "echo"}
+        for name in EXTRA_WORKLOADS:
+            assert name in ALL_WORKLOADS
+
+
+class TestMemcachedSemantics:
+    def test_eviction_bounds_population(self):
+        from repro.workloads.memcached import SLAB_ITEMS, MemcachedWorkload
+
+        workload = MemcachedWorkload()
+        workload.generate(400, 256, seed=2)
+        assert workload.item_count <= SLAB_ITEMS
+
+    def test_lru_head_is_most_recent(self):
+        from repro.workloads.memcached import MemcachedWorkload
+
+        workload = MemcachedWorkload()
+        workload.generate(100, 128, seed=2)
+        # Walk the LRU list: consistent forward/backward links.
+        node = workload.lru_head
+        seen = 0
+        prev = None
+        while node is not None:
+            assert node.lru_prev is prev
+            prev, node = node, node.lru_next
+            seen += 1
+        assert seen == workload.item_count
+
+
+class TestEchoSemantics:
+    def test_version_chains_are_ordered(self):
+        from repro.workloads.echo import EchoWorkload
+
+        workload = EchoWorkload()
+        workload.generate(200, 512, seed=2)
+        for key, version in workload.latest.items():
+            while version.prev is not None:
+                assert version.timestamp > version.prev.timestamp
+                version = version.prev
+
+    def test_timestamp_monotonic(self):
+        from repro.workloads.echo import EchoWorkload
+
+        workload = EchoWorkload()
+        workload.generate(50, 512, seed=2)
+        assert workload.timestamp > 0

@@ -1,0 +1,119 @@
+"""Tests for the ADR drain path and energy accounting."""
+
+import pytest
+
+from repro.config import ADRConfig, MiSUDesign, SimConfig
+from repro.core.misu import make_misu
+from repro.core.registers import PersistentRegisters
+from repro.core.requests import WriteKind, WriteRequest
+from repro.crypto.keys import KeyStore
+from repro.wpq.adr import ADRBudgetError, ADRDrain
+from repro.wpq.queue import WritePendingQueue
+
+
+def build(design, line_factory, entries=3):
+    """A WPQ with ``entries`` protected entries under ``design``."""
+    config = SimConfig().with_(misu_design=design)
+    keys = KeyStore(7)
+    registers = PersistentRegisters()
+    wpq = WritePendingQueue(config.wpq_entries)
+    misu = make_misu(config, keys, registers, wpq)
+    for i in range(entries):
+        data = line_factory(f"entry{i}")
+        entry = wpq.try_allocate(
+            WriteRequest(0x1000 + i * 64, WriteKind.PERSIST, data=data)
+        )
+        misu.protect(entry)
+        entry.protected = True
+    return config, keys, registers, wpq, misu
+
+
+class TestEnergyAccounting:
+    def test_full_design_costs_entries_only(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.FULL_WPQ, line_factory, 4)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.FULL_WPQ)
+        assert drain.energy_needed(wpq, 0) == 4
+
+    def test_partial_design_adds_mac_flushes(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 8)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.PARTIAL_WPQ)
+        assert drain.energy_needed(wpq, 0) == 8 + 1
+
+    def test_post_design_adds_deferred_cost(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.POST_WPQ, line_factory, 4)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.POST_WPQ)
+        base = drain.energy_needed(wpq, 0)
+        assert drain.energy_needed(wpq, 1) == base + config.adr.deferred_mac_entry_cost
+
+    def test_full_queue_fits_budget(self, nvm, line_factory):
+        """The design-sized queues must always be drainable — the core
+        invariant behind the 16/13/10 sizing."""
+        for design in MiSUDesign:
+            config, _, _, wpq, misu = build(
+                design, line_factory, entries=config_entries(design)
+            )
+            drain = ADRDrain(nvm, config.adr, design)
+            pending = 1 if design is MiSUDesign.POST_WPQ else 0
+            assert drain.energy_needed(wpq, pending) <= config.adr.budget_entries
+
+    def test_overflow_raises(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 13)
+        tiny = ADRConfig(budget_entries=4)
+        drain = ADRDrain(nvm, tiny, MiSUDesign.PARTIAL_WPQ)
+        with pytest.raises(ADRBudgetError):
+            drain.drain(wpq)
+
+
+def config_entries(design):
+    return SimConfig().with_(misu_design=design).wpq_entries
+
+
+class TestDrainAndReadBack:
+    def test_drain_writes_image(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 3)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.PARTIAL_WPQ)
+        records = drain.drain(wpq)
+        assert len(records) == 3
+        assert all(r.mac is not None for r in records)
+
+    def test_full_design_has_no_mac_records(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.FULL_WPQ, line_factory, 3)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.FULL_WPQ)
+        drain.drain(wpq)
+        read = drain.read_image()
+        assert all(r.mac is None for r in read)
+
+    def test_read_image_roundtrip(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 3)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.PARTIAL_WPQ)
+        records = drain.drain(wpq)
+        read = drain.read_image()
+        assert len(read) == len(records)
+        by_slot = {r.slot: r for r in records}
+        for record in read:
+            original = by_slot[record.slot]
+            assert record.ciphertext == original.ciphertext
+            assert record.pad_counter == original.pad_counter
+            assert record.cleared == original.cleared
+            assert record.mac == original.mac
+
+    def test_read_image_empty_without_drain(self, nvm):
+        drain = ADRDrain(nvm, ADRConfig(), MiSUDesign.PARTIAL_WPQ)
+        assert drain.read_image() == []
+
+    def test_clear_image(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 2)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.PARTIAL_WPQ)
+        drain.drain(wpq)
+        drain.clear_image()
+        assert drain.read_image() == []
+
+    def test_cleared_entries_flagged(self, nvm, line_factory):
+        config, _, _, wpq, _ = build(MiSUDesign.PARTIAL_WPQ, line_factory, 2)
+        entry = wpq.oldest_pending()
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        drain = ADRDrain(nvm, config.adr, MiSUDesign.PARTIAL_WPQ)
+        records = drain.drain(wpq)
+        flags = {r.slot: r.cleared for r in records}
+        assert flags[entry.index] is True

@@ -1,0 +1,167 @@
+"""Tests for the Write Pending Queue."""
+
+import pytest
+
+from repro.core.requests import WriteKind, WriteRequest
+from repro.wpq.queue import WritePendingQueue
+
+
+def persist(address, data=None):
+    return WriteRequest(address, WriteKind.PERSIST, data=data)
+
+
+@pytest.fixture
+def wpq():
+    return WritePendingQueue(4)
+
+
+class TestAllocation:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WritePendingQueue(0)
+
+    def test_allocate_until_full(self, wpq):
+        for i in range(4):
+            assert wpq.try_allocate(persist(i * 64)) is not None
+        assert wpq.is_full
+        assert wpq.try_allocate(persist(0x999940)) is None
+
+    def test_fifo_slot_order(self, wpq):
+        entries = [wpq.try_allocate(persist(i * 64)) for i in range(3)]
+        assert [e.index for e in entries] == [0, 1, 2]
+
+    def test_allocation_preserves_old_content(self, wpq):
+        """A reused slot keeps the previous architectural content until
+        Mi-SU protection overwrites it (Full-WPQ tree consistency)."""
+        entries = [wpq.try_allocate(persist(i * 64)) for i in range(4)]
+        first = entries[0]
+        first.ciphertext = b"\xaa" * 72
+        first.mac = b"\xbb" * 8
+        first.protected = True
+        first.cleared = False
+        wpq.begin_fetch(first)
+        wpq.mark_cleared(first)
+        # The circular allocator wraps back to slot 0 (the only free one).
+        reused = wpq.try_allocate(persist(0x40))
+        assert reused.index == first.index
+        assert reused.ciphertext == b"\xaa" * 72
+        assert reused.cleared  # old content remains processed
+        assert not reused.protected
+
+    def test_occupancy_and_high_water(self, wpq):
+        wpq.try_allocate(persist(0))
+        wpq.try_allocate(persist(64))
+        assert wpq.occupancy == 2
+        assert wpq.high_water == 2
+
+
+class TestTagArray:
+    def test_lookup_hit(self, wpq):
+        wpq.try_allocate(persist(0x1000))
+        assert wpq.lookup(0x1000) is not None
+
+    def test_lookup_unaligned(self, wpq):
+        wpq.try_allocate(persist(0x1000))
+        assert wpq.lookup(0x1008) is not None
+
+    def test_lookup_miss(self, wpq):
+        assert wpq.lookup(0x1000) is None
+
+    def test_cleared_entry_not_visible(self, wpq):
+        entry = wpq.try_allocate(persist(0x1000))
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        assert wpq.lookup(0x1000) is None
+
+
+class TestCoalescing:
+    def test_coalesce_same_address(self, wpq):
+        first = wpq.try_allocate(persist(0x1000))
+        merged = wpq.try_coalesce(persist(0x1000))
+        assert merged is first
+        assert wpq.coalesced == 1
+
+    def test_coalesce_requires_same_address(self, wpq):
+        wpq.try_allocate(persist(0x1000))
+        assert wpq.try_coalesce(persist(0x2000)) is None
+
+    def test_no_coalesce_into_in_flight(self, wpq):
+        entry = wpq.try_allocate(persist(0x1000))
+        wpq.begin_fetch(entry)
+        assert wpq.try_coalesce(persist(0x1000)) is None
+
+    def test_coalesce_clears_protection(self, wpq):
+        entry = wpq.try_allocate(persist(0x1000))
+        entry.protected = True
+        wpq.try_coalesce(persist(0x1000))
+        assert not entry.protected
+
+
+class TestDrainOrder:
+    def test_oldest_pending_is_fifo(self, wpq):
+        wpq.try_allocate(persist(0x0))
+        wpq.try_allocate(persist(0x40))
+        entry = wpq.oldest_pending()
+        assert entry.index == 0
+        wpq.begin_fetch(entry)
+        assert wpq.oldest_pending().index == 1
+
+    def test_oldest_pending_empty(self, wpq):
+        assert wpq.oldest_pending() is None
+
+    def test_mark_cleared_frees_slot(self, wpq):
+        for i in range(4):
+            wpq.try_allocate(persist(i * 64))
+        entry = wpq.oldest_pending()
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        assert not wpq.is_full
+        assert wpq.try_allocate(persist(0x5000)) is not None
+
+    def test_wraparound(self, wpq):
+        # Fill, drain, refill repeatedly; indices must wrap cleanly.
+        for round_number in range(3):
+            for i in range(4):
+                assert wpq.try_allocate(persist((round_number * 4 + i) * 64))
+            for _ in range(4):
+                entry = wpq.oldest_pending()
+                wpq.begin_fetch(entry)
+                wpq.mark_cleared(entry)
+        assert wpq.is_empty
+
+
+class TestDrainableEntries:
+    def test_unprotected_entries_not_drainable(self, wpq):
+        wpq.try_allocate(persist(0x0))
+        assert list(wpq.drainable_entries()) == []
+
+    def test_protected_entries_drainable(self, wpq):
+        entry = wpq.try_allocate(persist(0x0))
+        entry.ciphertext = b"\x01" * 72
+        entry.protected = True
+        entry.cleared = False
+        assert len(list(wpq.drainable_entries())) == 1
+
+    def test_cleared_content_still_drainable(self, wpq):
+        entry = wpq.try_allocate(persist(0x0))
+        entry.ciphertext = b"\x01" * 72
+        entry.protected = True
+        entry.cleared = False
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        assert len(list(wpq.drainable_entries())) == 1
+
+    def test_reset(self, wpq):
+        entry = wpq.try_allocate(persist(0x0))
+        entry.ciphertext = b"\x01" * 72
+        wpq.reset()
+        assert wpq.is_empty
+        assert list(wpq.drainable_entries()) == []
+        assert wpq.lookup(0x0) is None
+
+
+class TestRetryAccounting:
+    def test_record_retry(self, wpq):
+        wpq.record_retry()
+        wpq.record_retry()
+        assert wpq.retry_events == 2
