@@ -1,8 +1,10 @@
 # Convenience targets for the Dolos reproduction.
 
 PYTHON ?= python
+# Worker processes for experiment run units (0 = all cores).
+JOBS ?= 0
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-perf experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,9 +15,13 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Kernel/run-unit perf trajectory: writes BENCH_kernel.json at the root.
+bench-perf:
+	$(PYTHON) benchmarks/test_perf_kernel.py
+
 # Regenerate every paper table/figure (plus CSV/JSON under results/).
 experiments:
-	$(PYTHON) -m repro.harness all --export results
+	$(PYTHON) -m repro.harness all --jobs $(JOBS) --export results
 
 examples:
 	@for script in examples/*.py; do \

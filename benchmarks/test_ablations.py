@@ -18,13 +18,17 @@ from repro.config import (
 )
 from repro.harness.runner import run_trace, speedup
 from repro.harness.tables import render_table
-from repro.workloads import generate_trace
+from repro.harness.trace_store import TraceCache
 
 WORKLOAD = "hashmap"
 
+#: Shared two-level cache: ablation sweeps replay one trace per
+#: (transactions, seed) across many configs, warm across invocations.
+_TRACES = TraceCache()
+
 
 def _trace(transactions, seed):
-    return generate_trace(WORKLOAD, transactions, 1024, seed)
+    return _TRACES.get(WORKLOAD, transactions, 1024, seed)
 
 
 def test_misu_mac_latency_sweep(benchmark, bench_transactions, bench_seed):
@@ -85,7 +89,7 @@ def test_adr_deferred_cost_sweep(benchmark, bench_transactions, bench_seed):
 
 def test_write_coalescing_ablation(benchmark, bench_transactions, bench_seed):
     """Section 4.5's volatile tag array: coalescing must never hurt."""
-    trace = generate_trace("redis", bench_transactions, 512, bench_seed)
+    trace = _TRACES.get("redis", bench_transactions, 512, bench_seed)
 
     def compare():
         on = run_trace(eager_config(), trace, "redis", bench_transactions)

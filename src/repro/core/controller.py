@@ -188,7 +188,7 @@ class MemoryController:
                 self.stats.add("wpq.drained")
                 self.slot_freed.fire(entry)
 
-            self.sim.schedule(accepted - self.sim.now, complete, label="drain.done")
+            self.sim.call_after(accepted - self.sim.now, complete)
             # The next command can issue once this one is accepted (the
             # command bus is serial) or after the issue interval.
             yield Delay(
@@ -380,10 +380,9 @@ class DolosController(MemoryController):
                 entry.mac_pending = True
                 entry.protected = True  # committed; ADR covers the MAC
                 deferred_done = misu.start_deferred(self.sim.now)
-                self.sim.schedule(
+                self.sim.call_after(
                     deferred_done - self.sim.now,
                     lambda e=entry: self._finish_deferred(e),
-                    label="misu.deferred",
                 )
                 finish = self.sim.now
             else:
@@ -470,7 +469,7 @@ class DolosController(MemoryController):
                 self.stats.add("masu.writes")
                 self.slot_freed.fire(entry)
 
-            self.sim.schedule(finish - self.sim.now, complete, label="masu.done")
+            self.sim.call_after(finish - self.sim.now, complete)
             # Next issue no earlier than the lane's next free slot.
             yield Delay(max(1, self._masu_lane.next_free(self.sim.now) - self.sim.now))
 

@@ -169,7 +169,7 @@ class TraceCore:
             assert done is not None
             done.subscribe(lambda _value: self._persist_complete())
 
-        self.sim.schedule(traversal, submit, label="clwb.submit")
+        self.sim.call_after(traversal, submit)
 
     def _persist_complete(self) -> None:
         self._outstanding_persists -= 1

@@ -49,12 +49,19 @@ def save_trace(
     path: Union[str, Path],
     trace: List[Tuple],
     metadata: Optional[Dict] = None,
+    compress: bool = True,
 ) -> Path:
-    """Write a trace (and provenance metadata) to ``path`` (.npz)."""
+    """Write a trace (and provenance metadata) to ``path`` (.npz).
+
+    ``compress=False`` trades disk space for save/load speed — the
+    persistent trace cache uses it because cache hits sit on the warm
+    path of every experiment run.
+    """
     path = Path(path)
     codes, operands = trace_to_arrays(trace)
     header = {"version": FORMAT_VERSION, **(metadata or {})}
-    np.savez_compressed(
+    savez = np.savez_compressed if compress else np.savez
+    savez(
         path,
         codes=codes,
         operands=operands,

@@ -3,12 +3,20 @@
 An :class:`Event` is a callback scheduled at an absolute cycle.  Events
 with equal timestamps fire in scheduling order (FIFO), which keeps the
 simulation deterministic regardless of heap internals.
+
+Internally the queue stores plain tuples, not :class:`Event` objects:
+``(time, seq, callback)`` for the lightweight fast path and
+``(time, seq, callback, event)`` for cancellable events.  Tuple
+comparison resolves entirely on ``(time, seq)`` (sequence numbers are
+unique), so every heap operation runs on C-level comparisons instead of
+dispatching ``Event.__lt__`` — the dominant cost of the old
+object-per-entry design in the simulator's hot loop.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class Event:
@@ -52,10 +60,12 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of scheduled callbacks."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple] = []
         self._seq = 0
 
     def __len__(self) -> int:
@@ -67,19 +77,51 @@ class EventQueue:
         callback: Callable[[], Any],
         label: Optional[str] = None,
     ) -> Event:
-        """Schedule ``callback`` at absolute cycle ``time``."""
+        """Schedule ``callback`` at absolute cycle ``time`` (cancellable)."""
         event = Event(time, self._seq, callback, label)
+        heapq.heappush(self._heap, (time, self._seq, callback, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
         return event
 
+    def push_fast(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule a non-cancellable callback at absolute cycle ``time``.
+
+        Skips the :class:`Event` wrapper entirely; use for the hot-loop
+        callbacks that never need a ``cancel()`` handle.
+        """
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
     def pop(self) -> Event:
-        """Remove and return the earliest pending event.
+        """Remove and return the earliest event (cancelled or not).
+
+        Lightweight entries are wrapped in a fresh :class:`Event` so
+        callers see a uniform interface.
 
         Raises:
             IndexError: if the queue is empty.
         """
-        return heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        if len(entry) == 4:
+            return entry[3]
+        return Event(entry[0], entry[1], entry[2])
+
+    def pop_live(self) -> Optional[Tuple]:
+        """Pop the earliest *live* entry, discarding cancelled ones.
+
+        Returns the raw heap entry ``(time, seq, callback[, event])`` or
+        ``None`` when the queue is empty.  This is the kernel's hot-path
+        accessor: one traversal per fired event instead of the old
+        ``peek_time()`` + ``pop()`` pair.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            if len(entry) == 4 and entry[3].cancelled:
+                continue
+            return entry
+        return None
 
     def peek_time(self) -> Optional[int]:
         """Return the timestamp of the earliest live event, or ``None``.
@@ -87,11 +129,14 @@ class EventQueue:
         Cancelled events at the head of the heap are discarded as a side
         effect, so the returned time always belongs to a live event.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 4 and entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
+        return None
 
     def clear(self) -> None:
         self._heap.clear()

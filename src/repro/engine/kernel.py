@@ -7,6 +7,7 @@ schedule their work through a shared ``Simulator`` instance.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.engine.events import Event, EventQueue
@@ -74,6 +75,29 @@ class Simulator:
             )
         return self._queue.push(int(time), callback, label)
 
+    def call_after(self, delay: int, callback: Callable[[], Any]) -> None:
+        """Schedule a *non-cancellable* callback ``delay`` cycles from now.
+
+        The lightweight sibling of :meth:`schedule`: no :class:`Event`
+        object is allocated and no handle is returned, which makes it
+        markedly cheaper for the completion callbacks that dominate the
+        hot loop (WPQ drains, Ma-SU completions, process steps).
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._queue.push_fast(self.now + int(delay), callback)
+
+    def call_at(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule a non-cancellable callback at absolute ``time >= now``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, already at {self.now}"
+            )
+        self._queue.push_fast(int(time), callback)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -87,41 +111,67 @@ class Simulator:
         """
         self._running = True
         self._stop_requested = False
-        fired = 0
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                event = self._queue.pop()
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                event.callback()
-                fired += 1
-                self.events_fired += 1
-                if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (runaway simulation?)"
-                    )
+            if until is None and max_events is None:
+                self._run_fast()
+            else:
+                self._run_general(until, max_events)
         finally:
             self._running = False
 
+    def _run_fast(self) -> None:
+        """Unbounded drain: one heap traversal per fired event.
+
+        Locally binds the heap and ``heappop`` and skips the bound
+        checks, which roughly halves per-event kernel overhead versus
+        the old ``peek_time()`` + ``pop()`` pair.
+        """
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        while heap:
+            if self._stop_requested:
+                break
+            entry = heappop(heap)
+            if len(entry) == 4 and entry[3].cancelled:
+                continue
+            self.now = entry[0]
+            entry[2]()
+            self.events_fired += 1
+
+    def _run_general(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> None:
+        """Bounded drain honouring ``until`` / ``max_events``."""
+        queue = self._queue
+        fired = 0
+        while True:
+            if self._stop_requested:
+                break
+            next_time = queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            entry = queue.pop_live()
+            if entry is None:
+                break
+            self.now = entry[0]
+            entry[2]()
+            fired += 1
+            self.events_fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (runaway simulation?)"
+                )
+
     def step(self) -> bool:
-        """Fire the single earliest event.  Returns ``False`` when idle."""
-        next_time = self._queue.peek_time()
-        if next_time is None:
+        """Fire the single earliest live event.  Returns ``False`` when idle."""
+        entry = self._queue.pop_live()
+        if entry is None:
             return False
-        event = self._queue.pop()
-        if event.cancelled:
-            return self.step()
-        self.now = event.time
-        event.callback()
+        self.now = entry[0]
+        entry[2]()
         self.events_fired += 1
         return True
 

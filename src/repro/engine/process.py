@@ -105,7 +105,7 @@ class Process:
         self.finished = False
         self.result: Any = None
         self.done_signal = Signal(sim, name=f"{name}.done")
-        sim.schedule(start_delay, lambda: self._advance(None), label=f"{name}.start")
+        sim.call_after(start_delay, lambda: self._advance(None))
 
     def _advance(self, send_value: Any) -> None:
         try:
@@ -119,15 +119,13 @@ class Process:
 
     def _dispatch(self, directive: Any) -> None:
         if isinstance(directive, Delay):
-            self._sim.schedule(
-                directive.cycles, lambda: self._advance(None), label=f"{self.name}.delay"
-            )
+            self._sim.call_after(directive.cycles, lambda: self._advance(None))
         elif isinstance(directive, WaitSignal):
             directive.signal.subscribe(lambda value: self._advance(value))
         elif isinstance(directive, Process):
             child = directive
             if child.finished:
-                self._sim.schedule(0, lambda: self._advance(child.result))
+                self._sim.call_after(0, lambda: self._advance(child.result))
             else:
                 child.done_signal.subscribe(lambda value: self._advance(value))
         else:

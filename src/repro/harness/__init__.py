@@ -4,9 +4,23 @@
 * :mod:`repro.harness.experiments` — one entry point per paper artifact
   (Figure 6, 12-16, Table 2, Table 3, Section 5.5).
 * :mod:`repro.harness.tables` — plain-text rendering of result tables.
-* ``python -m repro.harness <experiment>`` — CLI front-end.
+* :mod:`repro.harness.parallel` — fan run units over a process pool.
+* :mod:`repro.harness.trace_store` — persistent on-disk trace cache.
+* ``python -m repro.harness <experiment> [--jobs N]`` — CLI front-end.
 """
 
+from repro.harness.parallel import RunUnit, resolve_jobs, run_units
 from repro.harness.runner import RunResult, run_trace, run_workload, speedup
+from repro.harness.trace_store import TraceCache, TraceStore
 
-__all__ = ["RunResult", "run_trace", "run_workload", "speedup"]
+__all__ = [
+    "RunResult",
+    "RunUnit",
+    "TraceCache",
+    "TraceStore",
+    "resolve_jobs",
+    "run_trace",
+    "run_units",
+    "run_workload",
+    "speedup",
+]

@@ -44,6 +44,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent run units (default: "
+        "$REPRO_JOBS or 1; 0 = all cores).  Output is bit-identical "
+        "to serial mode.",
+    )
+    parser.add_argument(
         "--export",
         metavar="DIR",
         help="also write <experiment>.csv and .json into DIR",
@@ -61,7 +70,7 @@ def main(argv=None) -> int:
         if name not in STATIC_EXPERIMENTS:
             kwargs = {"transactions": args.transactions, "seed": args.seed}
         started = time.time()
-        result = run_experiment(name, **kwargs)
+        result = run_experiment(name, jobs=args.jobs, **kwargs)
         print(result.render())
         if args.export:
             from repro.harness.export import write_result

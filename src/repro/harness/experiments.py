@@ -20,10 +20,13 @@ from repro.config import ControllerKind, MiSUDesign, SimConfig, eager_config, la
 from repro.core.misu import make_misu
 from repro.core.registers import PersistentRegisters
 from repro.crypto.keys import KeyStore
+from repro.harness import parallel as _parallel
+from repro.harness.parallel import RunUnit
 from repro.harness.runner import RunResult, geomean, run_trace
 from repro.harness.tables import render_table
+from repro.harness.trace_store import TraceCache
 from repro.recovery.estimate import estimate_recovery
-from repro.workloads import WHISPER_WORKLOADS, generate_trace
+from repro.workloads import WHISPER_WORKLOADS
 from repro.wpq.queue import WritePendingQueue
 
 #: Table 2 workload order.
@@ -71,23 +74,6 @@ class ExperimentResult:
         return out
 
 
-class TraceCache:
-    """Generate each (workload, transactions, payload, seed) trace once."""
-
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, int, int, int], List[Tuple]] = {}
-
-    def get(
-        self, workload: str, transactions: int, payload: int, seed: int
-    ) -> List[Tuple]:
-        key = (workload, transactions, payload, seed)
-        trace = self._cache.get(key)
-        if trace is None:
-            trace = generate_trace(workload, transactions, payload, seed)
-            self._cache[key] = trace
-        return trace
-
-
 def _run(
     cache: TraceCache,
     config: SimConfig,
@@ -95,6 +81,10 @@ def _run(
     transactions: int,
     seed: int,
 ) -> RunResult:
+    """Execute (or, under a parallel executor, record/replay) one run unit."""
+    executor = _parallel.active_executor()
+    if executor is not None:
+        return executor.run(RunUnit(workload, config, transactions, seed))
     trace = cache.get(workload, transactions, config.transaction_size, seed)
     return run_trace(config, trace, workload, transactions)
 
@@ -474,6 +464,18 @@ def breakdown_experiment(
     from repro.harness.breakdown import run_with_breakdown
 
     cache = TraceCache()
+
+    def _run_breakdown(config: SimConfig, workload: str):
+        executor = _parallel.active_executor()
+        if executor is not None:
+            return executor.run(
+                RunUnit(workload, config, transactions, seed, mode="breakdown")
+            )
+        trace = cache.get(
+            workload, transactions, config.transaction_size, seed
+        )
+        return run_with_breakdown(config, trace, workload, transactions)
+
     result = ExperimentResult(
         "breakdown",
         "Cycle breakdown: fence stalls are what Dolos removes",
@@ -485,12 +487,9 @@ def breakdown_experiment(
         ControllerKind.NON_SECURE_IDEAL,
     )
     for workload in WORKLOADS:
-        trace = cache.get(workload, transactions, 1024, seed)
         for kind in kinds:
             config = eager_config(controller=kind)
-            _run_result, breakdown = run_with_breakdown(
-                config, trace, workload, transactions
-            )
+            _run_result, breakdown = _run_breakdown(config, workload)
             result.rows.append(
                 [
                     workload,
@@ -526,12 +525,26 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run one registered experiment by id (e.g. ``"fig12"``)."""
+def run_experiment(
+    name: str, jobs: Optional[int] = None, **kwargs
+) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig12"``).
+
+    Args:
+        name: experiment id.
+        jobs: worker processes for the run units.  ``None`` reads the
+            ``REPRO_JOBS`` environment variable (default 1); values > 1
+            fan the experiment's independent run units over a process
+            pool and reassemble rows bit-identically to serial order.
+        **kwargs: forwarded to the experiment (transactions, seed, ...).
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
+    jobs = _parallel.resolve_jobs(jobs)
+    if jobs > 1:
+        return _parallel.run_experiment_parallel(name, jobs, **kwargs)
     return fn(**kwargs)

@@ -1,0 +1,253 @@
+"""Parallel experiment engine: fan independent run units over processes.
+
+Every paper experiment is a pure function of its *run units* — one
+simulation per (workload, controller config, transactions, seed).  The
+units are independent, so they can execute in any order on any worker;
+only the surrounding arithmetic (speedup ratios, means, table rows)
+cares about which result belongs to which unit.
+
+The engine exploits that with a record/replay scheme that needs no
+per-experiment orchestration code:
+
+1. **Record** — run the experiment function once with a
+   :class:`RecordingExecutor` installed.  Each ``_run`` call yields a
+   cheap placeholder result while its :class:`RunUnit` is recorded (in
+   first-request order, deduplicated).  No simulation happens.
+2. **Execute** — run the recorded units over a ``multiprocessing`` pool
+   (:func:`run_units`); workers share the persistent disk trace cache,
+   so each trace is generated at most once across the whole sweep.
+3. **Replay** — run the experiment function again with a
+   :class:`ReplayExecutor` that returns the real result for each unit.
+   The replay performs the exact arithmetic of a serial run, in the
+   same order, on the same values — so tables, summaries and exports
+   are **bit-identical** to ``jobs=1`` output.
+
+The scheme assumes an experiment requests the same units on both
+passes — true for the paper's sweeps, whose unit set is a static
+(workload × config) product.  If control flow ever diverges, the replay
+executor falls back to simulating the missing unit serially, trading
+speed for correctness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.harness.breakdown import CycleBreakdown, run_with_breakdown
+from repro.harness.runner import RunResult, run_trace
+from repro.harness.trace_store import TraceCache, default_cache_dir
+
+#: Fork keeps worker start cheap and inherits the warm interpreter; it
+#: is the default on Linux.  Platforms without fork fall back to spawn.
+_START_METHOD = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One independent simulation: the unit of parallel work.
+
+    Hashable (every field is frozen/immutable), so units key result
+    maps directly.
+    """
+
+    workload: str
+    config: SimConfig
+    transactions: int
+    seed: int
+    #: ``"run"`` → :func:`repro.harness.runner.run_trace` →
+    #: :class:`RunResult`; ``"breakdown"`` →
+    #: :func:`repro.harness.breakdown.run_with_breakdown` →
+    #: ``(RunResult, CycleBreakdown)``.
+    mode: str = "run"
+
+
+def execute_unit(unit: RunUnit, cache: TraceCache):
+    """Simulate one unit, resolving its trace through ``cache``."""
+    trace = cache.get(
+        unit.workload, unit.transactions, unit.config.transaction_size, unit.seed
+    )
+    if unit.mode == "breakdown":
+        return run_with_breakdown(
+            unit.config, trace, unit.workload, unit.transactions
+        )
+    return run_trace(unit.config, trace, unit.workload, unit.transactions)
+
+
+# ----------------------------------------------------------------------
+# Executors (installed via executor_scope; consulted by experiments._run)
+# ----------------------------------------------------------------------
+class RecordingExecutor:
+    """Discovery pass: record every requested unit, return placeholders."""
+
+    def __init__(self) -> None:
+        self._units: Dict[RunUnit, None] = {}
+
+    @property
+    def units(self) -> List[RunUnit]:
+        """Recorded units, deduplicated, in first-request order."""
+        return list(self._units)
+
+    def run(self, unit: RunUnit):
+        self._units[unit] = None
+        placeholder = RunResult(
+            workload=unit.workload,
+            controller=unit.config.controller,
+            misu_design=unit.config.misu_design,
+            transactions=unit.transactions,
+            payload_bytes=unit.config.transaction_size,
+            cycles=1,
+            instructions=1,
+        )
+        if unit.mode == "breakdown":
+            return placeholder, CycleBreakdown(
+                total=1, fence_stall=0, read_stall=0
+            )
+        return placeholder
+
+
+class ReplayExecutor:
+    """Replay pass: serve precomputed results keyed by unit."""
+
+    def __init__(self, results: Dict[RunUnit, object], cache_dir=None) -> None:
+        self._results = dict(results)
+        self._cache_dir = cache_dir
+        self._fallback_cache: Optional[TraceCache] = None
+        #: Units the discovery pass missed (control-flow divergence).
+        self.fallback_units: List[RunUnit] = []
+
+    def run(self, unit: RunUnit):
+        try:
+            return self._results[unit]
+        except KeyError:
+            if self._fallback_cache is None:
+                self._fallback_cache = TraceCache(self._cache_dir)
+            self.fallback_units.append(unit)
+            result = execute_unit(unit, self._fallback_cache)
+            self._results[unit] = result
+            return result
+
+
+_ACTIVE = None
+
+
+def active_executor():
+    """The executor installed for the current record/replay pass, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def executor_scope(executor):
+    """Install ``executor`` for the duration of one experiment pass.
+
+    Not thread-safe: the engine parallelises across *processes*; the
+    coordinating process runs one pass at a time.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = executor
+    try:
+        yield executor
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution
+# ----------------------------------------------------------------------
+_WORKER_CACHE: Optional[TraceCache] = None
+
+
+def _init_worker(cache_dir) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = TraceCache(cache_dir)
+
+
+def _execute_indexed(item):
+    index, unit = item
+    return index, execute_unit(unit, _WORKER_CACHE)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a ``--jobs`` request.
+
+    ``None`` reads ``REPRO_JOBS`` (default 1); 0 or negative means
+    "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def run_units(
+    units: Sequence[RunUnit],
+    jobs: int,
+    cache_dir=TraceCache.AUTO,
+) -> List:
+    """Execute ``units`` on ``jobs`` workers; results in input order.
+
+    ``jobs <= 1`` runs serially in-process (no pool, easier debugging);
+    either way the returned list lines up index-for-index with
+    ``units``.
+    """
+    units = list(units)
+    if cache_dir is TraceCache.AUTO:
+        cache_dir = default_cache_dir()
+    if jobs <= 1 or len(units) <= 1:
+        cache = TraceCache(cache_dir)
+        return [execute_unit(unit, cache) for unit in units]
+    jobs = min(jobs, len(units))
+    ctx = multiprocessing.get_context(_START_METHOD)
+    results: List = [None] * len(units)
+    with ctx.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(cache_dir,)
+    ) as pool:
+        indexed = pool.imap_unordered(
+            _execute_indexed, list(enumerate(units)), chunksize=1
+        )
+        for index, payload in indexed:
+            results[index] = payload
+    return results
+
+
+def run_experiment_parallel(
+    name: str,
+    jobs: int,
+    cache_dir=TraceCache.AUTO,
+    **kwargs,
+):
+    """Record/execute/replay one registered experiment on ``jobs`` workers.
+
+    Returns the same :class:`~repro.harness.experiments.ExperimentResult`
+    a serial ``run_experiment(name, **kwargs)`` would, bit-identically.
+    """
+    # Imported here: experiments.py imports this module at load time.
+    from repro.harness.experiments import EXPERIMENTS
+
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+    recorder = RecordingExecutor()
+    with executor_scope(recorder):
+        discovery_result = fn(**kwargs)
+    units = recorder.units
+    if not units:
+        # Static experiment (tab03, sec55): no run units were requested,
+        # so the discovery pass already computed the real result.
+        return discovery_result
+
+    results = run_units(units, jobs, cache_dir)
+    replay = ReplayExecutor(dict(zip(units, results)), cache_dir)
+    with executor_scope(replay):
+        return fn(**kwargs)

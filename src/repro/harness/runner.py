@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -108,10 +109,23 @@ def speedup(baseline: RunResult, improved: RunResult) -> float:
 
 
 def geomean(values: List[float]) -> float:
-    """Geometric mean (the paper averages speedups)."""
+    """Geometric mean (the paper averages speedups).
+
+    Computed in the log domain: a running product of hundreds of
+    speedups under/overflows float range long before the mean itself is
+    extreme, so long sweeps (paper-fidelity transaction counts × many
+    configs) need ``exp(mean(log(v)))`` rather than ``prod(v)**(1/n)``.
+
+    Any zero value makes the geometric mean zero; negatives are
+    rejected (a speedup cannot be negative).
+    """
     if not values:
         return 0.0
-    product = 1.0
+    total = 0.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value < 0.0:
+            raise ValueError(f"geomean of negative value {value}")
+        if value == 0.0:
+            return 0.0
+        total += math.log(value)
+    return math.exp(total / len(values))

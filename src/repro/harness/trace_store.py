@@ -1,0 +1,185 @@
+"""Persistent, content-addressed trace cache shared by experiment runs.
+
+Generating a WHISPER trace is pure-Python work that dominates short
+experiment runs; this module gives every (workload, transactions,
+payload, seed) trace a stable on-disk identity so sweeps — serial or
+fanned out over a process pool — generate each trace once *ever* and
+replay it from disk afterwards.
+
+Layout: one ``.npz`` per trace (see :mod:`repro.cpu.trace_io`) under a
+single cache directory.  The filename embeds both the human-readable
+key and a SHA-256 digest of the full cache key, which includes
+:data:`repro.workloads.GENERATOR_VERSION` and the trace-format version
+— bumping either invalidates old entries without any cleanup pass.
+
+Concurrency: writers serialise a trace to a temporary file in the cache
+directory and ``os.replace`` it into place.  The rename is atomic on
+POSIX, so pool workers racing to fill the same key each write a
+complete file and the last one wins with identical content; readers
+never observe a torn entry.
+
+Environment:
+
+* ``REPRO_TRACE_CACHE=<dir>`` — cache directory (created on demand).
+* ``REPRO_TRACE_CACHE=off`` (or ``0``/empty) — disable the disk layer.
+* unset — ``~/.cache/dolos-repro/traces`` (respects ``XDG_CACHE_HOME``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cpu import trace_io
+from repro.workloads import GENERATOR_VERSION, generate_trace
+
+#: Cache key type: (workload, transactions, payload_bytes, seed).
+TraceKey = Tuple[str, int, int, int]
+
+_DISABLED_VALUES = {"off", "0", "none", "disabled"}
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Resolve the disk-cache directory from the environment.
+
+    Returns ``None`` when the disk layer is disabled.
+    """
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env is not None:
+        if env.strip().lower() in _DISABLED_VALUES or not env.strip():
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "dolos-repro" / "traces"
+
+
+class TraceStore:
+    """Content-addressed on-disk store of generated traces."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def digest(key: TraceKey) -> str:
+        """Stable digest of the full cache identity of ``key``."""
+        workload, transactions, payload, seed = key
+        material = json.dumps(
+            {
+                "workload": workload,
+                "transactions": transactions,
+                "payload": payload,
+                "seed": seed,
+                "generator_version": GENERATOR_VERSION,
+                "format_version": trace_io.FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+    def path_for(self, key: TraceKey) -> Path:
+        workload, transactions, payload, seed = key
+        name = (
+            f"{workload}-t{transactions}-p{payload}-s{seed}-"
+            f"{self.digest(key)}.npz"
+        )
+        return self.root / name
+
+    # ------------------------------------------------------------------
+    def load(self, key: TraceKey) -> Optional[List[Tuple]]:
+        """Return the cached trace for ``key``, or ``None`` on a miss.
+
+        A corrupt or mismatched entry counts as a miss (and is removed)
+        so a damaged cache degrades to regeneration, never to a wrong
+        result.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace, header = trace_io.load_trace(path)
+            if header.get("cache_digest") != self.digest(key):
+                raise ValueError("cache key mismatch")
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store(self, key: TraceKey, trace: List[Tuple]) -> Path:
+        """Persist ``trace`` under ``key`` (atomic rename, race-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        workload, transactions, payload, seed = key
+        metadata = {
+            "workload": workload,
+            "transactions": transactions,
+            "payload": payload,
+            "seed": seed,
+            "generator_version": GENERATOR_VERSION,
+            "cache_digest": self.digest(key),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            trace_io.save_trace(tmp_name, trace, metadata, compress=False)
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return final
+
+
+class TraceCache:
+    """Two-level trace cache: per-process memory over a shared disk store.
+
+    Drop-in successor of the old in-memory ``TraceCache`` in
+    :mod:`repro.harness.experiments`; pass ``cache_dir=None`` to opt out
+    of the disk layer (pure in-memory, the old behaviour).
+    """
+
+    #: Sentinel meaning "resolve the directory from the environment".
+    AUTO = object()
+
+    def __init__(self, cache_dir=AUTO) -> None:
+        self._cache: Dict[TraceKey, List[Tuple]] = {}
+        if cache_dir is TraceCache.AUTO:
+            cache_dir = default_cache_dir()
+        self._store = TraceStore(cache_dir) if cache_dir is not None else None
+
+    @property
+    def store(self) -> Optional[TraceStore]:
+        return self._store
+
+    def get(
+        self, workload: str, transactions: int, payload: int, seed: int
+    ) -> List[Tuple]:
+        key = (workload, transactions, payload, seed)
+        trace = self._cache.get(key)
+        if trace is not None:
+            return trace
+        if self._store is not None:
+            trace = self._store.load(key)
+        if trace is None:
+            trace = generate_trace(workload, transactions, payload, seed)
+            if self._store is not None:
+                self._store.store(key, trace)
+        self._cache[key] = trace
+        return trace

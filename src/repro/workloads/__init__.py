@@ -9,6 +9,12 @@ trace drives the timing simulation.
 from typing import Dict, List, Tuple, Type
 
 from repro.workloads.base import Workload
+
+#: Bump whenever any workload generator's output could change for the
+#: same (name, transactions, payload, seed) — e.g. RNG-seeding or data
+#: structure layout changes.  The persistent trace cache folds this
+#: into its content hash so stale traces are never replayed.
+GENERATOR_VERSION = 2
 from repro.workloads.btree import BTreeWorkload
 from repro.workloads.ctree import CTreeWorkload
 from repro.workloads.echo import EchoWorkload
@@ -72,6 +78,7 @@ def generate_trace(
 __all__ = [
     "ALL_WORKLOADS",
     "BTreeWorkload",
+    "GENERATOR_VERSION",
     "CTreeWorkload",
     "EXTRA_WORKLOADS",
     "EchoWorkload",

@@ -14,6 +14,7 @@ writes and persists.
 from __future__ import annotations
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from typing import List, Tuple
 
@@ -89,7 +90,11 @@ class Workload(ABC):
             raise ValueError("need at least one transaction")
         if payload_bytes < 8:
             raise ValueError("payload must be at least 8 bytes")
-        self.rng = random.Random((seed << 8) ^ hash(self.name) & 0xFFFFFFFF)
+        # zlib.crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), which would make "deterministic per seed"
+        # traces differ across interpreter invocations and pool workers.
+        name_salt = zlib.crc32(self.name.encode("utf-8")) & 0xFFFFFFFF
+        self.rng = random.Random((seed << 8) ^ name_salt)
         self.setup(payload_bytes)
         self.recorder.enabled = False
         for _ in range(self.warmup_transactions):

@@ -1,0 +1,212 @@
+"""Parallel experiment engine + persistent trace cache.
+
+The contract under test is the acceptance bar of the parallel harness:
+``--jobs N`` must be a pure wall-clock optimisation — every table row,
+summary value and note bit-identical to the serial run — and the disk
+trace cache must round-trip traces exactly.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.config import eager_config
+from repro.harness.experiments import run_experiment
+from repro.harness.parallel import (
+    RecordingExecutor,
+    ReplayExecutor,
+    RunUnit,
+    executor_scope,
+    resolve_jobs,
+    run_units,
+)
+from repro.harness.runner import RunResult, run_trace
+from repro.harness.trace_store import TraceCache, TraceStore
+from repro.workloads import generate_trace
+
+TXNS = 40
+SEED = 1
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods()
+    and "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="no usable multiprocessing start method",
+)
+
+
+def _result_fields(result):
+    return (
+        result.experiment,
+        result.title,
+        result.headers,
+        result.rows,
+        result.summary,
+        result.notes,
+    )
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("name", ["fig06", "tab02"])
+    def test_jobs4_matches_jobs1(self, name, tmp_path):
+        serial = run_experiment(
+            name, jobs=1, transactions=TXNS, seed=SEED
+        )
+        parallel = run_experiment(
+            name, jobs=4, cache_dir=tmp_path, transactions=TXNS, seed=SEED
+        )
+        assert _result_fields(serial) == _result_fields(parallel)
+
+    def test_breakdown_units_parallelise(self, tmp_path):
+        serial = run_experiment("breakdown", jobs=1, transactions=TXNS, seed=SEED)
+        parallel = run_experiment(
+            "breakdown", jobs=2, cache_dir=tmp_path, transactions=TXNS, seed=SEED
+        )
+        assert _result_fields(serial) == _result_fields(parallel)
+
+    def test_static_experiment_passthrough(self):
+        # tab03 has no run units; jobs>1 must not change (or break) it.
+        assert _result_fields(run_experiment("tab03", jobs=4)) == _result_fields(
+            run_experiment("tab03")
+        )
+
+    def test_run_units_order_matches_input(self, tmp_path):
+        units = [
+            RunUnit("hashmap", eager_config(), TXNS, SEED),
+            RunUnit("btree", eager_config(), TXNS, SEED),
+        ]
+        serial = run_units(units, jobs=1, cache_dir=tmp_path)
+        pooled = run_units(units, jobs=2, cache_dir=tmp_path)
+        for a, b in zip(serial, pooled):
+            assert isinstance(a, RunResult) and isinstance(b, RunResult)
+            assert (a.workload, a.cycles, a.stats) == (b.workload, b.cycles, b.stats)
+        assert [r.workload for r in pooled] == ["hashmap", "btree"]
+
+
+class TestExecutors:
+    def test_recording_then_replay(self, tmp_path):
+        unit = RunUnit("hashmap", eager_config(), TXNS, SEED)
+        recorder = RecordingExecutor()
+        with executor_scope(recorder):
+            placeholder = recorder.run(unit)
+        assert placeholder.cycles == 1
+        assert recorder.units == [unit]
+
+        real = run_units([unit], jobs=1, cache_dir=tmp_path)[0]
+        replay = ReplayExecutor({unit: real}, cache_dir=tmp_path)
+        assert replay.run(unit) is real
+        assert replay.fallback_units == []
+
+    def test_replay_falls_back_on_unknown_unit(self, tmp_path):
+        unit = RunUnit("hashmap", eager_config(), TXNS, SEED)
+        replay = ReplayExecutor({}, cache_dir=tmp_path)
+        result = replay.run(unit)
+        assert replay.fallback_units == [unit]
+        trace = generate_trace("hashmap", TXNS, 1024, SEED)
+        assert result.cycles == run_trace(eager_config(), trace).cycles
+
+    def test_units_dedup_preserves_order(self):
+        recorder = RecordingExecutor()
+        a = RunUnit("hashmap", eager_config(), TXNS, SEED)
+        b = RunUnit("btree", eager_config(), TXNS, SEED)
+        for unit in (a, b, a):
+            recorder.run(unit)
+        assert recorder.units == [a, b]
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+
+class TestDiskTraceCache:
+    def test_cold_generate_warm_load_identical(self, tmp_path):
+        cold = TraceCache(tmp_path)
+        trace = cold.get("hashmap", TXNS, 1024, SEED)
+        assert cold.store.misses == 1 and cold.store.hits == 0
+
+        warm = TraceCache(tmp_path)
+        loaded = warm.get("hashmap", TXNS, 1024, SEED)
+        assert warm.store.hits == 1 and warm.store.misses == 0
+        assert loaded == trace
+        # ...and the replayed trace produces an identical RunResult.
+        a = run_trace(eager_config(), trace, "hashmap", TXNS)
+        b = run_trace(eager_config(), loaded, "hashmap", TXNS)
+        assert (a.cycles, a.instructions, a.stats) == (
+            b.cycles,
+            b.instructions,
+            b.stats,
+        )
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        store = TraceStore(tmp_path)
+        keys = [
+            ("hashmap", TXNS, 1024, SEED),
+            ("hashmap", TXNS, 1024, SEED + 1),
+            ("hashmap", TXNS + 1, 1024, SEED),
+            ("hashmap", TXNS, 512, SEED),
+            ("btree", TXNS, 1024, SEED),
+        ]
+        assert len({store.digest(k) for k in keys}) == len(keys)
+        assert len({store.path_for(k) for k in keys}) == len(keys)
+
+    def test_corrupt_entry_degrades_to_regeneration(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        trace = cache.get("hashmap", TXNS, 1024, SEED)
+        path = cache.store.path_for(("hashmap", TXNS, 1024, SEED))
+        path.write_bytes(b"not an npz file")
+
+        fresh = TraceCache(tmp_path)
+        regenerated = fresh.get("hashmap", TXNS, 1024, SEED)
+        assert regenerated == trace
+        assert fresh.store.misses == 1
+
+    def test_disabled_cache_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        cache = TraceCache()
+        assert cache.store is None
+        cache.get("hashmap", TXNS, 1024, SEED)
+
+    def test_env_dir_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "sub"))
+        cache = TraceCache()
+        cache.get("hashmap", TXNS, 1024, SEED)
+        assert list((tmp_path / "sub").glob("*.npz"))
+
+    def test_deterministic_across_hash_seeds(self, tmp_path):
+        # Regression: trace generation once keyed the workload RNG off
+        # salted str hash(), so traces differed per interpreter process.
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        script = (
+            "from repro.workloads import generate_trace;"
+            "import hashlib;"
+            "t = generate_trace('hashmap', 20, 1024, 1);"
+            "print(hashlib.sha256(repr(t).encode()).hexdigest())"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "2"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PYTHONPATH": src,
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
