@@ -4,13 +4,25 @@ PYTHON ?= python
 # Worker processes for experiment run units (0 = all cores).
 JOBS ?= 0
 
-.PHONY: install test bench bench-perf experiments examples clean
+.PHONY: install test check-oracle bench bench-perf experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Differential crash-consistency oracle (docs/testing.md): the full
+# 200-transaction crash-site sweep over all six controller
+# configurations, then the seeded-divergence self-test (exit 0 only if
+# the deliberately injected corruption is caught).
+check-oracle:
+	mkdir -p results
+	$(PYTHON) -m repro.harness check --workloads hashmap,btree \
+		--transactions 200 --jobs $(JOBS) --report results/oracle.json
+	$(PYTHON) -m repro.harness check --workloads hashmap \
+		--controllers dolos-partial --transactions 20 --site-budget 8 \
+		--inject-divergence
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

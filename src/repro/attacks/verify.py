@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.attacks.models import Attack
+from repro.attacks.models import Attack, DataSpoofAttack, WPQImageSpoofAttack
 from repro.core.masu import IntegrityError, MajorSecurityUnit
 from repro.recovery.crash import CrashImage
 from repro.recovery.recover import RecoveryError, RecoveryMode, recover_system
+from repro.wpq.adr import drained_image_slots
 
 
 @dataclass
@@ -38,6 +39,28 @@ def run_read_attack(
     except IntegrityError as err:
         return AttackOutcome(attack.name, detected=True, detail=str(err))
     return AttackOutcome(attack.name, detected=False, detail="read verified clean")
+
+
+def choose_crash_attack(image: CrashImage) -> Optional[Attack]:
+    """Pick a tampering action that recovery *must* detect on ``image``.
+
+    Preference order matters: a drained WPQ record is spoofed when one
+    exists (the image replay path would silently *repair* a tampered
+    data line that also lives in the image, masking detection); with an
+    empty image — the pre-WPQ baseline and battery-backed eADR drain
+    nothing — the oldest commit-log line is spoofed instead, which the
+    oracle's reconstruction is guaranteed to read.  Returns None when
+    nothing attackable has persisted yet (crash before the first write
+    reached the persistence domain).
+    """
+    from repro.persistence.commitlog import LOG_BASE
+
+    image_slots = drained_image_slots(image.nvm)
+    if image_slots:
+        return WPQImageSpoofAttack(image_slots[0])
+    if image.nvm.read_line(LOG_BASE) is not None:
+        return DataSpoofAttack(LOG_BASE)
+    return None
 
 
 def run_wpq_attack(

@@ -161,6 +161,13 @@ class MemoryController:
     #: NVM bank busy-times provide the real throughput limit.
     DRAIN_ISSUE_INTERVAL = 4
 
+    #: Whether the plain drain writes the request's raw bytes to the
+    #: device.  True for the non-secure ideal (its WPQ holds the final
+    #: plaintext); False for the pre-WPQ baseline, whose security unit
+    #: already wrote the *ciphertext* at submit time — draining the
+    #: plaintext over it would corrupt the secured image.
+    DRAIN_WRITES_DATA = True
+
     def _plain_drain_loop(self) -> Generator:
         """Drain already-secured entries: pipelined NVM writes.
 
@@ -182,7 +189,7 @@ class MemoryController:
             )
 
             def complete(entry=entry, request=request) -> None:
-                if request.data is not None:
+                if request.data is not None and self.DRAIN_WRITES_DATA:
                     self.nvm.write_line(request.address, request.data)
                 self.wpq.mark_cleared(entry)
                 self.stats.add("wpq.drained")
@@ -199,10 +206,14 @@ class MemoryController:
         return self.wpq.occupancy
 
     def attach_timeline(self, timeline) -> None:
-        """Record WPQ occupancy and retry events into ``timeline``.
+        """Record WPQ occupancy, retry and persist-boundary events.
 
         Sampling piggybacks on the insertion/drain signals so the
         simulation hot path is untouched when no timeline is attached.
+        Boundary events (``wpq.insert``/``wpq.pop``/``wpq.drain`` and,
+        when the controller has a Ma-SU, ``masu.stage``/``masu.commit``)
+        mark every instant the persisted state changes — the crash-site
+        enumerator (:mod:`repro.oracle.sites`) keys off them.
         """
         self.timeline = timeline
         sample = timeline.sample
@@ -210,22 +221,47 @@ class MemoryController:
         added_fire = self.entry_added.fire
         freed_fire = self.slot_freed.fire
         record_retry = self.wpq.record_retry
+        begin_fetch = self.wpq.begin_fetch
 
         def on_added(value=None):
             sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
+            event(self.sim.now, "wpq.insert")
             added_fire(value)
 
         def on_freed(value=None):
             sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
+            event(self.sim.now, "wpq.drain")
             freed_fire(value)
 
         def on_retry():
             event(self.sim.now, "wpq.retry")
             record_retry()
 
+        def on_fetch(entry):
+            begin_fetch(entry)
+            event(self.sim.now, "wpq.pop", str(entry.index))
+
         self.entry_added.fire = on_added
         self.slot_freed.fire = on_freed
         self.wpq.record_retry = on_retry
+        self.wpq.begin_fetch = on_fetch
+
+        masu = getattr(self, "masu", None)
+        if masu is not None:
+            stage = masu.stage
+            apply = masu.apply
+
+            def on_stage(address, plaintext):
+                log = stage(address, plaintext)
+                event(self.sim.now, "masu.stage")
+                return log
+
+            def on_apply():
+                apply()
+                event(self.sim.now, "masu.commit")
+
+            masu.stage = on_stage
+            masu.apply = on_apply
 
     def stats_snapshot(self) -> Dict[str, int]:
         snap = dict(self.stats.as_dict())
@@ -280,6 +316,10 @@ class PreWPQSecureController(MemoryController):
 
     kind = ControllerKind.PRE_WPQ_SECURE
 
+    #: Security ran pre-WPQ: the ciphertext is already in NVM, the WPQ
+    #: drain only models device timing and must not clobber it.
+    DRAIN_WRITES_DATA = False
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.masu = MajorSecurityUnit(
@@ -325,6 +365,17 @@ class PreWPQSecureController(MemoryController):
     def _drain_loop(self) -> Generator:
         # Entries are already secured; draining is a plain NVM write.
         yield from self._plain_drain_loop()
+
+    def crash(self):
+        """Power failure on the pre-WPQ baseline.
+
+        Every queued write already went through the full security
+        pipeline *before* WPQ insertion — its ciphertext, counters,
+        MACs and tree update are in NVM/persistent registers.  ADR has
+        nothing to re-secure; the queue contents are redundant copies
+        and are simply dropped (there is no drained image to replay).
+        """
+        return []
 
 
 # ======================================================================
@@ -561,6 +612,32 @@ class EADRSecureController(DolosController):
             f"buffered lines (~{energy} ADR-entry-equivalents of energy) — "
             "beyond the standard ADR budget; use Dolos instead"
         )
+
+    def battery_drain(self):
+        """Power failure *with* the non-standard battery fitted.
+
+        The battery runs the full Ma-SU pipeline over every buffered
+        line in FIFO order (exactly what the lazy drain loop would have
+        done), leaving nothing for ADR to flush — the drained WPQ image
+        is empty.  The Ma-SU's volatile in-flight bookkeeping is lost,
+        but an in-flight entry whose completion callback had not run is
+        still occupied and is re-processed here; a completed entry was
+        cleared atomically with its ``secure_write`` and is skipped.
+        """
+        for entry in self.wpq.entries:
+            entry.in_flight = False
+        flushed = 0
+        while True:
+            entry = self.wpq.oldest_pending()
+            if entry is None:
+                break
+            request = entry.request
+            if request is not None and request.data is not None:
+                self.masu.secure_write(request.address, request.data)
+            self.wpq.mark_cleared(entry)
+            flushed += 1
+        self.stats.add("eadr.battery_flushes", flushed)
+        return self.adr_drain.drain(self.wpq)
 
 
 # ======================================================================

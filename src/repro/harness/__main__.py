@@ -6,6 +6,7 @@ Examples::
     python -m repro.harness fig12
     python -m repro.harness tab02 --transactions 1000 --seed 3
     python -m repro.harness all --transactions 200
+    python -m repro.harness check --workloads hashmap,btree --jobs 0
 """
 
 from __future__ import annotations
@@ -26,6 +27,14 @@ STATIC_EXPERIMENTS = {"tab03", "sec55"}
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``check`` is the crash-consistency oracle, not an experiment; it
+    # owns its flag set, so dispatch before the experiment parser runs.
+    if argv and argv[0] == "check":
+        from repro.oracle.check import main as oracle_main
+
+        return oracle_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -33,7 +42,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig06, fig12-16, tab02, tab03, sec55, "
-        "motivation), 'all', or 'list'",
+        "motivation), 'all', 'list', or 'check' (crash oracle; see "
+        "python -m repro.harness check --help)",
     )
     parser.add_argument(
         "--transactions",

@@ -217,6 +217,42 @@ def run_units(
     return results
 
 
+_FAN_OUT_FN = None
+
+
+def _init_fan_out(fn) -> None:
+    global _FAN_OUT_FN
+    _FAN_OUT_FN = fn
+
+
+def _fan_out_indexed(item):
+    index, value = item
+    return index, _FAN_OUT_FN(value)
+
+
+def fan_out(fn, items: Sequence, jobs: int) -> List:
+    """Map ``fn`` over ``items`` on ``jobs`` worker processes.
+
+    The generic sibling of :func:`run_units` for work that is not a
+    :class:`RunUnit` (e.g. the crash-oracle's per-controller sweeps).
+    ``fn`` and each item must be picklable under the fork start method;
+    results line up index-for-index with ``items``.  ``jobs <= 1`` runs
+    serially in-process.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    jobs = min(jobs, len(items))
+    ctx = multiprocessing.get_context(_START_METHOD)
+    results: List = [None] * len(items)
+    with ctx.Pool(processes=jobs, initializer=_init_fan_out, initargs=(fn,)) as pool:
+        for index, payload in pool.imap_unordered(
+            _fan_out_indexed, list(enumerate(items)), chunksize=1
+        ):
+            results[index] = payload
+    return results
+
+
 def run_experiment_parallel(
     name: str,
     jobs: int,

@@ -18,6 +18,24 @@ from typing import Dict, List, Optional, Tuple
 
 _SPARK_GLYPHS = " .:-=+*#%@"
 
+#: Event kinds marking a *persist boundary* — an instant where the set
+#: of architecturally persisted state changes.  Emitted by
+#: :meth:`repro.core.controller.MemoryController.attach_timeline`:
+#:
+#: * ``wpq.insert`` — an entry landed in (or coalesced into) the WPQ;
+#: * ``wpq.pop`` — the back-end pinned the oldest entry (Fig 11 step 1);
+#: * ``wpq.drain`` — a slot was cleared after Ma-SU processing / the
+#:   plain drain wrote it to the device (ADR drain step at run time);
+#: * ``masu.stage`` — the redo-log registers were written (step 2);
+#: * ``masu.commit`` — the redo log was applied to architectural state
+#:   (step 3, the Ma-SU commit).
+#:
+#: The crash-site enumerator (:mod:`repro.oracle.sites`) injects a power
+#: failure at each distinct one.
+PERSIST_BOUNDARY_KINDS = frozenset(
+    {"wpq.insert", "wpq.pop", "wpq.drain", "masu.stage", "masu.commit"}
+)
+
 
 @dataclass
 class ChannelSummary:
@@ -114,6 +132,10 @@ class Timeline:
             glyphs.append(_SPARK_GLYPHS[index])
         return "".join(glyphs)
 
+    def boundary_events(self) -> List[Tuple[int, str, str]]:
+        """Events whose kind is a persist boundary, in emission order."""
+        return [e for e in self._events if e[1] in PERSIST_BOUNDARY_KINDS]
+
     def report(self) -> str:
         """Multi-channel text report (summaries + sparklines)."""
         lines = []
@@ -129,3 +151,26 @@ class Timeline:
                          + (f" (+{self.dropped_events} dropped)"
                             if self.dropped_events else ""))
         return "\n".join(lines)
+
+
+class CrashSiteProbe(Timeline):
+    """A Timeline that additionally snapshots machine state at every
+    persist boundary.
+
+    ``state_fn`` (set after the controller exists) hashes the
+    architecturally persistent machine state; the crash-site enumerator
+    deduplicates boundary instants whose hash did not change, so the
+    sweep stays tractable without missing any distinct state.
+    """
+
+    def __init__(self, state_fn=None, max_events: int = 1_000_000) -> None:
+        super().__init__(max_events=max_events)
+        self.state_fn = state_fn
+        #: (cycle, kind, state-hash) per boundary event, in order.
+        self.boundaries: List[Tuple[int, str, str]] = []
+
+    def event(self, time: int, kind: str, detail: str = "") -> None:
+        super().event(time, kind, detail)
+        if kind in PERSIST_BOUNDARY_KINDS:
+            digest = self.state_fn() if self.state_fn is not None else ""
+            self.boundaries.append((time, kind, digest))

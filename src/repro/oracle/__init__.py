@@ -1,0 +1,51 @@
+"""Differential crash-consistency oracle.
+
+A systematic correctness layer over the whole controller design space:
+
+* :mod:`repro.oracle.ops` — deterministic per-workload operation
+  streams (PUT/DEL with real value bytes);
+* :mod:`repro.oracle.golden` — pure-Python golden models (dict/tree
+  semantics) the recovered heap is diffed against;
+* :mod:`repro.oracle.driver` — a log-structured KV driver that replays
+  one op stream through any controller with real fence semantics;
+* :mod:`repro.oracle.sites` — crash-site enumeration from a reference
+  run's persist-boundary events, deduplicated by machine-state hash;
+* :mod:`repro.oracle.reconstruct` — decode the recovered persistent
+  heap back into a logical state;
+* :mod:`repro.oracle.check` — the differential harness: every site ×
+  every controller × optional attack-under-crash, exposed as
+  ``python -m repro.harness check`` and ``make check-oracle``.
+"""
+
+from repro.oracle.check import (
+    CONTROLLER_MATRIX,
+    OracleReport,
+    UnitReport,
+    check_unit,
+    controller_matrix,
+    run_oracle,
+)
+from repro.oracle.driver import OracleExecution
+from repro.oracle.golden import make_golden, prefix_states
+from repro.oracle.ops import Op, generate_ops
+from repro.oracle.reconstruct import OracleDivergence, reconstruct_state
+from repro.oracle.sites import SiteEnumeration, enumerate_sites, machine_state_hash
+
+__all__ = [
+    "CONTROLLER_MATRIX",
+    "Op",
+    "OracleDivergence",
+    "OracleExecution",
+    "OracleReport",
+    "SiteEnumeration",
+    "UnitReport",
+    "check_unit",
+    "controller_matrix",
+    "enumerate_sites",
+    "generate_ops",
+    "machine_state_hash",
+    "make_golden",
+    "prefix_states",
+    "reconstruct_state",
+    "run_oracle",
+]

@@ -1,0 +1,159 @@
+"""Deterministic log-structured KV driver for the crash oracle.
+
+The driver turns an :class:`~repro.oracle.ops.Op` stream into controller
+traffic with a crash-recoverable on-NVM layout (a write-ahead commit log
+plus out-of-place value lines, :mod:`repro.persistence.commitlog`):
+
+for each op::
+
+    1. write the value payload to fresh 64 B lines at VALUE_BASE
+       (PUTs only; 1-2 lines);
+    2. **fence**: wait until every value line's persist signal fired;
+    3. write one 64 B commit record at ``record_address(seq)``;
+    4. wait for the commit record's persist signal.
+
+Because the fence orders values before their commit record and records
+are written strictly in sequence, a crash at *any* instant leaves a
+prefix of the op stream durable: the recovered heap must match the
+golden model after ``ops[:n]`` for the unique ``n`` read back from the
+log.  ``commits_fired`` counts commit persists the driver observed
+before the crash — recovery may never lose one of those
+(``commits_fired <= n``), and may never invent commits (``n <= len(ops)``).
+
+The whole execution is deterministic: replaying the same (config, ops)
+pair and crashing at cycle ``c`` reproduces the reference run's machine
+state at ``c`` exactly.  That is what lets the site enumerator hash
+boundary states once and re-execute per site.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import CACHELINE_BYTES, SimConfig
+from repro.core.controller import MemoryController, make_controller
+from repro.core.requests import WriteKind, WriteRequest
+from repro.engine import Process, Signal, Simulator, WaitSignal
+from repro.oracle.ops import Op
+from repro.persistence.commitlog import (
+    OP_DEL,
+    OP_PUT,
+    VALUE_BASE,
+    CommitRecord,
+    record_address,
+    value_checksum,
+    value_lines,
+)
+
+
+class OracleExecution:
+    """One deterministic run of an op stream against one controller."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        ops: List[Op],
+        probe=None,
+    ) -> None:
+        self.config = config
+        self.ops = ops
+        self.sim = Simulator()
+        self.controller: MemoryController = make_controller(self.sim, config)
+        if probe is not None:
+            self.controller.attach_timeline(probe)
+        #: Commit-record persist completions observed so far.  Monotone
+        #: lower bound on the recoverable prefix length.
+        self.commits_fired = 0
+        #: Next free value line (bump allocator; out-of-place writes).
+        self._value_cursor = VALUE_BASE
+        self._driver = Process(self.sim, self._drive(), name="oracle.drive")
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once every op's commit record persisted."""
+        return self._driver.finished
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Advance the simulation (to quiescence if ``until`` is None)."""
+        self.sim.run(until=until)
+
+    # -- op stream -----------------------------------------------------
+    def _submit_line(self, address: int, payload: bytes) -> Signal:
+        if len(payload) < CACHELINE_BYTES:
+            payload = payload + b"\x00" * (CACHELINE_BYTES - len(payload))
+        done = self.controller.submit_write(
+            WriteRequest(address, WriteKind.PERSIST, data=payload)
+        )
+        assert done is not None
+        return done
+
+    def _fence(self, signals: List[Signal]):
+        """Generator step: block until every signal in the batch fired.
+
+        :class:`~repro.engine.process.Signal` has no memory, so waiting
+        on the batch one-by-one would hang if an earlier member fired
+        while we waited on a later one.  Instead each member got a
+        counting subscriber *at submit time* (persist signals always
+        fire at least one cycle after submission, so no fire can
+        precede the subscription) and a fresh aggregate signal fires on
+        the last completion.
+        """
+        barrier = Signal(self.sim, "oracle.fence")
+        remaining = len(signals)
+
+        def arrived(_value) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                barrier.fire(self.sim.now)
+
+        for signal in signals:
+            signal.subscribe(arrived)
+        yield WaitSignal(barrier)
+
+    def _drive(self):
+        for op in self.ops:
+            if op.kind == OP_PUT:
+                value = op.value
+                lines = value_lines(len(value))
+                value_address = self._value_cursor
+                self._value_cursor += lines * CACHELINE_BYTES
+                pending = [
+                    self._submit_line(
+                        value_address + i * CACHELINE_BYTES,
+                        value[i * CACHELINE_BYTES:(i + 1) * CACHELINE_BYTES],
+                    )
+                    for i in range(lines)
+                ]
+                yield from self._fence(pending)
+                record = CommitRecord(
+                    seq=op.seq,
+                    op=OP_PUT,
+                    key=op.key,
+                    value_address=value_address,
+                    value_length=len(value),
+                    checksum=value_checksum(value),
+                )
+            else:
+                record = CommitRecord(
+                    seq=op.seq,
+                    op=OP_DEL,
+                    key=op.key,
+                    value_address=0,
+                    value_length=0,
+                    checksum=value_checksum(b""),
+                )
+            commit_done = self._submit_line(
+                record_address(op.seq), record.encode()
+            )
+
+            def committed(_value) -> None:
+                self.commits_fired += 1
+
+            commit_done.subscribe(committed)
+            # Commit records are strictly ordered: the next op's value
+            # lines may not even be submitted until this record's
+            # persist completion fires.
+            yield from self._fence([commit_done])
+        return self.commits_fired

@@ -1,0 +1,95 @@
+"""Golden functional models: what the recovered heap *should* contain.
+
+A golden model consumes the same op stream as the driver, in pure
+Python, with no notion of caches, queues, or crashes.  After recovering
+from a crash that committed exactly ``n`` transactions, the recovered
+heap must equal the golden state after ``ops[:n]`` — for every
+controller, every crash site, every workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import insort
+from typing import Dict, List
+
+from repro.oracle.ops import Op
+from repro.persistence.commitlog import OP_DEL, OP_PUT
+
+
+class GoldenDict:
+    """Hash-map semantics: last PUT wins, DEL removes."""
+
+    def __init__(self) -> None:
+        self._state: Dict[int, bytes] = {}
+
+    def apply(self, op: Op) -> None:
+        if op.kind == OP_PUT:
+            self._state[op.key] = op.value
+        elif op.kind == OP_DEL:
+            self._state.pop(op.key, None)
+        else:
+            raise ValueError(f"unknown op kind {op.kind}")
+
+    def state(self) -> Dict[int, bytes]:
+        return dict(self._state)
+
+
+class GoldenTree(GoldenDict):
+    """Ordered-map semantics: same mapping, plus a sorted key index.
+
+    The logical contents equal the dict model's (a correct tree and a
+    correct hashmap agree on key->value); the sorted index asserts the
+    ordered-iteration invariant tree workloads additionally rely on.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keys: List[int] = []
+
+    def apply(self, op: Op) -> None:
+        present = op.key in self._state
+        super().apply(op)
+        if op.kind == OP_PUT and not present:
+            insort(self._keys, op.key)
+        elif op.kind == OP_DEL and present:
+            self._keys.remove(op.key)
+
+    def ordered_keys(self) -> List[int]:
+        assert self._keys == sorted(self._state), "tree index diverged"
+        return list(self._keys)
+
+
+def make_golden(semantics: str):
+    """Instantiate the golden model for a semantics tag."""
+    if semantics == "dict":
+        return GoldenDict()
+    if semantics == "tree":
+        return GoldenTree()
+    raise ValueError(f"unknown oracle semantics {semantics!r}")
+
+
+def prefix_states(semantics: str, ops: List[Op]) -> List[Dict[int, bytes]]:
+    """``states[n]`` = logical state after applying ``ops[:n]``.
+
+    Precomputed once per unit so each crash site's diff is a dict
+    comparison, not a replay.
+    """
+    model = make_golden(semantics)
+    states: List[Dict[int, bytes]] = [model.state()]
+    for op in ops:
+        model.apply(op)
+        states.append(model.state())
+    if isinstance(model, GoldenTree):
+        model.ordered_keys()  # assert the sorted-index invariant held
+    return states
+
+
+def state_digest(state: Dict[int, bytes]) -> str:
+    """Stable digest of one logical state (differential comparison)."""
+    h = hashlib.sha256()
+    for key in sorted(state):
+        h.update(key.to_bytes(8, "little"))
+        h.update(len(state[key]).to_bytes(4, "little"))
+        h.update(state[key])
+    return h.hexdigest()[:24]

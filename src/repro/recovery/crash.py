@@ -14,11 +14,12 @@ entries themselves (now only in the drained image) — is gone.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import SimConfig
-from repro.core.controller import DolosController
+from repro.core.controller import MemoryController
 from repro.core.registers import PersistentRegisters
 from repro.crypto.keys import KeyStore
 from repro.mem.nvm import NVMDevice
@@ -40,23 +41,49 @@ class CrashImage:
     #: architecturally persisted at crash time (in WPQ or in NVM).
     persisted_oracle: Dict[int, bytes] = field(default_factory=dict)
 
+    def clone(self) -> "CrashImage":
+        """Independent deep copy of the crash image.
+
+        :func:`repro.recovery.recover.recover_system` *mutates* the
+        image it recovers (clears the WPQ image region, advances the
+        pad counter, rotates the WPQ key) — differential checks that
+        recover the same crash twice (e.g. once clean and once after an
+        attack mutation) need isolated copies.
+        """
+        return copy.deepcopy(self)
+
 
 def crash_system(
-    controller: DolosController,
+    controller: MemoryController,
     oracle: Optional[Dict[int, bytes]] = None,
+    battery: bool = False,
 ) -> CrashImage:
-    """Simulate a power failure on a Dolos controller.
+    """Simulate a power failure on a running controller.
 
-    ADR drains the WPQ (completing at most one deferred Post-WPQ MAC),
-    then volatile state is conceptually discarded: the returned image
-    carries only what hardware would preserve.
+    For Dolos-style controllers ADR drains the WPQ (completing at most
+    one deferred Post-WPQ MAC); the pre-WPQ baseline has nothing to
+    drain (security ran before insertion).  Then volatile state is
+    conceptually discarded: the returned image carries only what
+    hardware would preserve.
 
     Args:
         controller: the running controller to crash.
         oracle: optional address->plaintext map of persisted writes, for
             post-recovery verification by tests.
+        battery: use the controller's battery-backed drain path
+            (``battery_drain``) instead of plain ADR — required for
+            :class:`~repro.core.controller.EADRSecureController`, whose
+            ADR-only ``crash()`` correctly refuses (out of budget).
     """
-    drained = controller.crash()
+    if battery:
+        drain = getattr(controller, "battery_drain", None)
+        if drain is None:
+            raise TypeError(
+                f"{type(controller).__name__} has no battery-backed drain"
+            )
+        drained = drain()
+    else:
+        drained = controller.crash()
     return CrashImage(
         config=controller.config,
         nvm=controller.nvm,

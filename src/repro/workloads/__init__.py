@@ -53,6 +53,24 @@ ALL_WORKLOADS: Dict[str, Type[Workload]] = {
     "logged-update": LoggedUpdateWorkload,
 }
 
+#: Golden-model semantics per workload for the crash-consistency oracle
+#: (:mod:`repro.oracle`): "dict" = unordered map, "tree" = ordered map.
+#: The tag selects the op-stream key pattern and the golden model the
+#: recovered heap is diffed against.
+ORACLE_SEMANTICS: Dict[str, str] = {
+    "hashmap": "dict",
+    "ctree": "tree",
+    "btree": "tree",
+    "rbtree": "tree",
+    "nstore-ycsb": "dict",
+    "redis": "dict",
+    "memcached": "dict",
+    "echo": "dict",
+    "synthetic": "dict",
+    "read-heavy": "dict",
+    "logged-update": "dict",
+}
+
 
 def get_workload(name: str) -> Workload:
     """Instantiate a registered workload by name."""
@@ -85,6 +103,7 @@ __all__ = [
     "HashmapWorkload",
     "LoggedUpdateWorkload",
     "MemcachedWorkload",
+    "ORACLE_SEMANTICS",
     "RBTreeWorkload",
     "ReadHeavyWorkload",
     "RedisWorkload",

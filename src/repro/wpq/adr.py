@@ -141,3 +141,14 @@ class ADRDrain:
         self._nvm.region_clear(WPQ_IMAGE_REGION)
         self._nvm.region_clear(WPQ_MAC_REGION)
         self._nvm.region_clear(WPQ_META_REGION)
+
+
+def drained_image_slots(nvm: NVMDevice) -> List[int]:
+    """Slot indices holding drained WPQ records on ``nvm``, sorted.
+
+    A static sibling of :meth:`ADRDrain.read_image` for consumers that
+    only have a crash image (no live drain object) and only need to
+    know *which* slots exist — e.g. the oracle's attack chooser picking
+    a record to tamper with.
+    """
+    return sorted(nvm.region(WPQ_IMAGE_REGION))

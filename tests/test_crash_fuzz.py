@@ -13,8 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import MiSUDesign, SimConfig
-from repro.core.controller import DolosController
+from repro.config import ControllerKind, MiSUDesign, SimConfig, lazy_config
+from repro.core.controller import DolosController, make_controller
 from repro.core.requests import WriteKind, WriteRequest
 from repro.engine import Simulator
 from repro.recovery.crash import crash_system
@@ -27,12 +27,19 @@ def value(tag: str) -> bytes:
     return hashlib.blake2b(tag.encode(), digest_size=32).digest() * 2
 
 
-def run_and_crash(design: MiSUDesign, crash_cycle: int, distinct: int, total: int):
+def run_and_crash(
+    design: MiSUDesign,
+    crash_cycle: int,
+    distinct: int,
+    total: int,
+    config: SimConfig = None,
+    battery: bool = False,
+):
     """Submit ``total`` writes over ``distinct`` addresses, crash, recover."""
-    config = SimConfig().with_(misu_design=design)
+    if config is None:
+        config = SimConfig().with_(misu_design=design)
     sim = Simulator()
-    controller = DolosController(sim, config)
-    controller.start()
+    controller = make_controller(sim, config)
     persisted_values = {}  # address -> list of persisted values, in order
     submitted_values = {}  # address -> every value ever submitted
 
@@ -50,7 +57,7 @@ def run_and_crash(design: MiSUDesign, crash_cycle: int, distinct: int, total: in
         done.subscribe(on_persist)
 
     sim.run(until=crash_cycle)
-    image = crash_system(controller)
+    image = crash_system(controller, battery=battery)
     report = recover_system(image)
     return persisted_values, submitted_values, report
 
@@ -90,6 +97,46 @@ def test_unique_addresses_recover_newest(crash_cycle):
     for address, values in persisted_values.items():
         assert len(values) == 1
         assert report.masu.secure_read(address) == values[0]
+
+
+@pytest.mark.parametrize(
+    "design",
+    [MiSUDesign.FULL_WPQ, MiSUDesign.PARTIAL_WPQ, MiSUDesign.POST_WPQ],
+)
+@given(crash_cycle=st.integers(min_value=1, max_value=60000))
+@settings(max_examples=6, deadline=None)
+def test_lazy_toc_any_crash_point_recovers(design, crash_cycle):
+    """The Phoenix/ToC (lazy tree) Ma-SU must give the same any-crash
+    guarantee as the eager Merkle tree."""
+    persisted_values, submitted_values, report = run_and_crash(
+        design, crash_cycle, distinct=6, total=24,
+        config=lazy_config(misu_design=design),
+    )
+    assert report.tree_root_verified
+    for address in persisted_values:
+        got = report.masu.secure_read(address)
+        assert got in submitted_values[address], (
+            f"{address:#x}: recovered value is not any submitted version"
+        )
+
+
+@given(crash_cycle=st.integers(min_value=1, max_value=60000))
+@settings(max_examples=8, deadline=None)
+def test_eadr_battery_crash_recovers(crash_cycle):
+    """eADR: persist completes at WPQ arrival; the battery flushes the
+    whole queue through the Ma-SU at power failure.  Every write whose
+    persist fired must therefore be recoverable."""
+    persisted_values, submitted_values, report = run_and_crash(
+        MiSUDesign.PARTIAL_WPQ, crash_cycle, distinct=6, total=24,
+        config=SimConfig().with_(controller=ControllerKind.EADR_SECURE),
+        battery=True,
+    )
+    assert report.tree_root_verified
+    for address in persisted_values:
+        got = report.masu.secure_read(address)
+        assert got in submitted_values[address], (
+            f"{address:#x}: recovered value is not any submitted version"
+        )
 
 
 def test_double_crash_double_recovery():

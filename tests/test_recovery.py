@@ -168,6 +168,83 @@ class TestRecoveryDetails:
         assert report.masu.secure_read(HEAP) == data
 
 
+@pytest.mark.parametrize(
+    "design",
+    [MiSUDesign.FULL_WPQ, MiSUDesign.PARTIAL_WPQ, MiSUDesign.POST_WPQ],
+)
+class TestOsirisEdgeCases:
+    def test_crash_between_counter_writeback_and_data_write(
+        self, design, line_factory
+    ):
+        """Crash at the exact instant after the counter cache wrote its
+        (possibly stale) block to NVM but before the data write landed.
+
+        Repeated same-line writes leave the NVM counter copy up to one
+        Osiris stride behind the architectural counter; the crash then
+        hits between Figure 11 steps 2 and 3 (redo log ready, data not
+        written).  OSIRIS_ONLY recovery must probe the stale counter
+        forward AND replay the staged write from the redo registers.
+        """
+        config = SimConfig().with_(misu_design=design)
+        # 20 writes over 4 lines: every line's architectural counter is
+        # ahead of (or equal to) the NVM copy, stride permitting.
+        writes = [HEAP + (i % 4) * 64 for i in range(20)]
+        sim, controller, oracle = run_writes(
+            config, writes, line_factory=line_factory
+        )
+        staged = line_factory("staged-under-stale-counters")
+        controller.masu.stage(HEAP, staged)  # crash before apply()
+        oracle[HEAP] = staged
+        image = crash_system(controller, oracle)
+        report = recover_system(image, RecoveryMode.OSIRIS_ONLY)
+        assert report.redo_log_replayed
+        for address in set(writes):
+            assert report.masu.secure_read(address) == oracle[address]
+
+    def test_crash_during_adr_drain_with_full_wpq(self, design, line_factory):
+        """Power-fail at maximum occupancy: the ADR energy budget must
+        cover draining every usable entry of the design's WPQ (16/13/10
+        for Full/Partial/Post), and recovery must replay them all."""
+        from repro.core.requests import WriteKind, WriteRequest
+
+        config = SimConfig().with_(misu_design=design)
+        sim = Simulator()
+        controller = DolosController(sim, config)
+        controller.start()
+        capacity = controller.wpq.capacity
+        assert capacity == config.adr.usable_entries(design)
+        oracle = {}
+        persisted = set()
+        for i in range(capacity * 3):
+            address = HEAP + i * 64
+            data = line_factory(f"full-{design.value}-{i}")
+            oracle[address] = data
+            done = controller.submit_write(
+                WriteRequest(address, WriteKind.PERSIST, data=data)
+            )
+            done.subscribe(lambda _v, a=address: persisted.add(a))
+        # Advance in small steps until the queue is full of *protected*
+        # entries (allocation precedes Mi-SU protection by the MAC
+        # latency, and the Ma-SU drains while we fill, so a fixed cycle
+        # count is racy).
+        def drainable() -> int:
+            return sum(1 for _ in controller.wpq.drainable_entries())
+
+        while sim.now < 200_000 and not (
+            controller.wpq.occupancy >= capacity and drainable() >= capacity - 1
+        ):
+            sim.run(until=sim.now + 25)
+        assert controller.wpq.occupancy == capacity
+        image = crash_system(controller, oracle)
+        # The drain image covers the whole queue and stayed within the
+        # ADR energy budget (drain() itself enforces the budget).
+        assert len(image.drained) >= capacity - 1
+        report = recover_system(image)
+        assert report.tree_root_verified
+        for address in persisted:
+            assert report.masu.secure_read(address) == oracle[address]
+
+
 class TestRecoveryEstimate:
     def test_paper_full_wpq_number(self):
         estimate = estimate_recovery(SimConfig().with_(misu_design=MiSUDesign.FULL_WPQ))

@@ -1,0 +1,117 @@
+"""Property tests for the persistent trace cache.
+
+Two guarantees the parallel experiment engine leans on:
+
+* the cache key digest is injective over the full identity tuple
+  (workload, transactions, payload, seed, generator-version) — two
+  distinct identities may never share an on-disk entry;
+* racing writers of the *same* key are safe: every writer produces a
+  complete archive with identical member bytes, and the atomic rename
+  means readers only ever observe one whole file.
+"""
+
+import threading
+import zipfile
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import trace_store as trace_store_module
+from repro.harness.trace_store import TraceStore
+from repro.workloads import generate_trace
+
+
+def _digest(workload, transactions, payload, seed, generator_version):
+    """TraceStore.digest under a pinned generator version.
+
+    ``GENERATOR_VERSION`` is imported into the trace_store namespace, so
+    swapping the module attribute is exactly what a real version bump
+    does to the digest.
+    """
+    previous = trace_store_module.GENERATOR_VERSION
+    trace_store_module.GENERATOR_VERSION = generator_version
+    try:
+        return TraceStore.digest((workload, transactions, payload, seed))
+    finally:
+        trace_store_module.GENERATOR_VERSION = previous
+
+
+_identities = st.tuples(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=16,
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=1000),
+)
+
+
+@given(a=_identities, b=_identities)
+@settings(max_examples=200, deadline=None)
+def test_distinct_identities_never_collide(a, b):
+    """Distinct (workload, tx, payload, seed, generator-version) tuples
+    must map to distinct cache digests — including tricky cases like
+    workload names that embed digits or separators mimicking another
+    tuple's rendering."""
+    assume(a != b)
+    assert _digest(*a) != _digest(*b)
+
+
+@given(version_a=st.integers(0, 100), version_b=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_generator_version_bump_invalidates(version_a, version_b):
+    assume(version_a != version_b)
+    key = ("hashmap", 10, 1024, 0)
+    assert _digest(*key, version_a) != _digest(*key, version_b)
+
+
+def _archive_members(path):
+    with zipfile.ZipFile(path) as archive:
+        return {name: archive.read(name) for name in archive.namelist()}
+
+
+def test_concurrent_writers_of_same_key_converge(tmp_path):
+    """Eight threads race to store the same key: no writer may error, no
+    temp file may survive, exactly one complete entry must exist, and it
+    must load back as the canonical trace."""
+    key = ("synthetic", 2, 64, 0)
+    trace = generate_trace(*key)
+    store = TraceStore(tmp_path)
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def writer():
+        try:
+            barrier.wait(timeout=30)
+            store.store(key, trace)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    files = list(tmp_path.iterdir())
+    assert len(files) == 1, f"expected one entry, found {files}"
+    assert not files[0].name.startswith(".tmp-")
+    assert store.load(key) == trace
+
+
+def test_same_key_writes_identical_bytes(tmp_path):
+    """Two independent writers of the same (key, trace) produce archives
+    whose members are byte-identical — the property that makes the
+    last-rename-wins race benign (zip container timestamps excluded;
+    they are metadata the loader never reads)."""
+    key = ("synthetic", 2, 64, 0)
+    trace = generate_trace(*key)
+    store_a = TraceStore(tmp_path / "a")
+    store_b = TraceStore(tmp_path / "b")
+    path_a = store_a.store(key, trace)
+    path_b = store_b.store(key, trace)
+    assert path_a.name == path_b.name
+    assert _archive_members(path_a) == _archive_members(path_b)
