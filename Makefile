@@ -4,7 +4,8 @@ PYTHON ?= python
 # Worker processes for experiment run units (0 = all cores).
 JOBS ?= 0
 
-.PHONY: install test check-oracle bench bench-perf experiments examples clean
+.PHONY: install test check-oracle bench bench-perf perf-gate trace-smoke \
+	experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,6 +31,20 @@ bench:
 # Kernel/run-unit perf trajectory: writes BENCH_kernel.json at the root.
 bench-perf:
 	$(PYTHON) benchmarks/test_perf_kernel.py
+
+# CI regression gate: fresh best-of-3 run-unit time vs the committed
+# BENCH_kernel.json (fails on >15% regression; PERF_GATE_THRESHOLD
+# overrides, as a fraction).
+perf-gate:
+	$(PYTHON) benchmarks/check_perf_gate.py
+
+# Span-tracing smoke (docs/performance.md): per-stage latency tables
+# for all six controller configurations on a 200-transaction hashmap
+# run, with span logs under results/trace/.  Exits non-zero if the
+# traced fence-stall cycles fail to reconcile with the breakdown.
+trace-smoke:
+	$(PYTHON) -m repro.harness trace hashmap --config dolos_full \
+		--transactions 200 --out results/trace
 
 # Regenerate every paper table/figure (plus CSV/JSON under results/).
 experiments:

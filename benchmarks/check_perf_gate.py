@@ -1,0 +1,74 @@
+"""CI perf-regression gate for the run-unit path.
+
+Re-measures the run-unit benchmark (best of three, to shave scheduler
+noise) and compares it against the committed baseline in
+``BENCH_kernel.json``.  Exits non-zero when the fresh measurement
+regresses by more than the threshold (default 15%, overridable via
+``PERF_GATE_THRESHOLD`` — a fraction, e.g. ``0.15``).
+
+Only the run-unit time gates: it is the quantum every experiment fans
+out, so a regression there multiplies across the whole harness.  The
+events/sec microbenches are reported for context but too
+machine-sensitive to gate on.
+
+Usage::
+
+    python benchmarks/check_perf_gate.py          # or: make perf-gate
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from test_perf_kernel import (  # noqa: E402
+    RUN_TRANSACTIONS,
+    bench_events_per_sec,
+    bench_run_unit_seconds,
+)
+
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_THRESHOLD = 0.15
+BEST_OF = 3
+
+
+def main() -> int:
+    threshold = float(os.environ.get("PERF_GATE_THRESHOLD", DEFAULT_THRESHOLD))
+    if not BASELINE_PATH.exists():
+        print(f"perf gate: no baseline at {BASELINE_PATH}; "
+              "run `make bench-perf` and commit it", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    reference = baseline.get("run_unit_seconds")
+    if not reference:
+        print("perf gate: baseline has no run_unit_seconds", file=sys.stderr)
+        return 2
+
+    samples = [bench_run_unit_seconds() for _ in range(BEST_OF)]
+    measured = min(samples)
+    ratio = measured / reference
+    rate = bench_events_per_sec()
+
+    print(f"run unit ({RUN_TRANSACTIONS} txns): best-of-{BEST_OF} "
+          f"{measured:.3f}s (samples: "
+          f"{', '.join(f'{s:.3f}' for s in samples)})")
+    print(f"baseline: {reference:.3f}s "
+          f"(python {baseline.get('python', '?')})")
+    print(f"ratio: {ratio:.3f}  threshold: {1 + threshold:.2f}")
+    print(f"events/sec (context, not gated): {rate:,.0f}")
+
+    if ratio > 1 + threshold:
+        print(f"perf gate: FAIL — run unit regressed "
+              f"{100 * (ratio - 1):.1f}% past the "
+              f"{100 * threshold:.0f}% threshold", file=sys.stderr)
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,9 @@ class MemoryController:
         # Persistent registers survive crashes: a rebooted controller is
         # handed the previous life's register file.
         self.registers = registers if registers is not None else PersistentRegisters()
-        self.wpq = WritePendingQueue(self._wpq_capacity())
+        self.wpq = WritePendingQueue(
+            self._wpq_capacity(), line_bytes=config.llc.line_bytes
+        )
         self._seq = 0
         #: Fired every time a WPQ slot frees (drain loop wake-up).
         self.slot_freed = Signal(sim, "wpq.slot_freed")
@@ -214,6 +216,13 @@ class MemoryController:
         when the controller has a Ma-SU, ``masu.stage``/``masu.commit``)
         mark every instant the persisted state changes — the crash-site
         enumerator (:mod:`repro.oracle.sites`) keys off them.
+
+        Event details carry per-request identity (``slot:seq:...``) so
+        the span tracer (:mod:`repro.tracing`) can assemble the
+        lifecycle of every persisted write.  The extra non-boundary
+        kinds (``wpq.alloc``, ``wpq.coalesce``, ``misu.protect``) are
+        invisible to the crash-site enumerator, which filters on
+        :data:`repro.instrumentation.PERSIST_BOUNDARY_KINDS`.
         """
         self.timeline = timeline
         sample = timeline.sample
@@ -222,15 +231,30 @@ class MemoryController:
         freed_fire = self.slot_freed.fire
         record_retry = self.wpq.record_retry
         begin_fetch = self.wpq.begin_fetch
+        try_allocate = self.wpq.try_allocate
+        try_coalesce = self.wpq.try_coalesce
+
+        def request_detail(entry, request):
+            issue = request.issue_cycle
+            return (
+                f"{entry.index}:{request.seq}:{request.address:#x}:"
+                f"{'P' if request.kind is WriteKind.PERSIST else 'E'}:"
+                f"{'-' if issue is None else issue}"
+            )
 
         def on_added(value=None):
             sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
-            event(self.sim.now, "wpq.insert")
+            detail = ""
+            request = getattr(value, "request", None)
+            if request is not None:
+                detail = f"{value.index}:{request.seq}"
+            event(self.sim.now, "wpq.insert", detail)
             added_fire(value)
 
         def on_freed(value=None):
             sample(self.sim.now, "wpq.occupancy", self.wpq.occupancy)
-            event(self.sim.now, "wpq.drain")
+            index = getattr(value, "index", None)
+            event(self.sim.now, "wpq.drain", "" if index is None else str(index))
             freed_fire(value)
 
         def on_retry():
@@ -241,10 +265,24 @@ class MemoryController:
             begin_fetch(entry)
             event(self.sim.now, "wpq.pop", str(entry.index))
 
+        def on_allocate(request):
+            entry = try_allocate(request)
+            if entry is not None:
+                event(self.sim.now, "wpq.alloc", request_detail(entry, request))
+            return entry
+
+        def on_coalesce(request):
+            entry = try_coalesce(request)
+            if entry is not None:
+                event(self.sim.now, "wpq.coalesce", request_detail(entry, request))
+            return entry
+
         self.entry_added.fire = on_added
         self.slot_freed.fire = on_freed
         self.wpq.record_retry = on_retry
         self.wpq.begin_fetch = on_fetch
+        self.wpq.try_allocate = on_allocate
+        self.wpq.try_coalesce = on_coalesce
 
         masu = getattr(self, "masu", None)
         if masu is not None:
@@ -253,12 +291,17 @@ class MemoryController:
 
             def on_stage(address, plaintext):
                 log = stage(address, plaintext)
-                event(self.sim.now, "masu.stage")
+                event(self.sim.now, "masu.stage", f"@{address:#x}")
                 return log
 
             def on_apply():
+                address = masu.staged_address
                 apply()
-                event(self.sim.now, "masu.commit")
+                event(
+                    self.sim.now,
+                    "masu.commit",
+                    "" if address is None else f"@{address:#x}",
+                )
 
             masu.stage = on_stage
             masu.apply = on_apply
@@ -452,6 +495,10 @@ class DolosController(MemoryController):
                 misu.protect(entry)
             entry.protected = True
             self.stats.add("misu.protected")
+            if self.timeline is not None:
+                self.timeline.event(
+                    self.sim.now, "misu.protect", f"{entry.index}:{request.seq}"
+                )
         if done is not None:
             done.fire(self.sim.now)
             self.stats.add("persist.completed")
@@ -464,6 +511,12 @@ class DolosController(MemoryController):
                 self.misu.protect(entry)
             entry.mac_pending = False
             self.stats.add("misu.protected")
+            if self.timeline is not None:
+                self.timeline.event(
+                    self.sim.now,
+                    "misu.protect",
+                    f"{entry.index}:{entry.request.seq}",
+                )
 
     # ------------------------------------------------------------------
     def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
@@ -509,6 +562,18 @@ class DolosController(MemoryController):
             def complete(entry=entry, request=request, address=address) -> None:
                 if request.data is not None:
                     self.masu.secure_write(address, request.data)
+                elif self.timeline is not None:
+                    # Timing-only runs never reach the wrapped
+                    # masu.stage/apply (no data bytes), so emit the
+                    # Fig 11 step-2/3 instants here for span assembly.
+                    # Functional (oracle) runs keep their event stream
+                    # unchanged — the wrappers already cover them.
+                    self.timeline.event(
+                        self.sim.now, "masu.stage", str(entry.index)
+                    )
+                    self.timeline.event(
+                        self.sim.now, "masu.commit", str(entry.index)
+                    )
                 # Step 3 (background): the ciphertext write to NVM; bank
                 # time is booked but nothing waits on it.  Metadata and
                 # shadow updates land in the metadata caches / the small

@@ -240,6 +240,17 @@ class MajorSecurityUnit:
         self.writes_processed += 1
         log.clear()
 
+    @property
+    def staged_address(self) -> Optional[int]:
+        """Address of the write currently staged in the redo log.
+
+        ``None`` when nothing is staged.  Lets instrumentation label an
+        ``apply`` (Fig 11 step 3) with the address it commits — the log
+        is cleared by the time ``apply`` returns.
+        """
+        log = self.registers.redo_log
+        return log.address if log.ready else None
+
     def secure_write(self, address: int, plaintext: bytes) -> None:
         """Convenience: stage + apply in one call (normal run-time)."""
         self.stage(address, plaintext)

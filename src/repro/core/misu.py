@@ -306,6 +306,10 @@ class PostWPQMiSU(PartialWPQMiSU):
         #: Cycle until which the deferred MAC engine is busy.
         self.busy_until = 0
         self.deferred_macs = 0
+        #: Total cycles the deferred engine spent occupied — the
+        #: denominator for its utilization, and the model-side
+        #: explanation of Post-WPQ's persisted→protect span deltas.
+        self.deferred_busy_cycles = 0
 
     def insertion_latency(self) -> int:
         # Commit is immediate; security runs post-commit.
@@ -320,6 +324,7 @@ class PostWPQMiSU(PartialWPQMiSU):
         done = now + self.deferred_latency()
         self.busy_until = done
         self.deferred_macs += 1
+        self.deferred_busy_cycles += self.deferred_latency()
         return done
 
     def is_busy(self, now: int) -> bool:

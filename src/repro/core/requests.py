@@ -29,6 +29,10 @@ class WriteRequest:
     seq: int = -1
     #: Cycle the request arrived at the controller.
     arrival: int = 0
+    #: Cycle the core issued the flush (before hierarchy traversal);
+    #: ``None`` for writes that never crossed the core (evictions).
+    #: Consumed by the span tracer (:mod:`repro.tracing`).
+    issue_cycle: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.address &= ~0x3F  # line-align

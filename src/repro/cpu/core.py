@@ -59,6 +59,10 @@ class TraceCore:
         self._fence_signal = Signal(sim, "core.fence")
         self._process: Optional[Process] = None
         self._work_carry = 0.0
+        #: Optional instrumentation (span tracing): when attached, the
+        #: core logs one ``core.fence_stall`` event per fence wake-up.
+        #: The hot path pays a single ``None`` check otherwise.
+        self.timeline = None
 
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[Tuple]) -> Process:
@@ -119,10 +123,12 @@ class TraceCore:
                         while self._outstanding_persists > 0:
                             started = self.sim.now
                             yield WaitSignal(self._fence_signal)
-                            self.stats.add(
-                                "core.fence_stall_cycles",
-                                self.sim.now - started,
-                            )
+                            stall = self.sim.now - started
+                            self.stats.add("core.fence_stall_cycles", stall)
+                            if self.timeline is not None:
+                                self.timeline.event(
+                                    self.sim.now, "core.fence_stall", str(stall)
+                                )
             elif code == OP_FENCE:
                 self.instructions += 1
                 if acc:
@@ -131,7 +137,12 @@ class TraceCore:
                 while self._outstanding_persists > 0:
                     started = self.sim.now
                     yield WaitSignal(self._fence_signal)
-                    self.stats.add("core.fence_stall_cycles", self.sim.now - started)
+                    stall = self.sim.now - started
+                    self.stats.add("core.fence_stall_cycles", stall)
+                    if self.timeline is not None:
+                        self.timeline.event(
+                            self.sim.now, "core.fence_stall", str(stall)
+                        )
                 self.stats.add("core.fences")
             elif code == OP_TXBEGIN:
                 if acc:
@@ -161,10 +172,13 @@ class TraceCore:
         """Issue a clwb writeback toward the controller (pipelined)."""
         self._outstanding_persists += 1
         self.stats.add("core.persists_issued")
+        # Built at issue time so the request carries the cycle the span
+        # tracer treats as the start of the persist critical path.
+        request = WriteRequest(address, WriteKind.PERSIST)
+        request.issue_cycle = self.sim.now
         traversal = self.hierarchy.flush_latency()
 
         def submit() -> None:
-            request = WriteRequest(address, WriteKind.PERSIST)
             done = self.controller.submit_write(request)
             assert done is not None
             done.subscribe(lambda _value: self._persist_complete())

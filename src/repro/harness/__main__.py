@@ -29,12 +29,17 @@ STATIC_EXPERIMENTS = {"tab03", "sec55"}
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # ``check`` is the crash-consistency oracle, not an experiment; it
-    # owns its flag set, so dispatch before the experiment parser runs.
+    # ``check`` (crash oracle) and ``trace`` (span tracing) are not
+    # experiments; each owns its flag set, so dispatch before the
+    # experiment parser runs.
     if argv and argv[0] == "check":
         from repro.oracle.check import main as oracle_main
 
         return oracle_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        from repro.tracing.cli import main as trace_main
+
+        return trace_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -42,8 +47,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig06, fig12-16, tab02, tab03, sec55, "
-        "motivation), 'all', 'list', or 'check' (crash oracle; see "
-        "python -m repro.harness check --help)",
+        "motivation), 'all', 'list', 'check' (crash oracle), or "
+        "'trace' (persist-span tracing); see "
+        "python -m repro.harness {check,trace} --help",
     )
     parser.add_argument(
         "--transactions",

@@ -63,11 +63,15 @@ def run_with_breakdown(
     trace: List[Tuple],
     workload: str = "trace",
     transactions: int = 0,
+    timeline=None,
 ) -> Tuple[RunResult, CycleBreakdown]:
     """Run one trace and return (result, cycle breakdown).
 
     Read-stall cycles are measured directly by wrapping the core's
     blocking-read waits; everything else reuses the standard runner.
+    An optional ``timeline`` (e.g. :class:`repro.tracing.SpanTracer`)
+    is attached to both the controller and the core, so span tracing
+    and the breakdown come from the same run.
     """
     from repro.core.controller import make_controller
     from repro.cpu.core import TraceCore
@@ -78,6 +82,9 @@ def run_with_breakdown(
     stats = StatsRegistry()
     controller = make_controller(sim, config, stats)
     core = TraceCore(sim, config, controller, stats)
+    if timeline is not None:
+        controller.attach_timeline(timeline)
+        core.timeline = timeline
 
     # Measure blocking-read stall time by timestamping read round trips.
     read_stall = {"cycles": 0}

@@ -79,3 +79,30 @@ def write_result(
 def load_json(path: Union[str, Path]) -> dict:
     """Read back a JSON export (regression-comparison helper)."""
     return json.loads(Path(path).read_text())
+
+
+def write_spans_jsonl(spans, path: Union[str, Path]) -> Path:
+    """Write persist spans as JSON Lines (one span object per line).
+
+    ``spans`` is any iterable of objects with ``to_json_dict()``
+    (:class:`repro.tracing.PersistSpan`); the schema is documented in
+    docs/performance.md.  Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_json_dict(), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_spans_jsonl(path: Union[str, Path]) -> list:
+    """Read a span log back into :class:`repro.tracing.PersistSpan`s."""
+    from repro.tracing.spans import PersistSpan
+
+    return [
+        PersistSpan.from_json_dict(json.loads(line))
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]

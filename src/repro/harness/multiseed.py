@@ -57,6 +57,8 @@ class SeedSweep:
     config: SimConfig
     workload: str
     runs: List[RunResult] = field(default_factory=list)
+    #: Seed of each run, index-aligned with ``runs`` (pairing key).
+    seeds: List[int] = field(default_factory=list)
 
     def metric(self, extract: Callable[[RunResult], float]) -> MetricStats:
         return MetricStats([extract(run) for run in self.runs])
@@ -87,7 +89,29 @@ def sweep_seeds(
     sweep = SeedSweep(config, workload)
     for seed in range(first_seed, first_seed + seeds):
         sweep.runs.append(run_workload(config, workload, transactions, seed))
+        sweep.seeds.append(seed)
     return sweep
+
+
+def paired_speedups(base: SeedSweep, fast: SeedSweep) -> MetricStats:
+    """Seed-paired speedup distribution of ``fast`` over ``base``.
+
+    Refuses to pair sweeps of unequal length or with mismatched seed
+    lists: silently zipping truncated sweeps would corrupt the paired
+    distribution with ratios of runs that never saw the same trace.
+    """
+    if len(base.runs) != len(fast.runs):
+        raise ValueError(
+            f"cannot pair sweeps of unequal length: baseline has "
+            f"{len(base.runs)} runs, improved has {len(fast.runs)}"
+        )
+    if base.seeds != fast.seeds:
+        raise ValueError(
+            f"sweeps are not seed-for-seed pairable: baseline seeds "
+            f"{base.seeds} vs improved seeds {fast.seeds}"
+        )
+    ratios = [b.cycles / f.cycles for b, f in zip(base.runs, fast.runs)]
+    return MetricStats(ratios)
 
 
 def compare(
@@ -105,7 +129,4 @@ def compare(
     """
     base = sweep_seeds(baseline, workload, transactions, seeds, first_seed)
     fast = sweep_seeds(improved, workload, transactions, seeds, first_seed)
-    ratios = [
-        b.cycles / f.cycles for b, f in zip(base.runs, fast.runs)
-    ]
-    return MetricStats(ratios)
+    return paired_speedups(base, fast)

@@ -24,6 +24,13 @@ class Histogram:
     max_value: Optional[int] = None
 
     def record(self, value: int, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError(f"negative histogram weight {weight}")
+        if weight == 0:
+            # A zero-weight sample contributes nothing: it must not
+            # move min/max or materialise a bucket, or percentile() and
+            # dump() report values no sample ever carried.
+            return
         self.buckets[value] += weight
         self.count += weight
         self.total += value * weight
@@ -37,11 +44,20 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> int:
-        """Return the smallest value covering fraction ``p`` of samples."""
+        """Return the smallest value covering fraction ``p`` of samples.
+
+        Edge semantics: ``percentile(0.0)`` is the minimum recorded
+        value, ``percentile(1.0)`` the maximum; an empty histogram
+        returns 0 for any ``p``.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"percentile {p} outside [0, 1]")
         if not self.count:
             return 0
+        if p == 0.0:
+            return self.min_value if self.min_value is not None else 0
+        if p == 1.0:
+            return self.max_value if self.max_value is not None else 0
         threshold = p * self.count
         seen = 0
         for value in sorted(self.buckets):

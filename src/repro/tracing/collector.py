@@ -1,0 +1,163 @@
+"""The span tracer: a Timeline that assembles persist spans live.
+
+:class:`SpanTracer` subclasses :class:`repro.instrumentation.Timeline`
+so it attaches through the exact hooks the crash-site oracle uses
+(:meth:`repro.core.controller.MemoryController.attach_timeline` plus
+``TraceCore.timeline``) — no second instrumentation path to keep in
+sync.  It parses the per-request identity carried in event details:
+
+======================  ========================================
+kind                    detail
+======================  ========================================
+``wpq.alloc``           ``slot:seq:0xaddr:{P|E}:{issue|-}``
+``wpq.coalesce``        ``slot:seq:0xaddr:{P|E}:{issue|-}``
+``wpq.insert``          ``slot:seq`` (persist acknowledged)
+``misu.protect``        ``slot:seq``
+``wpq.pop``             ``slot``
+``masu.stage``          ``slot`` (timing-only) / ``@0xaddr``
+``masu.commit``         ``slot`` (timing-only) / ``@0xaddr``
+``wpq.drain``           ``slot`` — finalises the span
+``core.fence_stall``    stall cycles for one fence wake-up
+======================  ========================================
+
+Functional (oracle) runs label ``masu.stage``/``masu.commit`` with the
+committed address (``@0x...``) rather than a slot; those events are
+boundary markers for the crash-site enumerator and are deliberately
+not folded into spans here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrumentation import Timeline
+from repro.tracing.spans import PersistSpan
+
+#: Default raw-log bound, sized so paper-scale trace runs never drop.
+#: Span assembly itself runs on every event regardless of the bound —
+#: only the debuggable raw log truncates — but a truncated log still
+#: fails reconciliation, because it can no longer corroborate spans.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+def _parse_request_detail(detail: str) -> Tuple[int, int, int, str, Optional[int]]:
+    """Split a ``slot:seq:0xaddr:kind:issue`` alloc/coalesce detail."""
+    slot_s, seq_s, addr_s, kind, issue_s = detail.split(":")
+    issue = None if issue_s == "-" else int(issue_s)
+    return int(slot_s), int(seq_s), int(addr_s, 16), kind, issue
+
+
+class SpanTracer(Timeline):
+    """Assembles one :class:`PersistSpan` per WPQ entry, live."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        super().__init__(max_events=max_events)
+        #: Completed spans, in drain order.
+        self.spans: List[PersistSpan] = []
+        #: Slot index -> span still in flight.
+        self.open: Dict[int, PersistSpan] = {}
+        #: Sum of fence-stall cycles observed through events — must
+        #: reconcile with the core's ``core.fence_stall_cycles`` stat.
+        self.fence_stall_cycles = 0
+        self.fence_waits = 0
+        #: Events that referenced a slot with no open span (or arrived
+        #: malformed) — nonzero means the vocabulary drifted.
+        self.unmatched_events = 0
+
+    # ------------------------------------------------------------------
+    def event(self, time: int, kind: str, detail: str = "") -> None:
+        super().event(time, kind, detail)
+        handler = self._HANDLERS.get(kind)
+        if handler is not None:
+            handler(self, time, detail)
+
+    # -- per-kind handlers ----------------------------------------------
+    def _on_alloc(self, time: int, detail: str) -> None:
+        slot, seq, address, kind, issue = _parse_request_detail(detail)
+        if slot in self.open:
+            # A slot re-allocated before its drain event: should not
+            # happen (drain fires on mark_cleared); keep the stale span
+            # rather than lose it, but flag the stream as inconsistent.
+            self.unmatched_events += 1
+            self.spans.append(self.open.pop(slot))
+        self.open[slot] = PersistSpan(
+            slot=slot, seq=seq, address=address, kind=kind,
+            issue=issue, alloc=time,
+        )
+
+    def _on_coalesce(self, time: int, detail: str) -> None:
+        slot, seq, _address, _kind, _issue = _parse_request_detail(detail)
+        span = self.open.get(slot)
+        if span is None:
+            self.unmatched_events += 1
+            return
+        span.coalesced += 1
+        span.folded_seqs.append(seq)
+
+    def _on_insert(self, time: int, detail: str) -> None:
+        span = self._slot_span(detail.split(":", 1)[0])
+        if span is not None:
+            # Re-stamped on coalesce: the span persists when its
+            # *final* content enters the persistence domain.
+            span.persisted = time
+
+    def _on_protect(self, time: int, detail: str) -> None:
+        span = self._slot_span(detail.split(":", 1)[0])
+        if span is not None:
+            span.protect = time
+
+    def _on_pop(self, time: int, detail: str) -> None:
+        span = self._slot_span(detail)
+        if span is not None:
+            span.pop = time
+
+    def _on_stage(self, time: int, detail: str) -> None:
+        if not detail.isdigit():
+            return  # functional run: address-labelled boundary marker
+        span = self._slot_span(detail)
+        if span is not None:
+            span.stage = time
+
+    def _on_commit(self, time: int, detail: str) -> None:
+        if not detail.isdigit():
+            return
+        span = self._slot_span(detail)
+        if span is not None:
+            span.commit = time
+
+    def _on_drain(self, time: int, detail: str) -> None:
+        if not detail.isdigit():
+            self.unmatched_events += 1
+            return
+        span = self.open.pop(int(detail), None)
+        if span is None:
+            self.unmatched_events += 1
+            return
+        span.drain = time
+        self.spans.append(span)
+
+    def _on_fence_stall(self, time: int, detail: str) -> None:
+        self.fence_stall_cycles += int(detail)
+        self.fence_waits += 1
+
+    # ------------------------------------------------------------------
+    def _slot_span(self, slot_text: str) -> Optional[PersistSpan]:
+        if not slot_text.isdigit():
+            self.unmatched_events += 1
+            return None
+        span = self.open.get(int(slot_text))
+        if span is None:
+            self.unmatched_events += 1
+        return span
+
+    _HANDLERS = {
+        "wpq.alloc": _on_alloc,
+        "wpq.coalesce": _on_coalesce,
+        "wpq.insert": _on_insert,
+        "misu.protect": _on_protect,
+        "wpq.pop": _on_pop,
+        "masu.stage": _on_stage,
+        "masu.commit": _on_commit,
+        "wpq.drain": _on_drain,
+        "core.fence_stall": _on_fence_stall,
+    }

@@ -1,0 +1,199 @@
+"""Span aggregation, the per-stage latency table, and reconciliation.
+
+Two independent measurements of fence-stall time exist once a tracer
+is attached: the core's ``core.fence_stall_cycles`` stat (what
+:mod:`repro.harness.breakdown` reports) and the sum of the tracer's
+``core.fence_stall`` events.  They are emitted at the same instants,
+so the reconciliation here is a plumbing cross-check on the whole
+span pipeline; the documented slack (2% relative with a 64-cycle
+absolute floor) only absorbs event-log truncation on pathological
+runs.  A second, model-level check bounds the breakdown's fence-stall
+total by the union of the spans' outstanding [issue, persisted]
+intervals — the core can only stall while a persist is outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.harness.breakdown import CycleBreakdown, run_with_breakdown
+from repro.harness.runner import RunResult
+from repro.harness.tables import render_table
+from repro.stats import Histogram
+from repro.tracing.collector import DEFAULT_MAX_EVENTS, SpanTracer
+from repro.tracing.spans import STAGE_ORDER, PersistSpan
+
+#: Documented reconciliation slack: relative (fraction) and absolute
+#: floor (cycles).  See docs/performance.md.
+DEFAULT_RELATIVE_SLACK = 0.02
+DEFAULT_ABSOLUTE_SLACK = 64
+
+_STAGE_RANK = {name: rank for rank, name in enumerate(STAGE_ORDER)}
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def stage_histograms(
+    spans: List[PersistSpan],
+    kinds: Tuple[str, ...] = ("P",),
+) -> Dict[str, Histogram]:
+    """Per-stage-delta histograms over ``spans`` (persists by default).
+
+    Keys are observed-order delta labels (``"issue->alloc"``, ...)
+    plus ``"total"`` for first-to-last latency.
+    """
+    hists: Dict[str, Histogram] = {}
+    for span in spans:
+        if kinds and span.kind not in kinds:
+            continue
+        for label, delta in span.stage_deltas():
+            hists.setdefault(label, Histogram()).record(delta)
+        total = span.total_latency()
+        if total is not None:
+            hists.setdefault("total", Histogram()).record(total)
+    return hists
+
+
+def _label_rank(label: str) -> Tuple[int, int]:
+    if label == "total":
+        return (len(STAGE_ORDER), len(STAGE_ORDER))
+    left, _, right = label.partition("->")
+    return (_STAGE_RANK.get(left, 99), _STAGE_RANK.get(right, 99))
+
+
+def render_stage_table(label: str, spans: List[PersistSpan]) -> str:
+    """The per-stage p50/p95/p99 latency table for one configuration."""
+    hists = stage_histograms(spans)
+    rows = []
+    for name in sorted(hists, key=_label_rank):
+        hist = hists[name]
+        rows.append([
+            name,
+            hist.count,
+            f"{hist.mean:.1f}",
+            hist.percentile(0.50),
+            hist.percentile(0.95),
+            hist.percentile(0.99),
+        ])
+    return render_table(
+        ["stage", "spans", "mean", "p50", "p95", "p99"],
+        rows,
+        title=f"per-stage persist latency (cycles) — {label}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Reconciliation
+# ----------------------------------------------------------------------
+def _interval_union(intervals: List[Tuple[int, int]]) -> int:
+    """Total length covered by the union of [start, end] intervals."""
+    total = 0
+    end_cursor = None
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if end_cursor is None or start > end_cursor:
+            total += end - start
+            end_cursor = end
+        elif end > end_cursor:
+            total += end - end_cursor
+            end_cursor = end
+    return total
+
+
+@dataclass
+class Reconciliation:
+    """Outcome of the trace-vs-breakdown fence-stall cross-check."""
+
+    tracer_fence_cycles: int
+    breakdown_fence_cycles: int
+    outstanding_union_cycles: int
+    slack_cycles: int
+    dropped_events: int
+    unmatched_events: int
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def reconcile(
+    tracer: SpanTracer,
+    breakdown: CycleBreakdown,
+    relative_slack: float = DEFAULT_RELATIVE_SLACK,
+    absolute_slack: int = DEFAULT_ABSOLUTE_SLACK,
+) -> Reconciliation:
+    """Cross-check the tracer's fence total against the breakdown's."""
+    traced = tracer.fence_stall_cycles
+    reported = breakdown.fence_stall
+    slack = max(absolute_slack, int(relative_slack * max(traced, reported)))
+    spans = list(tracer.spans) + list(tracer.open.values())
+    union = _interval_union([
+        (span.issue, span.persisted)
+        for span in spans
+        if span.kind == "P"
+        and span.issue is not None
+        and span.persisted is not None
+    ])
+    outcome = Reconciliation(
+        tracer_fence_cycles=traced,
+        breakdown_fence_cycles=reported,
+        outstanding_union_cycles=union,
+        slack_cycles=slack,
+        dropped_events=tracer.dropped_events,
+        unmatched_events=tracer.unmatched_events,
+    )
+    if abs(traced - reported) > slack:
+        outcome.failures.append(
+            f"fence-stall mismatch: traced {traced} vs breakdown "
+            f"{reported} (slack {slack})"
+        )
+    if reported > union + slack:
+        outcome.failures.append(
+            f"fence stall {reported} exceeds outstanding-persist union "
+            f"{union} (slack {slack}) — stalls with nothing outstanding"
+        )
+    if tracer.unmatched_events:
+        outcome.failures.append(
+            f"{tracer.unmatched_events} events did not match an open span"
+        )
+    if tracer.dropped_events:
+        outcome.failures.append(
+            f"{tracer.dropped_events} events dropped (raise max_events)"
+        )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# One traced run
+# ----------------------------------------------------------------------
+@dataclass
+class TracedRun:
+    """Everything one traced simulation produced."""
+
+    result: RunResult
+    breakdown: CycleBreakdown
+    tracer: SpanTracer
+
+    @property
+    def spans(self) -> List[PersistSpan]:
+        return self.tracer.spans
+
+
+def run_traced(
+    config: SimConfig,
+    trace: List[Tuple],
+    workload: str = "trace",
+    transactions: int = 0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> TracedRun:
+    """Run one trace with a span tracer attached to core + controller."""
+    tracer = SpanTracer(max_events=max_events)
+    result, breakdown = run_with_breakdown(
+        config, trace, workload, transactions, timeline=tracer
+    )
+    return TracedRun(result=result, breakdown=breakdown, tracer=tracer)

@@ -1,0 +1,128 @@
+"""The persist span: one write's lifecycle through the controller.
+
+A span is keyed by the WPQ slot the write occupied and carries one
+cycle timestamp per pipeline stage it crossed.  Not every stage exists
+on every controller (the non-secure ideal has no protect; pre-WPQ
+baselines have no Ma-SU stage/commit), and on Post-WPQ-MiSU the
+protect completes *after* persist — so deltas are computed between
+consecutive *present* timestamps sorted by time, not by a fixed
+canonical order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Canonical stage names, in nominal pipeline order.  Used for field
+#: iteration and as the tie-break when two stages land on one cycle.
+STAGE_ORDER = (
+    "issue",      # core issued the flush (clwb retire)
+    "alloc",      # WPQ slot allocated (first request of the span)
+    "protect",    # Mi-SU protection complete (slot's final content)
+    "persisted",  # persist acknowledged / entry architectural
+    "pop",        # Ma-SU pinned the entry (Fig 11 step 1)
+    "stage",      # redo-log registers written (step 2)
+    "commit",     # redo log applied (step 3)
+    "drain",      # slot cleared / plain drain wrote the device
+)
+
+_STAGE_RANK = {name: rank for rank, name in enumerate(STAGE_ORDER)}
+
+
+@dataclass
+class PersistSpan:
+    """One WPQ entry's life, issue to drain.
+
+    Coalesced writes fold into the span of the slot they merged into:
+    ``issue``/``alloc`` keep the *first* write's cycles while
+    ``protect``/``persisted`` are re-stamped by the re-protection of
+    the merged payload — the span's persist instant is the cycle its
+    *final* content entered the persistence domain.
+    """
+
+    slot: int
+    seq: int
+    address: int
+    kind: str  # "P" (persist) or "E" (eviction)
+    issue: Optional[int] = None
+    alloc: Optional[int] = None
+    protect: Optional[int] = None
+    persisted: Optional[int] = None
+    pop: Optional[int] = None
+    stage: Optional[int] = None
+    commit: Optional[int] = None
+    drain: Optional[int] = None
+    #: Number of later writes folded into this slot.
+    coalesced: int = 0
+    #: Controller sequence numbers of the folded writes.
+    folded_seqs: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def timestamps(self) -> List[Tuple[str, int]]:
+        """Present (stage, cycle) pairs, sorted by cycle.
+
+        Ties break on nominal pipeline order so e.g. a same-cycle
+        protect+persisted pair reads in the architectural direction.
+        """
+        present = [
+            (name, value)
+            for name in STAGE_ORDER
+            if (value := getattr(self, name)) is not None
+        ]
+        present.sort(key=lambda item: (item[1], _STAGE_RANK[item[0]]))
+        return present
+
+    def stage_deltas(self) -> List[Tuple[str, int]]:
+        """Cycle deltas between consecutive present stages.
+
+        Labels are ``"a->b"`` over the *observed* order, so Post-WPQ
+        spans naturally report ``persisted->protect``.
+        """
+        stamps = self.timestamps()
+        return [
+            (f"{a}->{b}", tb - ta)
+            for (a, ta), (b, tb) in zip(stamps, stamps[1:])
+        ]
+
+    def total_latency(self) -> Optional[int]:
+        """First-to-last stage cycles; None for degenerate spans."""
+        stamps = self.timestamps()
+        if len(stamps) < 2:
+            return None
+        return stamps[-1][1] - stamps[0][1]
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict:
+        """The JSONL schema: one object per span (see docs)."""
+        return {
+            "slot": self.slot,
+            "seq": self.seq,
+            "address": f"{self.address:#x}",
+            "kind": self.kind,
+            "coalesced": self.coalesced,
+            "folded_seqs": list(self.folded_seqs),
+            "stages": {
+                name: value
+                for name in STAGE_ORDER
+                if (value := getattr(self, name)) is not None
+            },
+            "deltas": dict(self.stage_deltas()),
+            "total": self.total_latency(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "PersistSpan":
+        """Rebuild a span from its JSONL record (derived keys ignored)."""
+        span = cls(
+            slot=payload["slot"],
+            seq=payload["seq"],
+            address=int(payload["address"], 16),
+            kind=payload["kind"],
+            coalesced=payload.get("coalesced", 0),
+            folded_seqs=list(payload.get("folded_seqs", [])),
+        )
+        for name, value in payload.get("stages", {}).items():
+            if name in _STAGE_RANK:
+                setattr(span, name, value)
+        return span

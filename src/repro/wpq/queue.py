@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.config import CACHELINE_BYTES
 from repro.core.requests import WriteRequest
 
 
@@ -52,14 +53,21 @@ class WPQEntry:
 class WritePendingQueue:
     """Circular FIFO of :class:`WPQEntry` with a volatile tag array."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, line_bytes: int = CACHELINE_BYTES) -> None:
         if capacity < 1:
             raise ValueError("WPQ capacity must be >= 1")
+        if line_bytes < 1 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
         self.capacity = capacity
+        self.line_bytes = line_bytes
+        self._line_mask = ~(line_bytes - 1)
         self.entries: List[WPQEntry] = [WPQEntry(i) for i in range(capacity)]
         self.next_write_index = 0
         self.next_fetch_index = 0
-        #: Volatile: plaintext address -> slot index (Section 4.5).
+        #: Volatile: *line* address -> slot index (Section 4.5).  Every
+        #: access — insert, lookup and cleanup — keys on the same masked
+        #: line address so unaligned writes coalesce, serve read hits,
+        #: and leave no stale tag behind on clear.
         self._tags: Dict[int, int] = {}
         self.inserts = 0
         self.coalesced = 0
@@ -80,9 +88,13 @@ class WritePendingQueue:
     def is_empty(self) -> bool:
         return self.occupancy == 0
 
+    def line_address(self, address: int) -> int:
+        """The tag-array key: ``address`` masked to its cache line."""
+        return address & self._line_mask
+
     def lookup(self, address: int) -> Optional[WPQEntry]:
         """Tag-array lookup (volatile); serves reads and coalescing."""
-        index = self._tags.get(address & ~0x3F)
+        index = self._tags.get(self.line_address(address))
         if index is None:
             return None
         entry = self.entries[index]
@@ -130,7 +142,7 @@ class WritePendingQueue:
                 # entry.cleared / ciphertext / mac are untouched: the
                 # previous content remains architectural (and tree-
                 # covered) until Mi-SU protection overwrites it.
-                self._tags[request.address] = index
+                self._tags[self.line_address(request.address)] = index
                 self.inserts += 1
                 self.high_water = max(self.high_water, self.occupancy)
                 return entry
@@ -166,9 +178,9 @@ class WritePendingQueue:
         entry.cleared = True
         entry.in_flight = False
         if entry.request is not None:
-            tagged = self._tags.get(entry.request.address)
-            if tagged == entry.index:
-                del self._tags[entry.request.address]
+            key = self.line_address(entry.request.address)
+            if self._tags.get(key) == entry.index:
+                del self._tags[key]
         self.next_fetch_index = (entry.index + 1) % self.capacity
 
     # ------------------------------------------------------------------

@@ -6,7 +6,12 @@ from repro.config import ControllerKind, CoreConfig, SimConfig
 from repro.core.controller import make_controller
 from repro.core.requests import WriteKind, WriteRequest
 from repro.engine import Simulator
-from repro.harness.multiseed import MetricStats, compare, sweep_seeds
+from repro.harness.multiseed import (
+    MetricStats,
+    compare,
+    paired_speedups,
+    sweep_seeds,
+)
 from repro.instrumentation import Timeline
 
 
@@ -161,3 +166,38 @@ class TestStrictPersistency:
             return speedup(baseline, dolos)
 
         assert gain(CoreConfig(persist_model="strict")) > gain(CoreConfig())
+
+
+class TestPairedSweeps:
+    """Regression: compare() must not silently truncate unequal sweeps."""
+
+    def _sweep(self, n, first_seed=1):
+        sweep = sweep_seeds(
+            SimConfig(), "ctree", transactions=10, seeds=n, first_seed=first_seed
+        )
+        return sweep
+
+    def test_length_mismatch_raises(self):
+        base = self._sweep(3)
+        fast = self._sweep(3)
+        fast.runs.pop()
+        fast.seeds.pop()
+        with pytest.raises(ValueError, match="unequal length"):
+            paired_speedups(base, fast)
+
+    def test_seed_mismatch_raises(self):
+        base = self._sweep(2, first_seed=1)
+        fast = self._sweep(2, first_seed=5)
+        with pytest.raises(ValueError, match="seed-for-seed"):
+            paired_speedups(base, fast)
+
+    def test_matched_sweeps_pair(self):
+        base = self._sweep(2)
+        fast = self._sweep(2)
+        stats = paired_speedups(base, fast)
+        assert stats.n == 2
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_sweep_records_seeds(self):
+        sweep = self._sweep(3, first_seed=7)
+        assert sweep.seeds == [7, 8, 9]

@@ -94,3 +94,42 @@ class TestScopes:
         text = stats.dump()
         assert "counter" in text
         assert "hist" in text
+
+
+class TestHistogramWeightEdgeCases:
+    """Regression: zero/negative weights must not corrupt the summary."""
+
+    def test_zero_weight_is_a_noop(self):
+        hist = Histogram()
+        hist.record(5)
+        hist.record(999, weight=0)
+        hist.record(-7, weight=0)
+        assert hist.count == 1
+        assert hist.min_value == 5
+        assert hist.max_value == 5
+        assert 999 not in hist.buckets
+        assert -7 not in hist.buckets
+        assert hist.percentile(1.0) == 5
+
+    def test_zero_weight_on_empty_histogram(self):
+        hist = Histogram()
+        hist.record(42, weight=0)
+        assert hist.count == 0
+        assert hist.min_value is None
+        assert hist.max_value is None
+        assert hist.buckets == {}
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().record(1, weight=-1)
+
+    def test_percentile_edge_semantics(self):
+        hist = Histogram()
+        for value in (3, 9, 27):
+            hist.record(value)
+        assert hist.percentile(0.0) == 3
+        assert hist.percentile(1.0) == 27
+
+    def test_percentile_edges_empty(self):
+        assert Histogram().percentile(0.0) == 0
+        assert Histogram().percentile(1.0) == 0

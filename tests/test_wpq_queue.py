@@ -165,3 +165,54 @@ class TestRetryAccounting:
         wpq.record_retry()
         wpq.record_retry()
         assert wpq.retry_events == 2
+
+
+class _RawRequest:
+    """A request stub whose address is NOT pre-aligned.
+
+    ``WriteRequest`` line-aligns in ``__post_init__``, which masked the
+    tag-array bug: the queue itself must key on the line address no
+    matter what its caller hands it.
+    """
+
+    def __init__(self, address):
+        self.address = address
+        self.data = None
+        self.kind = WriteKind.PERSIST
+        self.seq = -1
+
+
+class TestUnalignedTagKeys:
+    """Regression: tag array must key on the line address everywhere."""
+
+    def test_unaligned_insert_serves_lookup(self, wpq):
+        wpq.try_allocate(_RawRequest(0x1008))
+        assert wpq.lookup(0x1008) is not None
+        assert wpq.lookup(0x1000) is not None
+        assert wpq.lookup(0x103F) is not None
+
+    def test_unaligned_insert_coalesces(self, wpq):
+        entry = wpq.try_allocate(_RawRequest(0x1001))
+        merged = wpq.try_coalesce(_RawRequest(0x1030))
+        assert merged is entry
+        assert wpq.coalesced == 1
+
+    def test_unaligned_clear_leaves_no_stale_tag(self, wpq):
+        entry = wpq.try_allocate(_RawRequest(0x2004))
+        wpq.begin_fetch(entry)
+        wpq.mark_cleared(entry)
+        assert wpq.lookup(0x2004) is None
+        assert wpq._tags == {}
+
+    def test_mask_derived_from_line_size(self):
+        wide = WritePendingQueue(4, line_bytes=128)
+        wide.try_allocate(_RawRequest(0x1000))
+        # 0x1040 is a different 64B line but the same 128B line.
+        assert wide.lookup(0x1040) is not None
+        assert wide.line_address(0x1040) == 0x1000
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            WritePendingQueue(4, line_bytes=96)
+        with pytest.raises(ValueError):
+            WritePendingQueue(4, line_bytes=0)
