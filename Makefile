@@ -4,8 +4,8 @@ PYTHON ?= python
 # Worker processes for experiment run units (0 = all cores).
 JOBS ?= 0
 
-.PHONY: install test check-oracle bench bench-perf perf-gate trace-smoke \
-	experiments examples clean
+.PHONY: install test check-oracle fault-smoke bench bench-perf perf-gate \
+	trace-smoke experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,16 @@ check-oracle:
 	$(PYTHON) -m repro.harness check --workloads hashmap \
 		--controllers dolos-partial --transactions 20 --site-budget 8 \
 		--inject-divergence
+
+# Fault-injection campaign (docs/robustness.md): seeded media/metadata
+# corruption + degraded-ADR partial drains at interior crash sites over
+# all six controller configurations.  Exits non-zero if any injected
+# fault goes undetected AND unreconciled (a "silent" outcome).
+fault-smoke:
+	mkdir -p results
+	$(PYTHON) -m repro.harness faults --workloads hashmap \
+		--transactions 30 --sites 2 --jobs $(JOBS) \
+		--report results/faults.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -580,8 +580,10 @@ class DolosController(MemoryController):
                 # sequential shadow region (row-buffer hits) and do not
                 # occupy data banks.
                 self.nvm.timed_access(self.sim.now, address, True)
-                # Step 4: clear the entry, freeing the slot.
+                # Step 4: clear the entry, freeing the slot, and reseal
+                # its MAC (the cleared flag is in the MAC domain).
                 self.wpq.mark_cleared(entry)
+                self.misu.reseal_cleared(entry)
                 self.stats.add("masu.writes")
                 self.slot_freed.fire(entry)
 
@@ -700,6 +702,7 @@ class EADRSecureController(DolosController):
             if request is not None and request.data is not None:
                 self.masu.secure_write(request.address, request.data)
             self.wpq.mark_cleared(entry)
+            self.misu.reseal_cleared(entry)
             flushed += 1
         self.stats.add("eadr.battery_flushes", flushed)
         return self.adr_drain.drain(self.wpq)

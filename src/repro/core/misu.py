@@ -131,20 +131,40 @@ class MinorSecurityUnit:
         entry.cleared = False
 
     def entry_mac(self, entry: WPQEntry) -> bytes:
-        """MAC over (ciphertext, slot counter) — the BMT-style per-entry
-        MAC of Partial/Post designs (Design Option 2)."""
+        """MAC over (ciphertext, slot counter, cleared flag) — the
+        BMT-style per-entry MAC of Partial/Post designs (Design
+        Option 2).
+
+        The cleared flag is in the MAC domain: a drained record's flag
+        decides whether recovery replays it, so an unauthenticated flag
+        would let an attacker silently drop a committed write (flip
+        live→cleared) from the drained image.
+        """
         assert entry.ciphertext is not None
         return mac_over_fields(
             self.keys.mac_key,
             "wpq-entry",
             entry.index,
             entry.pad_counter,
+            int(entry.cleared),
             entry.ciphertext,
         )
 
     def protect(self, entry: WPQEntry) -> None:
         """Run the design's full functional protection for one entry."""
         raise NotImplementedError
+
+    def reseal_cleared(self, entry: WPQEntry) -> None:
+        """Re-MAC an entry whose cleared flag just flipped.
+
+        Runs when the memory controller retires a drained write: the
+        slot's architectural content is unchanged but its flag moved to
+        the cleared state, and the flag is part of the MAC domain.  A
+        register-to-register MAC off the insertion critical path — no
+        timing charge."""
+        if entry.ciphertext is None:
+            return
+        entry.mac = self.entry_mac(entry)
 
     # ------------------------------------------------------------------
     # Timing
@@ -207,7 +227,8 @@ class FullWPQMiSU(MinorSecurityUnit):
                 break
             other = self.wpq.entries[index]
             # The tree covers each slot's architectural content, live
-            # or cleared — clears never recompute MACs (Section 4.3).
+            # or cleared (a clear reseals the slot MAC with the flag
+            # flipped, then refreshes this path).
             group_macs.append(other.mac if other.mac else _EMPTY_MAC)
         self.registers.wpq_l1_macs[group] = mac_over_fields(
             self.keys.mac_key, "wpq-l1", group, b"".join(group_macs)
@@ -219,6 +240,13 @@ class FullWPQMiSU(MinorSecurityUnit):
         self.registers.wpq_root = mac_over_fields(
             self.keys.mac_key, "wpq-root", l1_concat
         )
+
+    def reseal_cleared(self, entry: WPQEntry) -> None:
+        """Reseal the cleared slot and fold its new MAC into the tree."""
+        if entry.ciphertext is None:
+            return
+        super().reseal_cleared(entry)
+        self._update_tree(entry.index)
 
     def compute_root_over(self, entry_macs: List[bytes]) -> bytes:
         """Root over an explicit MAC list (recovery verification).

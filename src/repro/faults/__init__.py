@@ -1,0 +1,21 @@
+"""Deterministic fault injection (the robustness campaign).
+
+* :mod:`repro.faults.plan` — the fault catalogue and seeded,
+  serializable :class:`FaultPlan`.
+* :mod:`repro.faults.injector` — applies plans to NVM devices and
+  answers the hardware's drain-time fault queries.
+* :mod:`repro.faults.campaign` — the campaign driver: inject at oracle
+  crash sites, classify recovery outcomes (detected / tolerated /
+  silent), roll up a JSON report (``python -m repro.harness faults``).
+"""
+
+from repro.faults.injector import FaultInjector, apply_spec
+from repro.faults.plan import ALL_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ALL_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "apply_spec",
+]

@@ -1,0 +1,125 @@
+"""The fault injector: applies a plan and records what the system saw.
+
+One injector carries one :class:`~repro.faults.plan.FaultPlan` and is
+attached to an :class:`~repro.mem.nvm.NVMDevice` via
+``nvm.attach_fault_injector``.  It plays three roles:
+
+1. **Media faults** — :func:`apply_spec` / :meth:`FaultInjector.apply_media`
+   corrupt the NVM contents directly (bit flips, dropped or swapped
+   region entries).  These run once, against a crash image.
+2. **Drain-time faults** — the ADR drain asks :meth:`adr_budget` for
+   its (possibly degraded) energy budget; metadata caches ask
+   :meth:`cache_parity_fault` whether a line just took a parity hit.
+3. **Detection log** — integrity checkers call :meth:`observe` when a
+   verification fails, so the campaign can attribute detections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec, REGION_FLIP_KINDS
+from repro.mem.nvm import NVMDevice
+from repro.wpq.adr import WPQ_MAC_REGION
+
+
+def apply_spec(nvm: NVMDevice, spec: FaultSpec) -> bool:
+    """Apply one media-fault spec to ``nvm``.
+
+    Returns ``True`` iff the fault landed (its target existed).
+    Drain-time kinds (``adr-degrade``, ``cache-parity``) are not media
+    faults; they return ``True`` without touching the device — they
+    take effect through the injector's query hooks.
+    """
+    if spec.kind in ("adr-degrade", "cache-parity"):
+        return True
+    if spec.kind == "data-line-flip":
+        assert spec.target is not None and spec.bit is not None
+        return nvm.corrupt_line(spec.target, spec.bit)
+    if spec.kind in REGION_FLIP_KINDS:
+        assert spec.region and spec.target is not None and spec.bit is not None
+        return nvm.corrupt_region_entry(spec.region, spec.target, spec.bit)
+    if spec.kind == "wpq-truncate":
+        assert spec.region and spec.target is not None
+        hit = nvm.region_delete(spec.region, spec.target)
+        # The matching MAC record vanishes with it (a torn drain loses
+        # the whole slot, not just the entry bytes).
+        nvm.region_delete(WPQ_MAC_REGION, spec.target)
+        return hit
+    if spec.kind == "wpq-meta-drop":
+        assert spec.region is not None
+        return nvm.region_delete(spec.region, spec.target or 0)
+    if spec.kind == "wpq-reorder":
+        assert spec.region and spec.target is not None and spec.aux is not None
+        region = nvm.region(spec.region)
+        a, b = spec.target, spec.aux
+        if a not in region or b not in region:
+            return False
+        region[a], region[b] = region[b], region[a]
+        macs = nvm.region(WPQ_MAC_REGION)
+        mac_a, mac_b = macs.get(a), macs.get(b)
+        if mac_a is not None or mac_b is not None:
+            if mac_b is None:
+                macs.pop(a, None)
+            else:
+                macs[a] = mac_b
+            if mac_a is None:
+                macs.pop(b, None)
+            else:
+                macs[b] = mac_a
+        return True
+    raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+
+class FaultInjector:
+    """Carries one plan; answers the hardware's fault queries."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: (site, detail) pairs logged by integrity checkers.
+        self.notes: List[Tuple[str, str]] = []
+        self._parity_fired: set = set()
+
+    # -- detection log --------------------------------------------------
+    def observe(self, site: str, detail: str) -> None:
+        self.notes.append((site, detail))
+
+    def detections(self) -> List[Tuple[str, str]]:
+        return list(self.notes)
+
+    # -- drain-time faults ----------------------------------------------
+    def adr_budget(self, full_budget: int) -> int:
+        """The (possibly degraded) ADR energy budget for this drain."""
+        budget = full_budget
+        for spec in self.plan.faults:
+            if spec.kind == "adr-degrade" and spec.aux is not None:
+                budget = min(budget, spec.aux)
+        if budget < full_budget:
+            self.observe("adr.budget", f"degraded {full_budget} -> {budget}")
+        return budget
+
+    def cache_parity_fault(self, cache_name: str, key: int) -> bool:
+        """One-shot: did this cache just take a parity hit on access?
+
+        Fires on the *first* access to the named cache after attachment
+        (the planted flip sits wherever the next access lands), then
+        never again for that spec.
+        """
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind == "cache-parity"
+                and spec.region == cache_name
+                and i not in self._parity_fired
+            ):
+                self._parity_fired.add(i)
+                self.observe("cache.parity", f"{cache_name} key {key:#x}")
+                return True
+        return False
+
+    # -- media faults ----------------------------------------------------
+    def apply_media(self, nvm: NVMDevice) -> List[Tuple[FaultSpec, bool]]:
+        """Apply every media fault in the plan; returns (spec, landed)."""
+        return [(spec, apply_spec(nvm, spec)) for spec in self.plan.faults]
+
+
+__all__ = ["FaultInjector", "apply_spec"]

@@ -1,0 +1,226 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded, serializable description of which
+faults to plant into a crash image (or into the live machine, for
+drain-time faults).  Plans are generated *from* a crash image: the
+catalogue below is filtered down to fault kinds whose target population
+is non-empty on that image (a config that never wrote a ToC node cannot
+take a ToC-node flip), then concrete targets are drawn with a
+``random.Random(seed)`` so the same (seed, image) always yields the
+same plan.
+
+Fault catalogue (``kind`` strings):
+
+======================  ================================================
+``data-line-flip``      one-bit flip in a stored NVM data line
+``counter-flip``        one-bit flip in a stored encryption-counter block
+``shadow-flip``         one-bit flip in an Anubis shadow entry
+``toc-node-flip``       one-bit flip in a persisted ToC node (lazy cfgs)
+``toc-leaf-mac-flip``   one-bit flip in a persisted ToC leaf MAC
+``data-mac-flip``       one-bit flip in a per-line data MAC
+``wpq-record-flip``     one-bit flip in a drained WPQ record (cleared
+                        flag or ciphertext bits — the MAC'd portion)
+``wpq-mac-flip``        one-bit flip in a drained per-entry MAC record
+``wpq-truncate``        drop one drained WPQ record (and its MAC)
+``wpq-meta-drop``       drop the drained-image meta record
+``wpq-reorder``         swap two drained WPQ records (and their MACs)
+``adr-degrade``         cap the drain's ADR energy budget at ``aux``
+``cache-parity``        one-shot parity hit in a metadata cache
+                        (``region`` = cache name)
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.masu import (
+    COUNTER_REGION,
+    DEDUP_MAP_REGION,
+    TOC_LEAF_REGION,
+    TOC_NODE_REGION,
+)
+from repro.security import anubis, data_mac
+from repro.wpq.adr import WPQ_IMAGE_REGION, WPQ_MAC_REGION, WPQ_META_REGION
+
+#: Drained WPQ record layout (mirrors repro.wpq.adr): a 17-byte header
+#: (address, pad counter, cleared flag) followed by 72 ciphertext
+#: bytes.  The stored address/counter header fields are *unused* or
+#: merely cross-checked at recovery, so record flips target the MAC'd
+#: portion — the cleared-flag byte onward.
+_RECORD_HEADER_BYTES = 17
+_RECORD_TOTAL_BYTES = _RECORD_HEADER_BYTES + 72
+_RECORD_MACED_FIRST_BIT = (_RECORD_HEADER_BYTES - 1) * 8
+
+#: kind -> NVM metadata region it corrupts (single-bit-flip kinds).
+REGION_FLIP_KINDS: Dict[str, str] = {
+    "counter-flip": COUNTER_REGION,
+    "shadow-flip": anubis.REGION,
+    "toc-node-flip": TOC_NODE_REGION,
+    "toc-leaf-mac-flip": TOC_LEAF_REGION,
+    "data-mac-flip": data_mac.REGION,
+    "wpq-record-flip": WPQ_IMAGE_REGION,
+    "wpq-mac-flip": WPQ_MAC_REGION,
+}
+
+ALL_KINDS: Tuple[str, ...] = tuple(REGION_FLIP_KINDS) + (
+    "data-line-flip",
+    "wpq-truncate",
+    "wpq-meta-drop",
+    "wpq-reorder",
+    "adr-degrade",
+    "cache-parity",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault."""
+
+    kind: str
+    #: NVM metadata region (or metadata-cache name for ``cache-parity``).
+    region: Optional[str] = None
+    #: Region key / line address / slot index, kind-dependent.
+    target: Optional[int] = None
+    #: Bit offset for single-bit flips.
+    bit: Optional[int] = None
+    #: Kind-specific extra: second slot for ``wpq-reorder``, the
+    #: degraded budget for ``adr-degrade``.
+    aux: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            region=payload.get("region"),
+            target=payload.get("target"),
+            bit=payload.get("bit"),
+            aux=payload.get("aux"),
+        )
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.region is not None:
+            parts.append(f"region={self.region}")
+        if self.target is not None:
+            parts.append(f"target={self.target:#x}")
+        if self.bit is not None:
+            parts.append(f"bit={self.bit}")
+        if self.aux is not None:
+            parts.append(f"aux={self.aux}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable batch of faults."""
+
+    seed: int
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]},
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        return cls(
+            seed=payload["seed"],
+            faults=tuple(
+                FaultSpec.from_dict(f) for f in payload.get("faults", [])
+            ),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        image,
+        kinds: Optional[Iterable[str]] = None,
+        degraded_budget: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw one concrete fault per applicable catalogue kind.
+
+        Args:
+            seed: RNG seed; same (seed, image) -> same plan.
+            image: a :class:`repro.recovery.crash.CrashImage` whose NVM
+                populations define which kinds are applicable.
+            kinds: restrict the catalogue (default: every kind).
+            degraded_budget: when set, include an ``adr-degrade`` fault
+                with this budget (the caller computes it from the live
+                pre-crash machine; it cannot be derived from an image).
+        """
+        rng = random.Random(seed)
+        wanted = set(kinds) if kinds is not None else set(ALL_KINDS)
+        nvm = image.nvm
+        faults: List[FaultSpec] = []
+
+        for kind in sorted(wanted & set(REGION_FLIP_KINDS)):
+            region = REGION_FLIP_KINDS[kind]
+            keys = sorted(k for k, v in nvm.region(region).items() if v)
+            if not keys:
+                continue
+            target = rng.choice(keys)
+            size_bits = len(nvm.region(region)[target]) * 8
+            if kind == "wpq-record-flip":
+                bit = rng.randrange(_RECORD_MACED_FIRST_BIT, size_bits)
+            else:
+                bit = rng.randrange(size_bits)
+            faults.append(FaultSpec(kind, region=region, target=target, bit=bit))
+
+        if "data-line-flip" in wanted:
+            lines = nvm.resident_line_addresses()
+            if lines:
+                faults.append(
+                    FaultSpec(
+                        "data-line-flip",
+                        target=rng.choice(lines),
+                        bit=rng.randrange(512),
+                    )
+                )
+
+        image_slots = sorted(nvm.region(WPQ_IMAGE_REGION))
+        if "wpq-truncate" in wanted and image_slots:
+            faults.append(
+                FaultSpec(
+                    "wpq-truncate",
+                    region=WPQ_IMAGE_REGION,
+                    target=rng.choice(image_slots),
+                )
+            )
+        if "wpq-meta-drop" in wanted and nvm.region(WPQ_META_REGION):
+            faults.append(
+                FaultSpec("wpq-meta-drop", region=WPQ_META_REGION, target=0)
+            )
+        if "wpq-reorder" in wanted and len(image_slots) >= 2:
+            a, b = rng.sample(image_slots, 2)
+            faults.append(
+                FaultSpec(
+                    "wpq-reorder", region=WPQ_IMAGE_REGION, target=a, aux=b
+                )
+            )
+        if "adr-degrade" in wanted and degraded_budget is not None:
+            faults.append(FaultSpec("adr-degrade", aux=degraded_budget))
+        if "cache-parity" in wanted:
+            faults.append(
+                FaultSpec("cache-parity", region=rng.choice(["counter$", "mt$"]))
+            )
+        return cls(seed=seed, faults=tuple(faults))
+
+
+__all__ = [
+    "ALL_KINDS",
+    "REGION_FLIP_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+]

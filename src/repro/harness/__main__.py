@@ -29,9 +29,9 @@ STATIC_EXPERIMENTS = {"tab03", "sec55"}
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # ``check`` (crash oracle) and ``trace`` (span tracing) are not
-    # experiments; each owns its flag set, so dispatch before the
-    # experiment parser runs.
+    # ``check`` (crash oracle), ``trace`` (span tracing) and ``faults``
+    # (fault-injection campaign) are not experiments; each owns its
+    # flag set, so dispatch before the experiment parser runs.
     if argv and argv[0] == "check":
         from repro.oracle.check import main as oracle_main
 
@@ -40,6 +40,10 @@ def main(argv=None) -> int:
         from repro.tracing.cli import main as trace_main
 
         return trace_main(list(argv[1:]))
+    if argv and argv[0] == "faults":
+        from repro.faults.campaign import main as faults_main
+
+        return faults_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -47,9 +51,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig06, fig12-16, tab02, tab03, sec55, "
-        "motivation), 'all', 'list', 'check' (crash oracle), or "
-        "'trace' (persist-span tracing); see "
-        "python -m repro.harness {check,trace} --help",
+        "motivation), 'all', 'list', 'check' (crash oracle), "
+        "'trace' (persist-span tracing), or 'faults' (fault-injection "
+        "campaign); see python -m repro.harness {check,trace,faults} "
+        "--help",
     )
     parser.add_argument(
         "--transactions",

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.harness.breakdown import CycleBreakdown, run_with_breakdown
@@ -186,16 +188,173 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+# ----------------------------------------------------------------------
+# Worker resilience
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerFailure:
+    """One unit's trip through the retry machinery."""
+
+    index: int
+    label: str
+    attempts: int
+    error: str
+    #: ``"retried"`` (a later pool attempt succeeded), ``"serial"``
+    #: (completed by the in-process fallback), or ``"failed"``.
+    resolution: str
+
+
+class ParallelExecutionError(RuntimeError):
+    """A unit failed even in the serial fallback."""
+
+
+def _worker_timeout() -> Optional[float]:
+    """Per-unit wall-clock limit (seconds); None (default) = unbounded."""
+    env = os.environ.get("REPRO_WORKER_TIMEOUT", "").strip()
+    return float(env) if env else None
+
+
+def _worker_retries() -> int:
+    env = os.environ.get("REPRO_WORKER_RETRIES", "").strip()
+    return int(env) if env else 2
+
+
+def _worker_backoff() -> float:
+    env = os.environ.get("REPRO_WORKER_BACKOFF", "").strip()
+    return float(env) if env else 0.05
+
+
+def _resilient_map(
+    worker: Callable,
+    initializer: Optional[Callable],
+    initargs: tuple,
+    items: List,
+    jobs: int,
+    serial_fn: Callable,
+    label_fn: Callable[[object], str],
+    failures: Optional[List[WorkerFailure]] = None,
+) -> List:
+    """Pool-map ``worker`` over indexed ``items`` with retry + fallback.
+
+    ``worker`` receives ``(index, item)`` and returns ``(index,
+    payload)``.  A unit whose worker raises or exceeds
+    ``REPRO_WORKER_TIMEOUT`` is retried on a *fresh* pool (up to
+    ``REPRO_WORKER_RETRIES`` times, with exponential backoff); a unit
+    that keeps failing is completed in-process by ``serial_fn`` so one
+    bad worker cannot kill the sweep.  Hung workers die with their
+    pool (context exit terminates).  Raises
+    :class:`ParallelExecutionError` only when the serial fallback
+    fails too.
+    """
+    timeout = _worker_timeout()
+    retries = _worker_retries()
+    backoff = _worker_backoff()
+    results: List = [None] * len(items)
+    history: Dict[int, List[str]] = {}
+    pending: List[Tuple[int, object]] = list(enumerate(items))
+    ctx = multiprocessing.get_context(_START_METHOD)
+
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(backoff * (2 ** (attempt - 1)))
+        still_failing: List[Tuple[int, object]] = []
+        with ctx.Pool(
+            processes=min(jobs, len(pending)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            handles = [
+                (index, item, pool.apply_async(worker, ((index, item),)))
+                for index, item in pending
+            ]
+            for index, item, handle in handles:
+                try:
+                    got_index, payload = handle.get(timeout)
+                except multiprocessing.TimeoutError:
+                    history.setdefault(index, []).append(
+                        f"timed out after {timeout}s"
+                    )
+                    still_failing.append((index, item))
+                except Exception as exc:
+                    history.setdefault(index, []).append(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    still_failing.append((index, item))
+                else:
+                    results[got_index] = payload
+                    if got_index in history and failures is not None:
+                        failures.append(
+                            WorkerFailure(
+                                index=got_index,
+                                label=label_fn(item),
+                                attempts=len(history[got_index]) + 1,
+                                error=history[got_index][-1],
+                                resolution="retried",
+                            )
+                        )
+            # Context exit terminates the pool, reaping hung workers.
+        pending = still_failing
+
+    for index, item in pending:
+        errors = history.get(index, [])
+        try:
+            results[index] = serial_fn(item)
+        except Exception as exc:
+            if failures is not None:
+                failures.append(
+                    WorkerFailure(
+                        index=index,
+                        label=label_fn(item),
+                        attempts=len(errors) + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                        resolution="failed",
+                    )
+                )
+            raise ParallelExecutionError(
+                f"unit {index} ({label_fn(item)}) failed after "
+                f"{len(errors)} pool attempt(s) ({'; '.join(errors)}) "
+                f"and the serial fallback: {type(exc).__name__}: {exc}"
+            ) from exc
+        if failures is not None:
+            failures.append(
+                WorkerFailure(
+                    index=index,
+                    label=label_fn(item),
+                    attempts=len(errors) + 1,
+                    error=errors[-1] if errors else "",
+                    resolution="serial",
+                )
+            )
+    return results
+
+
+def report_failures(failures: List[WorkerFailure]) -> None:
+    """Print a per-unit failure summary to stderr (empty list: silent)."""
+    for failure in failures:
+        print(
+            f"[parallel] unit {failure.index} ({failure.label}): "
+            f"{failure.resolution} after {failure.attempts} attempt(s)"
+            + (f" — last error: {failure.error}" if failure.error else ""),
+            file=sys.stderr,
+        )
+
+
 def run_units(
     units: Sequence[RunUnit],
     jobs: int,
     cache_dir=TraceCache.AUTO,
+    failures: Optional[List[WorkerFailure]] = None,
 ) -> List:
     """Execute ``units`` on ``jobs`` workers; results in input order.
 
     ``jobs <= 1`` runs serially in-process (no pool, easier debugging);
     either way the returned list lines up index-for-index with
-    ``units``.
+    ``units``.  Crashed or hung workers are retried and finally
+    degraded to in-process execution (see :func:`_resilient_map`); pass
+    ``failures`` to collect the per-unit summary (it is also printed to
+    stderr when the caller does not collect it).
     """
     units = list(units)
     if cache_dir is TraceCache.AUTO:
@@ -204,16 +363,27 @@ def run_units(
         cache = TraceCache(cache_dir)
         return [execute_unit(unit, cache) for unit in units]
     jobs = min(jobs, len(units))
-    ctx = multiprocessing.get_context(_START_METHOD)
-    results: List = [None] * len(units)
-    with ctx.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(cache_dir,)
-    ) as pool:
-        indexed = pool.imap_unordered(
-            _execute_indexed, list(enumerate(units)), chunksize=1
-        )
-        for index, payload in indexed:
-            results[index] = payload
+
+    serial_cache: List[Optional[TraceCache]] = [None]
+
+    def serial_fn(unit: RunUnit):
+        if serial_cache[0] is None:
+            serial_cache[0] = TraceCache(cache_dir)
+        return execute_unit(unit, serial_cache[0])
+
+    own_failures: List[WorkerFailure] = [] if failures is None else failures
+    results = _resilient_map(
+        _execute_indexed,
+        _init_worker,
+        (cache_dir,),
+        units,
+        jobs,
+        serial_fn,
+        lambda unit: f"{unit.workload} x{unit.transactions} {unit.mode}",
+        own_failures,
+    )
+    if failures is None and own_failures:
+        report_failures(own_failures)
     return results
 
 
@@ -230,26 +400,38 @@ def _fan_out_indexed(item):
     return index, _FAN_OUT_FN(value)
 
 
-def fan_out(fn, items: Sequence, jobs: int) -> List:
+def fan_out(
+    fn,
+    items: Sequence,
+    jobs: int,
+    failures: Optional[List[WorkerFailure]] = None,
+) -> List:
     """Map ``fn`` over ``items`` on ``jobs`` worker processes.
 
     The generic sibling of :func:`run_units` for work that is not a
     :class:`RunUnit` (e.g. the crash-oracle's per-controller sweeps).
     ``fn`` and each item must be picklable under the fork start method;
     results line up index-for-index with ``items``.  ``jobs <= 1`` runs
-    serially in-process.
+    serially in-process.  Failing or hung workers are retried then
+    degraded to in-process execution, exactly as in :func:`run_units`.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     jobs = min(jobs, len(items))
-    ctx = multiprocessing.get_context(_START_METHOD)
-    results: List = [None] * len(items)
-    with ctx.Pool(processes=jobs, initializer=_init_fan_out, initargs=(fn,)) as pool:
-        for index, payload in pool.imap_unordered(
-            _fan_out_indexed, list(enumerate(items)), chunksize=1
-        ):
-            results[index] = payload
+    own_failures: List[WorkerFailure] = [] if failures is None else failures
+    results = _resilient_map(
+        _fan_out_indexed,
+        _init_fan_out,
+        (fn,),
+        items,
+        jobs,
+        fn,
+        lambda item: repr(item)[:80],
+        own_failures,
+    )
+    if failures is None and own_failures:
+        report_failures(own_failures)
     return results
 
 

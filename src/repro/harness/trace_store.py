@@ -61,12 +61,30 @@ def default_cache_dir() -> Optional[Path]:
 class TraceStore:
     """Content-addressed on-disk store of generated traces."""
 
+    #: Subdirectory corrupt entries are moved into (kept for forensics).
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Corrupt/truncated entries moved aside by :meth:`load`.
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def payload_digest(trace: List[Tuple]) -> str:
+        """Content digest of the trace *payload* (the arrays themselves).
+
+        Stored in the entry's metadata and re-checked on load: the key
+        digest authenticates *which* trace the file claims to be, this
+        one authenticates its *bytes* — a truncated or bit-rotted file
+        fails here even when its header survived intact.
+        """
+        codes, operands = trace_io.trace_to_arrays(trace)
+        material = codes.tobytes() + b"|" + operands.tobytes()
+        return hashlib.sha256(material).hexdigest()[:24]
+
     @staticmethod
     def digest(key: TraceKey) -> str:
         """Stable digest of the full cache identity of ``key``."""
@@ -96,9 +114,11 @@ class TraceStore:
     def load(self, key: TraceKey) -> Optional[List[Tuple]]:
         """Return the cached trace for ``key``, or ``None`` on a miss.
 
-        A corrupt or mismatched entry counts as a miss (and is removed)
-        so a damaged cache degrades to regeneration, never to a wrong
-        result.
+        A corrupt, truncated or mismatched entry counts as a miss: the
+        file is moved into the ``quarantine/`` subdirectory (never
+        surfaced as an unpickling error) and the caller regenerates.
+        Entries written before payload digests existed are treated as
+        corrupt — there is no way to vouch for their bytes.
         """
         path = self.path_for(key)
         if not path.exists():
@@ -108,15 +128,27 @@ class TraceStore:
             trace, header = trace_io.load_trace(path)
             if header.get("cache_digest") != self.digest(key):
                 raise ValueError("cache key mismatch")
+            if header.get("payload_digest") != self.payload_digest(trace):
+                raise ValueError("payload digest mismatch")
         except Exception:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return trace
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside (fall back to deletion if that fails)."""
+        target_dir = self.root / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
 
     def store(self, key: TraceKey, trace: List[Tuple]) -> Path:
         """Persist ``trace`` under ``key`` (atomic rename, race-safe)."""
@@ -130,6 +162,7 @@ class TraceStore:
             "seed": seed,
             "generator_version": GENERATOR_VERSION,
             "cache_digest": self.digest(key),
+            "payload_digest": self.payload_digest(trace),
         }
         fd, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-", suffix=".npz"

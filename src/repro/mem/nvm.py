@@ -15,7 +15,7 @@ and attack tests see one coherent persistent image.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import CACHELINE_BYTES, NVMConfig
 
@@ -39,6 +39,12 @@ class NVMDevice:
         self.meta_writes = 0
         #: Per-line media write counts (endurance/wear levelling input).
         self._wear: Dict[int, int] = {}
+        #: Fault-injection hook (:mod:`repro.faults`).  ``None`` in
+        #: normal operation; when attached, the ADR drain consults it
+        #: for a degraded energy budget and integrity checks report
+        #: detections to it.  Media corruption itself goes through the
+        #: ``corrupt_*`` helpers below.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Functional data plane
@@ -66,6 +72,10 @@ class NVMDevice:
     def resident_line_count(self) -> int:
         return len(self._lines)
 
+    def resident_line_addresses(self) -> "List[int]":
+        """Sorted addresses of every written line (fault-target census)."""
+        return sorted(self._lines)
+
     # ------------------------------------------------------------------
     # Metadata regions (counters, MACs, tree nodes, shadow table, WPQ image)
     # ------------------------------------------------------------------
@@ -86,6 +96,51 @@ class NVMDevice:
 
     def region_clear(self, name: str) -> None:
         self.region(name).clear()
+
+    def region_delete(self, name: str, key: int) -> bool:
+        """Drop one region entry (fault/attack surface, not a data op).
+
+        Returns ``True`` iff the entry existed.  Does not count toward
+        ``meta_writes`` — this models media loss, not controller work.
+        """
+        return self.region(name).pop(key, None) is not None
+
+    # ------------------------------------------------------------------
+    # Fault injection (media corruption; see repro.faults)
+    # ------------------------------------------------------------------
+    def attach_fault_injector(self, injector) -> None:
+        """Install a :class:`repro.faults.injector.FaultInjector`."""
+        self.fault_injector = injector
+
+    @staticmethod
+    def _flip_bit(data: bytes, bit: int) -> bytes:
+        byte = (bit // 8) % len(data)
+        mask = 1 << (bit % 8)
+        out = bytearray(data)
+        out[byte] ^= mask
+        return bytes(out)
+
+    def corrupt_line(self, address: int, bit: int) -> bool:
+        """XOR one bit of a stored data line (NVM media fault).
+
+        Returns ``True`` iff the line existed.  Bypasses wear/stat
+        accounting: this is a media event, not a controller write.
+        """
+        line = self.line_address(address)
+        data = self._lines.get(line)
+        if data is None:
+            return False
+        self._lines[line] = self._flip_bit(data, bit)
+        return True
+
+    def corrupt_region_entry(self, name: str, key: int, bit: int) -> bool:
+        """XOR one bit of a stored metadata-region entry."""
+        reg = self.region(name)
+        data = reg.get(key)
+        if data is None or not data:
+            return False
+        reg[key] = self._flip_bit(data, bit)
+        return True
 
     # ------------------------------------------------------------------
     # Timing plane

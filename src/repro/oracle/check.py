@@ -210,8 +210,12 @@ def check_site(
     )
 
 
-def _select_sites(sites: List[CrashSite], budget: Optional[int]) -> List[CrashSite]:
-    """Evenly sub-sample to ``budget`` sites, always keeping the ends."""
+def select_sites(sites: List[CrashSite], budget: Optional[int]) -> List[CrashSite]:
+    """Evenly sub-sample to ``budget`` sites, always keeping the ends.
+
+    Shared with the fault campaign (:mod:`repro.faults.campaign`), which
+    uses the same spread to pick its injection sites.
+    """
     if budget is None or budget <= 0 or len(sites) <= budget:
         return list(sites)
     if budget == 1:
@@ -219,6 +223,10 @@ def _select_sites(sites: List[CrashSite], budget: Optional[int]) -> List[CrashSi
     step = (len(sites) - 1) / (budget - 1)
     picked = {round(i * step) for i in range(budget)}
     return [sites[i] for i in sorted(picked)]
+
+
+#: Backwards-compatible alias (pre-campaign name).
+_select_sites = select_sites
 
 
 def check_unit(
@@ -249,7 +257,7 @@ def check_unit(
     unit.raw_boundaries = enumeration.raw_boundaries
     unit.final_cycle = enumeration.final_cycle
 
-    selected = _select_sites(enumeration.sites, site_budget)
+    selected = select_sites(enumeration.sites, site_budget)
     for position, site in enumerate(selected):
         attack = attack_every > 0 and position % attack_every == 0
         try:

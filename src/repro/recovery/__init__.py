@@ -10,9 +10,14 @@
 """
 
 from repro.recovery.crash import CrashImage, crash_system
+from repro.recovery.errors import (
+    ImageMalformed,
+    RecoveryError,
+    SlotsLost,
+    TamperDetected,
+)
 from repro.recovery.estimate import RecoveryEstimate, estimate_recovery
 from repro.recovery.recover import (
-    RecoveryError,
     RecoveryMode,
     RecoveryReport,
     reboot_controller,
@@ -21,10 +26,13 @@ from repro.recovery.recover import (
 
 __all__ = [
     "CrashImage",
+    "ImageMalformed",
     "RecoveryError",
     "RecoveryMode",
     "RecoveryEstimate",
     "RecoveryReport",
+    "SlotsLost",
+    "TamperDetected",
     "crash_system",
     "estimate_recovery",
     "reboot_controller",

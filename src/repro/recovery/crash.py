@@ -57,6 +57,7 @@ def crash_system(
     controller: MemoryController,
     oracle: Optional[Dict[int, bytes]] = None,
     battery: bool = False,
+    injector=None,
 ) -> CrashImage:
     """Simulate a power failure on a running controller.
 
@@ -74,7 +75,14 @@ def crash_system(
             (``battery_drain``) instead of plain ADR — required for
             :class:`~repro.core.controller.EADRSecureController`, whose
             ADR-only ``crash()`` correctly refuses (out of budget).
+        injector: optional :class:`repro.faults.injector.FaultInjector`
+            attached to the NVM *before* the drain runs, so
+            drain-time faults (a degraded ADR budget) take effect.
+            Media-corruption faults are applied separately, to the
+            crash image, by the campaign.
     """
+    if injector is not None:
+        controller.nvm.attach_fault_injector(injector)
     if battery:
         drain = getattr(controller, "battery_drain", None)
         if drain is None:

@@ -1,0 +1,65 @@
+"""Typed recovery errors.
+
+Recovery used to signal every problem as a bare ``RecoveryError`` (or a
+``ValueError`` from a parser); the fault-injection campaign
+(:mod:`repro.faults`) needs to *classify* failures, so the hierarchy now
+distinguishes the three ways a crash image can be bad:
+
+* :class:`TamperDetected` — an integrity check failed: a MAC, counter,
+  tree root or MAC-chain mismatch.  The image content is authenticated
+  garbage; recovery must abort.
+* :class:`ImageMalformed` — the persistent state is structurally
+  unparseable or internally inconsistent: a truncated drained record, a
+  record count that disagrees with the image meta record, a missing
+  meta record next to live records.
+* :class:`SlotsLost` — a degraded (partial) ADR drain demonstrably lost
+  occupied WPQ slots.  By default recovery *salvages* the fully-drained
+  slots and reports the losses in
+  :attr:`~repro.recovery.recover.RecoveryReport.slots_lost`; this error
+  is raised only in strict mode (``recover_system(strict_slots=True)``).
+
+All three subclass :class:`RecoveryError`, so existing callers that
+catch the base class keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+
+class RecoveryError(RuntimeError):
+    """Recovery detected tampering or unrecoverable state.
+
+    Args:
+        message: human-readable description.
+        slot: WPQ image slot index the failure is attributable to, when
+            it is (``None`` for whole-image or non-WPQ failures).
+    """
+
+    def __init__(self, message: str, slot: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.slot = slot
+
+
+class TamperDetected(RecoveryError):
+    """An integrity check (MAC / counter / tree root) failed."""
+
+
+class ImageMalformed(RecoveryError):
+    """Persistent state is structurally unparseable or inconsistent."""
+
+
+class SlotsLost(RecoveryError):
+    """A partial ADR drain lost occupied WPQ slots (strict mode only)."""
+
+    def __init__(self, message: str, slots: Iterable[int] = ()) -> None:
+        super().__init__(message)
+        self.slots: Tuple[int, ...] = tuple(slots)
+
+
+__all__ = [
+    "RecoveryError",
+    "TamperDetected",
+    "ImageMalformed",
+    "SlotsLost",
+]

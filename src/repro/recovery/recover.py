@@ -36,15 +36,28 @@ from repro.crypto.counters import CounterBlock, CounterStore
 from repro.crypto.mac import macs_equal
 from repro.crypto.prf import ctr_pad, xor_bytes
 from repro.recovery.crash import CrashImage
+from repro.recovery.errors import (
+    ImageMalformed,
+    RecoveryError,
+    SlotsLost,
+    TamperDetected,
+)
 from repro.security.anubis import KIND_COUNTER, ShadowTracker
 from repro.wpq.adr import ADRDrain
 from repro.wpq.queue import WritePendingQueue
 
 _SLOT_ADDRESS_BASE = 1 << 56  # mirrors repro.core.misu
 
-
-class RecoveryError(RuntimeError):
-    """Recovery detected tampering or unrecoverable state."""
+__all__ = [
+    "RecoveryError",
+    "TamperDetected",
+    "ImageMalformed",
+    "SlotsLost",
+    "RecoveryMode",
+    "RecoveryReport",
+    "recover_system",
+    "reboot_controller",
+]
 
 
 class RecoveryMode(enum.Enum):
@@ -66,26 +79,53 @@ class RecoveryReport:
     redo_log_replayed: bool = False
     tree_root_verified: bool = False
     new_boot_epoch: int = 0
+    #: True when the drained image came from a degraded-budget drain.
+    partial_drain: bool = False
+    #: Live slots the partial drain demonstrably failed to flush.
+    slots_lost: List[int] = field(default_factory=list)
 
 
 def recover_system(
-    image: CrashImage, mode: RecoveryMode = RecoveryMode.ANUBIS
+    image: CrashImage,
+    mode: RecoveryMode = RecoveryMode.ANUBIS,
+    strict_slots: bool = False,
 ) -> RecoveryReport:
     """Run full recovery on a crash image; returns the report.
 
+    Args:
+        image: the crash image (NVM + registers + keys + config).
+        mode: counter-recovery scheme (Anubis shadow vs Osiris probing).
+        strict_slots: when True, a partial drain that lost live slots
+            raises :class:`SlotsLost` instead of salvaging the rest and
+            reporting the losses in ``report.slots_lost``.
+
     Raises:
-        RecoveryError: on any integrity mismatch (tampered WPQ image,
-            counters, or tree state).
+        TamperDetected: an integrity check (MAC / counter / tree root)
+            failed — the image content is untrustworthy.
+        ImageMalformed: persistent state is structurally unparseable or
+            internally inconsistent (truncated/padded drained image).
+        SlotsLost: strict mode only; see ``strict_slots``.
     """
     registers = image.registers
     masu = MajorSecurityUnit(image.config, image.keys, registers, image.nvm)
     report = RecoveryReport(masu=masu)
 
+    injector = getattr(image.nvm, "fault_injector", None)
+    if injector is not None:
+        # Let integrity checkers report detections to the campaign, and
+        # let the metadata caches take planted parity hits during the
+        # recovered system's subsequent accesses.
+        masu.tree.observer = injector.observe
+        if masu.toc is not None:
+            masu.toc.observer = injector.observe
+        masu.counter_cache.fault_injector = injector
+        masu.mt_cache.fault_injector = injector
+
     _recover_counters(image, masu, report, mode)
     _rebuild_tree(image, masu, report)
     _recover_dedup_mappings(image, masu)
     _replay_redo_log(image, masu, report)
-    _recover_wpq(image, masu, report)
+    _recover_wpq(image, masu, report, strict_slots)
     return report
 
 
@@ -114,13 +154,24 @@ def _recover_counters(
     # Start from the (possibly stale) NVM copies.
     blocks: Dict[int, CounterBlock] = {}
     for page, payload in nvm.region(COUNTER_REGION).items():
-        blocks[page] = CounterBlock.decode(payload)
+        try:
+            blocks[page] = CounterBlock.decode(payload)
+        except ValueError as exc:
+            raise ImageMalformed(
+                f"counter block for page {page:#x} is unparseable: {exc}"
+            ) from exc
     if mode is RecoveryMode.ANUBIS:
         # Overlay fresh shadow copies.
         for kind, key, encoded in masu.shadow.entries():
             if kind != KIND_COUNTER:
                 continue
-            blocks[key] = CounterBlock.decode(encoded)
+            try:
+                blocks[key] = CounterBlock.decode(encoded)
+            except ValueError as exc:
+                raise ImageMalformed(
+                    f"Anubis shadow counter block for page {key:#x} is "
+                    f"unparseable: {exc}"
+                ) from exc
             report.counters_restored_from_shadow += 1
     else:
         # Osiris: probe each data line's counter forward from the stale
@@ -134,8 +185,9 @@ def _recover_counters(
                 stale = block.read(line_index).value
                 recovered = masu.osiris.recover_counter(address, ciphertext, stale)
                 if recovered is None:
-                    raise RecoveryError(
-                        f"Osiris could not recover the counter at {address:#x}"
+                    raise TamperDetected(
+                        f"Osiris could not recover the counter at {address:#x} "
+                        "(no candidate matched the ECC check value)"
                     )
                 if recovered != stale:
                     block.minors[line_index] = recovered & 0x7F
@@ -156,7 +208,7 @@ def _rebuild_tree(
         }
         root = masu.tree.rebuild_from_leaves(leaves)
         if leaves and root != registers.tree_root:
-            raise RecoveryError(
+            raise TamperDetected(
                 "rebuilt Merkle root does not match the persistent root "
                 "register (counters tampered or rolled back)"
             )
@@ -178,8 +230,9 @@ def _rebuild_tree(
     toc.root_counter = registers.toc_root_counter
     for page in masu.counters.pages():
         if not toc.verify_leaf_path(page):
-            raise RecoveryError(
-                f"ToC path verification failed for page {page:#x}"
+            raise TamperDetected(
+                f"ToC path verification failed for page {page:#x} "
+                "(node MAC chain broken)"
             )
     report.tree_root_verified = True
 
@@ -202,7 +255,10 @@ def _replay_redo_log(
 # Mi-SU / WPQ image
 # ----------------------------------------------------------------------
 def _recover_wpq(
-    image: CrashImage, masu: MajorSecurityUnit, report: RecoveryReport
+    image: CrashImage,
+    masu: MajorSecurityUnit,
+    report: RecoveryReport,
+    strict_slots: bool = False,
 ) -> None:
     config = image.config
     registers = image.registers
@@ -210,7 +266,24 @@ def _recover_wpq(
     wpq = WritePendingQueue(config.adr.usable_entries(config.misu_design))
     misu = make_misu(config, keys, registers, wpq)
     drain = ADRDrain(image.nvm, config.adr, config.misu_design)
+    meta = drain.read_meta()
     records = drain.read_image()
+    partial = bool(meta is not None and meta.partial)
+    report.partial_drain = partial
+    if partial:
+        # A degraded-budget drain: enumerate the live slots whose
+        # records never reached NVM.  Everything that *did* land is
+        # individually MAC-verified below and salvaged.
+        present = {record.slot for record in records}
+        report.slots_lost = [
+            slot for slot in meta.occupied_slots() if slot not in present
+        ]
+        if strict_slots and report.slots_lost:
+            raise SlotsLost(
+                f"partial ADR drain lost {len(report.slots_lost)} live "
+                f"WPQ slot(s): {report.slots_lost}",
+                slots=report.slots_lost,
+            )
     if not records:
         _finish_boot(misu, keys, report)
         return
@@ -218,7 +291,10 @@ def _recover_wpq(
     old_epoch = registers.boot_epoch
     old_key = keys.wpq_key_for_epoch(old_epoch)
 
-    if config.misu_design is MiSUDesign.FULL_WPQ:
+    # A partial image cannot be vouched for by the Full-WPQ root (the
+    # root covers the lost slots too); the drain wrote per-record MACs
+    # instead, so verification falls through to the per-record path.
+    if config.misu_design is MiSUDesign.FULL_WPQ and not partial:
         _verify_full_wpq_image(misu, records, registers)
 
     for record in records:
@@ -229,10 +305,11 @@ def _recover_wpq(
         # an older drain whose (counter, ciphertext, MAC) self-verify.
         internal_counter = registers.wpq_pad_counter + record.slot
         if record.pad_counter != internal_counter:
-            raise RecoveryError(
+            raise TamperDetected(
                 f"WPQ image slot {record.slot}: stored counter "
                 f"{record.pad_counter} != internally recovered "
-                f"{internal_counter} (replayed image?)"
+                f"{internal_counter} (replayed image?)",
+                slot=record.slot,
             )
         pad = ctr_pad(
             old_key,
@@ -240,7 +317,7 @@ def _recover_wpq(
             internal_counter,
             misu.pad_bytes,
         )
-        if config.misu_design is not MiSUDesign.FULL_WPQ:
+        if config.misu_design is not MiSUDesign.FULL_WPQ or partial:
             _verify_record_mac(misu, record, internal_counter)
         plaintext = xor_bytes(record.ciphertext, pad[: len(record.ciphertext)])
         data, address = decode_entry(plaintext)
@@ -264,11 +341,16 @@ def _verify_record_mac(misu, record, internal_counter: int) -> None:
         "wpq-entry",
         record.slot,
         internal_counter,
+        int(record.cleared),
         record.ciphertext,
     )
     if record.mac is None or not macs_equal(record.mac, expect):
-        raise RecoveryError(
-            f"WPQ image slot {record.slot}: MAC mismatch (tampered image)"
+        reason = "missing MAC record" if record.mac is None else "MAC mismatch"
+        raise TamperDetected(
+            f"WPQ image slot {record.slot}: {reason} over (ciphertext, "
+            f"counter {internal_counter}, cleared={record.cleared}) — "
+            "tampered or truncated image",
+            slot=record.slot,
         )
 
 
@@ -285,11 +367,12 @@ def _verify_full_wpq_image(
             "wpq-entry",
             record.slot,
             registers.wpq_pad_counter + record.slot,
+            int(record.cleared),
             record.ciphertext,
         )
     root = misu.compute_root_over(entry_macs)
     if root != registers.wpq_root:
-        raise RecoveryError(
+        raise TamperDetected(
             "WPQ image root does not match the persistent WPQ root "
             "register (image tampered or rolled back)"
         )

@@ -48,12 +48,18 @@ class DataMACStore:
         self.macs_verified += 1
         stored = self.load(address)
         if stored is None:
-            self.verify_failures += 1
+            self._record_failure(address, "missing MAC")
             return False
         ok = macs_equal(stored, self.compute(address, counter, ciphertext))
         if not ok:
-            self.verify_failures += 1
+            self._record_failure(address, "MAC mismatch")
         return ok
+
+    def _record_failure(self, address: int, reason: str) -> None:
+        self.verify_failures += 1
+        injector = getattr(self._nvm, "fault_injector", None)
+        if injector is not None:
+            injector.observe("data_mac.verify", f"{address:#x}: {reason}")
 
     def tamper(self, address: int, mac: bytes) -> None:
         """Attacker overwrite of a stored MAC."""

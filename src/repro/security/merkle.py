@@ -47,6 +47,9 @@ class MerkleTree:
         # nodes[(level, index)] -> 8-byte hash; level 0 holds leaf hashes.
         self._nodes: Dict[Tuple[int, int], bytes] = {}
         self.node_updates = 0
+        #: Optional ``observe(site, detail)`` callback fired on every
+        #: failed verification (fault-campaign detection accounting).
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Structure helpers
@@ -113,13 +116,21 @@ class MerkleTree:
         """Check a leaf against the stored path up to the root."""
         self._check_leaf(leaf_index)
         if self._leaf_hash(leaf_index, leaf_bytes) != self.node_hash(0, leaf_index):
+            self._notify(f"leaf {leaf_index}: leaf hash mismatch")
             return False
         index = self.parent_index(leaf_index)
         for level in range(1, self.height + 1):
             if self._internal_hash(level, index) != self.node_hash(level, index):
+                self._notify(
+                    f"leaf {leaf_index}: node ({level},{index}) hash mismatch"
+                )
                 return False
             index = self.parent_index(index)
         return True
+
+    def _notify(self, detail: str) -> None:
+        if self.observer is not None:
+            self.observer("merkle.verify_leaf", detail)
 
     def recompute_node(self, level: int, index: int) -> bytes:
         """Recompute and store one internal node from its children.

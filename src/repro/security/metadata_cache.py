@@ -28,9 +28,16 @@ class MetadataCache:
         self.accesses = 0
         self.misses = 0
         self.dirty_writebacks = 0
+        #: Lines dropped by an injected parity fault and refetched.
+        self.parity_refetches = 0
         #: Called with the victim key when a dirty metadata block leaves
         #: the cache (lazy-update trees propagate hashes here).
         self.on_dirty_eviction: Optional[Callable[[int], None]] = None
+        #: Optional :class:`repro.faults.injector.FaultInjector`; when
+        #: set, each access asks it whether this line just took a parity
+        #: hit (one-shot), which invalidates the line and forces a
+        #: refetch from (tree-verified) NVM — a *tolerated* fault.
+        self.fault_injector = None
 
     @staticmethod
     def _key_to_address(key: int) -> int:
@@ -49,6 +56,12 @@ class MetadataCache:
         """
         self.accesses += 1
         address = self._key_to_address(key)
+        injector = self.fault_injector
+        if injector is not None and injector.cache_parity_fault(self.name, key):
+            # Parity hardware caught the flip; drop the poisoned line
+            # (its content must not be written back) and refetch below.
+            self._cache.invalidate_line(address)
+            self.parity_refetches += 1
         if self._cache.access(address, is_write):
             return True
         self.misses += 1
@@ -91,4 +104,5 @@ class MetadataCache:
             "accesses": self.accesses,
             "misses": self.misses,
             "dirty_writebacks": self.dirty_writebacks,
+            "parity_refetches": self.parity_refetches,
         }

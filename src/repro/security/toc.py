@@ -49,6 +49,9 @@ class TreeOfCounters:
         #: On-chip root counter protecting the root node (never in NVM).
         self.root_counter = 0
         self.node_updates = 0
+        #: Optional ``observe(site, detail)`` callback fired on every
+        #: failed verification (fault-campaign detection accounting).
+        self.observer = None
 
     def _node(self, level: int, index: int) -> ToCNode:
         node = self._nodes.get((level, index))
@@ -118,6 +121,12 @@ class TreeOfCounters:
             node_index = index // self.arity
             node = self._node(level, node_index)
             if not macs_equal(node.mac, self._node_mac(level, node_index, node)):
+                if self.observer is not None:
+                    self.observer(
+                        "toc.verify_leaf_path",
+                        f"leaf {leaf_index}: node ({level},{node_index}) "
+                        "MAC mismatch",
+                    )
                 return False
             index = node_index
         return True

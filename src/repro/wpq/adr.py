@@ -11,11 +11,19 @@ The drained image lands in a reserved NVM region (``wpq_image``):
   (64 B ciphertext + 8 B address, stored alongside for reconstruction);
 * for Partial/Post designs, the per-entry MAC records;
 * for Full-WPQ, the root/L1-MAC registers stay in persistent on-chip
-  registers and need no NVM space.
+  registers and need no NVM space;
+* one :class:`DrainMeta` record describing the drain's shape (how many
+  records landed, which slots held live entries, whether the drain was
+  partial), so recovery can detect truncation and enumerate losses.
 
 Energy accounting is explicit: :meth:`drain` raises if the occupied
 entries (plus MAC blocks, plus any pending deferred MAC) exceed the
-configured budget — the invariant that sizes each design's queue.
+configured budget — the invariant that sizes each design's queue.  A
+*degraded* budget (an injected fault: the ADR capacitor bank lost
+charge) instead triggers a partial drain: live entries are flushed
+oldest-slot-first until the residual energy runs out, each with its
+per-entry MAC record so recovery can verify the salvaged prefix
+without the (now incomplete) Full-WPQ tree.
 """
 
 from __future__ import annotations
@@ -24,13 +32,21 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.config import ADRConfig, MiSUDesign
+from repro.config import ADRConfig, MiSUDesign, WPQ_ENTRY_BYTES
 from repro.mem.nvm import NVMDevice
 from repro.wpq.queue import WPQEntry, WritePendingQueue
 
 WPQ_IMAGE_REGION = "wpq_image"
 WPQ_MAC_REGION = "wpq_image_macs"
 WPQ_META_REGION = "wpq_image_meta"
+
+#: Record payload header: (content address, pad counter, cleared flag).
+_RECORD_FMT = "<QQ?"
+_RECORD_HEADER = struct.calcsize(_RECORD_FMT)
+#: Meta record: (drained count, live-entry count, live-slot bitmap,
+#: partial flag).
+_META_FMT = "<IIQ?"
+_META_BYTES = struct.calcsize(_META_FMT)
 
 
 class ADRBudgetError(RuntimeError):
@@ -49,6 +65,25 @@ class DrainRecord:
     mac: Optional[bytes]
 
 
+@dataclass(frozen=True)
+class DrainMeta:
+    """The drained image's shape descriptor (one NVM meta record)."""
+
+    #: Records actually flushed (live + retained-cleared slots).
+    drained: int
+    #: Slots holding a *live* (occupied) entry at drain time.
+    occupied: int
+    #: Bit ``s`` set iff slot ``s`` held a live entry (slots >= 64 are
+    #: uncounted here; no modelled WPQ that drains exceeds 64 slots).
+    bitmap: int
+    #: True when the drain ran out of (degraded) energy before flushing
+    #: every drainable slot.
+    partial: bool
+
+    def occupied_slots(self) -> List[int]:
+        return [s for s in range(64) if (self.bitmap >> s) & 1]
+
+
 class ADRDrain:
     """Performs and accounts for the power-failure WPQ flush."""
 
@@ -57,6 +92,7 @@ class ADRDrain:
         self._adr = adr
         self._design = design
         self.drains = 0
+        self.partial_drains = 0
 
     # ------------------------------------------------------------------
     def energy_needed(self, wpq: WritePendingQueue, pending_macs: int) -> int:
@@ -75,28 +111,84 @@ class ADRDrain:
     def drain(self, wpq: WritePendingQueue, pending_macs: int = 0) -> List[DrainRecord]:
         """Flush all occupied entries to the NVM image region.
 
+        With a fault-degraded ADR budget (``nvm.fault_injector``), a
+        drain that no longer fits degrades to a *partial* drain instead
+        of raising: live entries flush oldest-slot-first while the
+        residual energy lasts, and the meta record marks the image
+        partial so recovery can salvage what landed and enumerate the
+        lost slots.
+
         Raises:
-            ADRBudgetError: if the occupied state exceeds the budget —
-                a design bug, since queue sizing must prevent this.
+            ADRBudgetError: if the occupied state exceeds the *full*
+                budget — a design bug, since queue sizing must prevent
+                this (a degraded budget is a fault, not a design bug).
         """
         needed = self.energy_needed(wpq, pending_macs)
-        if needed > self._adr.budget_entries:
-            raise ADRBudgetError(
-                f"drain needs {needed} entry-flushes, budget is "
-                f"{self._adr.budget_entries}"
-            )
+        budget = self._adr.budget_entries
+        injector = getattr(self._nvm, "fault_injector", None)
+        if injector is not None:
+            budget = min(budget, injector.adr_budget(budget))
+        if needed > budget:
+            if budget >= self._adr.budget_entries:
+                raise ADRBudgetError(
+                    f"drain needs {needed} entry-flushes, budget is "
+                    f"{self._adr.budget_entries}"
+                )
+            return self._partial_drain(wpq, pending_macs, budget)
         records: List[DrainRecord] = []
         for entry in wpq.drainable_entries():
             record = self._flush_entry(entry)
             records.append(record)
-        # Persist how many slots were drained so recovery knows the shape.
-        self._nvm.region_write(
-            WPQ_META_REGION, 0, struct.pack("<I", len(records))
-        )
+        self._write_meta(wpq, len(records), partial=False)
         self.drains += 1
         return records
 
-    def _flush_entry(self, entry: WPQEntry) -> DrainRecord:
+    def _partial_drain(
+        self, wpq: WritePendingQueue, pending_macs: int, budget: int
+    ) -> List[DrainRecord]:
+        """Flush as much as the degraded budget allows.
+
+        Live entries take priority over retained-cleared slots (whose
+        content already reached NVM through the Ma-SU; losing their
+        records costs nothing at recovery).  Every flushed record gets
+        its per-entry MAC record — even under Full-WPQ, whose root
+        cannot vouch for an incomplete image — so each salvaged slot is
+        independently verifiable.
+        """
+        base = 0
+        if self._design is MiSUDesign.POST_WPQ:
+            base = pending_macs * self._adr.deferred_mac_entry_cost
+        ordered = sorted(wpq.drainable_entries(), key=lambda e: not e.occupied)
+        records: List[DrainRecord] = []
+        for entry in ordered:
+            count = len(records) + 1
+            cost = base + count + (count + 7) // 8
+            if cost > budget:
+                break
+            records.append(self._flush_entry(entry, write_mac=True))
+        self._write_meta(wpq, len(records), partial=True)
+        self.drains += 1
+        self.partial_drains += 1
+        return records
+
+    def _write_meta(
+        self, wpq: WritePendingQueue, drained: int, partial: bool
+    ) -> None:
+        occupied = 0
+        bitmap = 0
+        for entry in wpq.entries:
+            if entry.occupied:
+                occupied += 1
+                if entry.index < 64:
+                    bitmap |= 1 << entry.index
+        self._nvm.region_write(
+            WPQ_META_REGION, 0,
+            struct.pack(_META_FMT, drained, occupied, bitmap, partial),
+        )
+
+    def _flush_entry(
+        self, entry: WPQEntry, write_mac: Optional[bool] = None
+    ) -> DrainRecord:
         if entry.ciphertext is None:
             raise ADRBudgetError(f"slot {entry.index} has no content to drain")
         record = DrainRecord(
@@ -108,10 +200,12 @@ class ADRDrain:
             mac=entry.mac,
         )
         payload = struct.pack(
-            "<QQ?", record.address, record.pad_counter, record.cleared
+            _RECORD_FMT, record.address, record.pad_counter, record.cleared
         ) + record.ciphertext
         self._nvm.region_write(WPQ_IMAGE_REGION, entry.index, payload)
-        if self._design is not MiSUDesign.FULL_WPQ:
+        if write_mac is None:
+            write_mac = self._design is not MiSUDesign.FULL_WPQ
+        if write_mac:
             if record.mac is None:
                 raise ADRBudgetError(
                     f"slot {entry.index} has no MAC at drain time "
@@ -121,19 +215,71 @@ class ADRDrain:
         return record
 
     # ------------------------------------------------------------------
+    def read_meta(self) -> Optional[DrainMeta]:
+        """Parse the drained image's meta record, or None if absent.
+
+        Raises:
+            ImageMalformed: the meta record exists but is unparseable.
+        """
+        payload = self._nvm.region_read(WPQ_META_REGION, 0)
+        if payload is None:
+            return None
+        if len(payload) != _META_BYTES:
+            from repro.recovery.errors import ImageMalformed
+
+            raise ImageMalformed(
+                f"WPQ image meta record is {len(payload)} bytes, "
+                f"expected {_META_BYTES}"
+            )
+        drained, occupied, bitmap, partial = struct.unpack(_META_FMT, payload)
+        return DrainMeta(drained, occupied, bitmap, partial)
+
     def read_image(self) -> List[DrainRecord]:
-        """Parse the drained image back out of NVM (recovery path)."""
-        meta = self._nvm.region_read(WPQ_META_REGION, 0)
+        """Parse the drained image back out of NVM (recovery path).
+
+        Raises:
+            ImageMalformed: a record is truncated/unparseable, records
+                exist without a meta record, or the record count
+                disagrees with the meta record (truncated or padded
+                image).
+        """
+        from repro.recovery.errors import ImageMalformed
+
+        meta = self.read_meta()
+        image = self._nvm.region(WPQ_IMAGE_REGION)
         if meta is None:
+            if image:
+                raise ImageMalformed(
+                    f"{len(image)} drained WPQ records present but the "
+                    "image meta record is missing (torn or tampered drain)"
+                )
             return []
         records: List[DrainRecord] = []
-        image = self._nvm.region(WPQ_IMAGE_REGION)
         for slot, payload in sorted(image.items()):
-            address, pad_counter, cleared = struct.unpack_from("<QQ?", payload)
-            ciphertext = payload[struct.calcsize("<QQ?"):]
+            if len(payload) < _RECORD_HEADER:
+                raise ImageMalformed(
+                    f"WPQ image slot {slot}: record truncated to "
+                    f"{len(payload)} bytes", slot=slot,
+                )
+            address, pad_counter, cleared = struct.unpack_from(
+                _RECORD_FMT, payload
+            )
+            ciphertext = payload[_RECORD_HEADER:]
+            if len(ciphertext) != WPQ_ENTRY_BYTES:
+                raise ImageMalformed(
+                    f"WPQ image slot {slot}: ciphertext is "
+                    f"{len(ciphertext)} bytes, expected {WPQ_ENTRY_BYTES}",
+                    slot=slot,
+                )
             mac = self._nvm.region_read(WPQ_MAC_REGION, slot)
             records.append(
                 DrainRecord(slot, address, ciphertext, pad_counter, cleared, mac)
+            )
+        if len(records) != meta.drained:
+            raise ImageMalformed(
+                f"WPQ image holds {len(records)} records but the meta "
+                f"record says {meta.drained} were drained "
+                "(truncated or padded image)"
             )
         return records
 

@@ -7,16 +7,22 @@ trace cache must round-trip traces exactly.
 """
 
 import multiprocessing
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.config import eager_config
 from repro.harness.experiments import run_experiment
 from repro.harness.parallel import (
+    ParallelExecutionError,
     RecordingExecutor,
     ReplayExecutor,
     RunUnit,
     executor_scope,
+    fan_out,
+    report_failures,
     resolve_jobs,
     run_units,
 )
@@ -111,6 +117,120 @@ class TestExecutors:
         for unit in (a, b, a):
             recorder.run(unit)
         assert recorder.units == [a, b]
+
+
+# ----------------------------------------------------------------------
+# Self-healing: crashed and hung workers must not kill a sweep.
+#
+# Workers must be module-level (picklable under fork/spawn); they key
+# their misbehaviour off ``multiprocessing.parent_process()`` so the
+# same function is well-behaved when the in-process serial fallback
+# runs it.
+# ----------------------------------------------------------------------
+_MARKER_ENV = "REPRO_TEST_FLAKY_DIR"
+
+
+def _flaky_square(item):
+    """Crash on each item's first pool attempt, succeed afterwards."""
+    marker = Path(os.environ[_MARKER_ENV]) / f"seen-{item}"
+    if not marker.exists():
+        marker.write_text("crashed once")
+        raise RuntimeError(f"injected crash for {item}")
+    return item * item
+
+
+def _hang_in_pool(item):
+    if multiprocessing.parent_process() is not None:
+        time.sleep(60)
+    return item + 1
+
+
+def _raise_in_pool(item):
+    if multiprocessing.parent_process() is not None:
+        raise ValueError("worker poison")
+    return item * 3
+
+
+def _raise_everywhere(item):
+    raise ValueError(f"unfixable {item}")
+
+
+class TestWorkerResilience:
+    def test_crashed_worker_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_MARKER_ENV, str(tmp_path))
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0.01")
+        failures = []
+        results = fan_out(_flaky_square, [2, 3, 4], jobs=2, failures=failures)
+        assert results == [4, 9, 16]
+        assert failures and all(f.resolution == "retried" for f in failures)
+        assert all("injected crash" in f.error for f in failures)
+
+    def test_hung_worker_times_out_then_serial_matches_serial_run(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "0.5")
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        failures = []
+        degraded = fan_out(_hang_in_pool, [5, 6], jobs=2, failures=failures)
+        # The acceptance bar: results bit-identical to an all-serial run.
+        assert degraded == fan_out(_hang_in_pool, [5, 6], jobs=1)
+        assert {f.resolution for f in failures} == {"serial"}
+        assert all("timed out" in f.error for f in failures)
+        assert sorted(f.index for f in failures) == [0, 1]
+
+    def test_poisoned_worker_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        failures = []
+        results = fan_out(_raise_in_pool, [1, 2, 3], jobs=2, failures=failures)
+        assert results == [3, 6, 9]
+        assert {f.resolution for f in failures} == {"serial"}
+        assert all(f.attempts == 3 for f in failures)  # 2 pool + 1 serial
+        assert all("ValueError" in f.error for f in failures)
+
+    def test_serial_fallback_failure_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "0")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        failures = []
+        with pytest.raises(ParallelExecutionError, match="serial fallback"):
+            fan_out(_raise_everywhere, [1, 2], jobs=2, failures=failures)
+        assert failures and failures[0].resolution == "failed"
+
+    def test_report_failures_prints_summary(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        failures = []
+        fan_out(_raise_in_pool, [1, 2], jobs=2, failures=failures)
+        report_failures(failures)
+        err = capsys.readouterr().err
+        assert "serial" in err and "ValueError" in err
+
+    def test_uncollected_failures_still_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        assert fan_out(_raise_in_pool, [7, 8], jobs=2) == [21, 24]
+        assert "[parallel]" in capsys.readouterr().err
+
+    def test_run_units_survive_worker_timeout(self, tmp_path, monkeypatch):
+        """End-to-end through run_units: with a timeout so tight every
+        pool attempt dies, the sweep still completes serially and the
+        results match an undisturbed serial run."""
+        units = [
+            RunUnit("hashmap", eager_config(), TXNS, SEED),
+            RunUnit("btree", eager_config(), TXNS, SEED),
+        ]
+        serial = run_units(units, jobs=1, cache_dir=tmp_path)
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "0.000001")
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        failures = []
+        degraded = run_units(
+            units, jobs=2, cache_dir=tmp_path, failures=failures
+        )
+        for a, b in zip(serial, degraded):
+            assert (a.workload, a.cycles, a.stats) == (b.workload, b.cycles, b.stats)
+        assert failures and {f.resolution for f in failures} == {"serial"}
 
 
 class TestResolveJobs:

@@ -13,11 +13,11 @@ Two guarantees the parallel experiment engine leans on:
 import threading
 import zipfile
 
-from hypothesis import assume, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.harness import trace_store as trace_store_module
-from repro.harness.trace_store import TraceStore
+from repro.harness.trace_store import TraceCache, TraceStore
 from repro.workloads import generate_trace
 
 
@@ -100,6 +100,100 @@ def test_concurrent_writers_of_same_key_converge(tmp_path):
     assert len(files) == 1, f"expected one entry, found {files}"
     assert not files[0].name.startswith(".tmp-")
     assert store.load(key) == trace
+
+
+# ----------------------------------------------------------------------
+# Digest-verified load: arbitrary on-disk corruption never escapes.
+# ----------------------------------------------------------------------
+_KEY = ("synthetic", 2, 64, 0)
+
+
+def _corruptions():
+    """Ways a cache entry can rot on disk."""
+    flips = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10_000), st.binary(min_size=1, max_size=1)),
+        min_size=1,
+        max_size=8,
+    )
+    return st.one_of(
+        flips.map(lambda f: ("flip", f)),
+        st.integers(min_value=0, max_value=200).map(lambda n: ("truncate", n)),
+        st.binary(min_size=0, max_size=64).map(lambda b: ("replace", b)),
+    )
+
+
+@given(corruption=_corruptions())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_corrupted_entry_always_regenerates_original(tmp_path, corruption):
+    """The self-healing property: whatever bytes an attacker (or a bad
+    disk) leaves in a cache entry, ``TraceCache.get`` returns the
+    canonical trace — the payload digest rejects the rotten file and
+    the entry is regenerated, never surfaced."""
+    root = tmp_path / "cache"
+    canonical = TraceCache(root).get(*_KEY)
+    path = TraceStore(root).path_for(_KEY)
+    if not path.exists():  # a previous example quarantined it
+        TraceCache(root).get(*_KEY)
+    raw = bytearray(path.read_bytes())
+
+    mode, payload = corruption
+    if mode == "flip":
+        for offset, value in payload:
+            raw[offset % len(raw)] = value[0]
+        path.write_bytes(bytes(raw))
+    elif mode == "truncate":
+        path.write_bytes(bytes(raw[: payload % len(raw)]))
+    else:
+        path.write_bytes(payload)
+
+    reloaded = TraceCache(root).get(*_KEY)
+    assert reloaded == canonical
+
+
+def test_corrupt_entry_is_quarantined_and_regenerated(tmp_path):
+    """A rotten entry is moved into quarantine/ (kept for forensics),
+    counted, and transparently regenerated in place."""
+    cache = TraceCache(tmp_path)
+    trace = cache.get(*_KEY)
+    path = cache.store.path_for(_KEY)
+    path.write_bytes(b"\x00" * 32)
+
+    fresh = TraceCache(tmp_path)
+    assert fresh.get(*_KEY) == trace
+    assert fresh.store.quarantined == 1
+    assert fresh.store.misses == 1
+    quarantined = list((tmp_path / TraceStore.QUARANTINE_DIR).iterdir())
+    assert [p.name for p in quarantined] == [path.name]
+    # The regenerated entry is valid again: next load is a digest-clean hit.
+    warm = TraceCache(tmp_path)
+    assert warm.get(*_KEY) == trace
+    assert warm.store.hits == 1 and warm.store.quarantined == 0
+
+
+def test_wrong_payload_digest_rejected(tmp_path):
+    """An entry whose header vouches for different payload bytes (e.g.
+    a stale or swapped file) is treated as corrupt."""
+    store = TraceStore(tmp_path)
+    trace = generate_trace(*_KEY)
+    store.store(_KEY, trace)
+    path = store.path_for(_KEY)
+
+    # Forge an entry for the same key whose payload digest lies.
+    original = TraceStore.__dict__["payload_digest"]
+    try:
+        TraceStore.payload_digest = staticmethod(lambda t: "forged")
+        store.store(_KEY, trace)
+    finally:
+        TraceStore.payload_digest = original
+
+    fresh = TraceStore(tmp_path)
+    assert fresh.load(_KEY) is None
+    assert fresh.quarantined == 1
+    assert not path.exists()
 
 
 def test_same_key_writes_identical_bytes(tmp_path):
