@@ -5,7 +5,8 @@ PYTHON ?= python
 JOBS ?= 0
 
 .PHONY: install test check-oracle fault-smoke bench bench-perf perf-gate \
-	trace-smoke experiments examples clean
+	trace-smoke service-smoke golden golden-update coverage experiments \
+	examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -55,6 +56,32 @@ perf-gate:
 trace-smoke:
 	$(PYTHON) -m repro.harness trace hashmap --config dolos_full \
 		--transactions 200 --out results/trace
+
+# Experiment-service smoke (docs/performance.md): concurrent clients
+# submit the six-config controller matrix against a real server
+# subprocess; results must be bit-identical to direct runs, dedup must
+# fire, and SIGTERM must drain every accepted job.
+service-smoke:
+	mkdir -p results
+	$(PYTHON) -m repro.service.smoke --clients 4 --jobs 2 \
+		--report results/service-smoke.json
+
+# Golden-result gate (docs/testing.md): recompute the headline metrics
+# at tier-1 scale and compare against results/golden.json, then prove
+# the gate catches a ±10% drift of any single metric.
+golden:
+	$(PYTHON) -m repro.harness golden
+	$(PYTHON) -m repro.harness golden --perturb 0.1
+
+# Refresh the snapshot after a deliberate, reviewed model change.
+golden-update:
+	$(PYTHON) -m repro.harness golden --update
+	$(PYTHON) -m repro.harness golden --perturb 0.1
+
+# Local (stdlib-only) statement-coverage measurement; the CI gate uses
+# pytest-cov, whose fail-under baseline this measures.
+coverage:
+	$(PYTHON) tools/measure_coverage.py
 
 # Regenerate every paper table/figure (plus CSV/JSON under results/).
 experiments:

@@ -44,6 +44,18 @@ def main(argv=None) -> int:
         from repro.faults.campaign import main as faults_main
 
         return faults_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(list(argv[1:]))
+    if argv and argv[0] == "submit":
+        from repro.service.client import main as submit_main
+
+        return submit_main(list(argv[1:]))
+    if argv and argv[0] == "golden":
+        from repro.harness.golden import main as golden_main
+
+        return golden_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -52,9 +64,10 @@ def main(argv=None) -> int:
         "experiment",
         help="experiment id (fig06, fig12-16, tab02, tab03, sec55, "
         "motivation), 'all', 'list', 'check' (crash oracle), "
-        "'trace' (persist-span tracing), or 'faults' (fault-injection "
-        "campaign); see python -m repro.harness {check,trace,faults} "
-        "--help",
+        "'trace' (persist-span tracing), 'faults' (fault-injection "
+        "campaign), 'serve' (experiment service), 'submit' (service "
+        "client), or 'golden' (golden-result gate); see python -m "
+        "repro.harness {check,trace,faults,serve,submit,golden} --help",
     )
     parser.add_argument(
         "--transactions",

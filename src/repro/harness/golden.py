@@ -1,0 +1,272 @@
+"""Golden-result regression gate for the reproduced headline numbers.
+
+EXPERIMENTS.md reports the paper-vs-measured comparison; nothing used
+to *guard* those numbers — a modeling change could silently shift the
+Figure 12 speedups or break the Figure 15 saturation shape and every
+test would still pass.  This module snapshots the headline metrics
+into ``results/golden.json`` and recomputes them at a small, fast
+tier-1 transaction count:
+
+* **Figure 12** — mean Dolos speedup per Mi-SU design (eager Merkle);
+* **Figure 15** — mean speedup and retries/KWR per WPQ size (the
+  saturation point at ~28 entries and the ~2.1x ceiling);
+* **Figure 16** — mean speedup per design under lazy ToC;
+* **Table 2** — the NStore:YCSB retry row (the known-delta outlier);
+* **Table 3** — Mi-SU storage overhead (exact integers);
+* **Section 5.5** — recovery-cycle totals (exact integers).
+
+The simulator is deterministic, so recomputation at the snapshot's own
+``(transactions, seed)`` reproduces each value exactly; the documented
+tolerances (default 5% relative for dynamic metrics, 0 for the static
+storage/recovery arithmetic) exist to absorb deliberate, reviewed
+model refinements while still failing loudly on a ±10% drift — the
+``--perturb`` self-test proves the gate catches exactly that.
+
+CLI::
+
+    python -m repro.harness golden --check     # recompute + compare
+    python -m repro.harness golden --update    # rewrite the snapshot
+    python -m repro.harness golden --perturb 0.1   # gate self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.harness.experiments import (
+    DESIGN_LABELS,
+    DESIGNS,
+    run_experiment,
+)
+from repro.workloads import GENERATOR_VERSION
+
+#: Tier-1 recompute settings: small enough that the full metric bundle
+#: lands well under the ~30 s budget, large enough to be stationary.
+TIER1_TRANSACTIONS = 60
+TIER1_SEED = 1
+
+#: Default relative tolerance for simulated (dynamic) metrics.  Must be
+#: well under the 10% perturbation the self-test injects.
+DEFAULT_REL_TOL = 0.05
+#: Absolute floor for near-zero metrics (retry rates of ~0).
+DEFAULT_ABS_TOL = 1e-9
+
+SCHEMA_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+GOLDEN_PATH = _REPO_ROOT / "results" / "golden.json"
+
+#: Short design slugs used in metric names.
+_DESIGN_SLUGS = {design: design.value for design in DESIGNS}
+
+Number = Union[int, float]
+
+
+def compute_metrics(
+    transactions: int = TIER1_TRANSACTIONS,
+    seed: int = TIER1_SEED,
+    jobs: Optional[int] = None,
+) -> Dict[str, Number]:
+    """Recompute every snapshotted headline metric at tier-1 scale."""
+    metrics: Dict[str, Number] = {}
+
+    fig12 = run_experiment("fig12", jobs=jobs, transactions=transactions, seed=seed)
+    fig16 = run_experiment("fig16", jobs=jobs, transactions=transactions, seed=seed)
+    for design in DESIGNS:
+        label = DESIGN_LABELS[design]
+        slug = _DESIGN_SLUGS[design]
+        metrics[f"fig12.mean_speedup.{slug}"] = fig12.summary[f"mean {label}"]
+        metrics[f"fig16.mean_speedup.{slug}"] = fig16.summary[f"mean {label}"]
+
+    fig15 = run_experiment("fig15", jobs=jobs, transactions=transactions, seed=seed)
+    for name, value in fig15.summary.items():
+        # "mean speedup @wpq=13" -> fig15.mean_speedup.wpq13
+        kind = "mean_speedup" if "speedup" in name else "mean_retries_kwr"
+        size = name.rsplit("=", 1)[1]
+        metrics[f"fig15.{kind}.wpq{size}"] = value
+
+    tab02 = run_experiment("tab02", jobs=jobs, transactions=transactions, seed=seed)
+    for row in tab02.rows:
+        if row[0] == "nstore-ycsb":
+            for design, value in zip(DESIGNS, row[1:]):
+                slug = _DESIGN_SLUGS[design]
+                metrics[f"tab02.nstore_ycsb_retries.{slug}"] = value
+
+    tab03 = run_experiment("tab03")
+    for row in tab03.rows:
+        component = row[0]
+        for design, value in zip(DESIGNS, row[1:]):
+            slug = _DESIGN_SLUGS[design]
+            metrics[f"tab03.{component}.{slug}"] = value
+
+    sec55 = run_experiment("sec55")
+    for design, row in zip(DESIGNS, sec55.rows):
+        slug = _DESIGN_SLUGS[design]
+        # row: [label, entries, read, old pads, drain, new pads, total, ms]
+        metrics[f"sec55.total_cycles.{slug}"] = row[6]
+    return metrics
+
+
+def _tolerance_for(name: str) -> Dict[str, Number]:
+    """Documented tolerance per metric family (see docs/testing.md)."""
+    if name.startswith(("tab03.", "sec55.")):
+        # Static arithmetic: storage byte counts and the Section 5.5
+        # cycle model are exact — any change is a real model change.
+        return {"abs_tol": 0}
+    if name.startswith("tab02.nstore_ycsb_retries."):
+        # The pinned known-delta: ~0 retries.  Absolute band, since a
+        # relative tolerance around 0 is meaningless.
+        return {"abs_tol": 5.0}
+    if name.startswith("fig15.mean_retries_kwr."):
+        # Retry rates include exact zeros at large WPQ sizes: a small
+        # absolute floor covers those, and it stays below 10% of every
+        # nonzero snapshot value so the perturbation self-test holds.
+        return {"rel_tol": DEFAULT_REL_TOL, "abs_tol": 0.5}
+    return {"rel_tol": DEFAULT_REL_TOL}
+
+
+def build_snapshot(
+    metrics: Dict[str, Number], transactions: int, seed: int
+) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "transactions": transactions,
+            "seed": seed,
+            "generator_version": GENERATOR_VERSION,
+            "default_rel_tol": DEFAULT_REL_TOL,
+        },
+        "metrics": {
+            name: {"value": metrics[name], **_tolerance_for(name)}
+            for name in sorted(metrics)
+        },
+    }
+
+
+def load_golden(path: Union[str, Path] = GOLDEN_PATH) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def compare(measured: Dict[str, Number], golden: dict) -> List[str]:
+    """Diff measured metrics against a snapshot; returns failure strings."""
+    failures = []
+    for name, entry in golden["metrics"].items():
+        if name not in measured:
+            failures.append(f"{name}: metric missing from recomputation")
+            continue
+        value = entry["value"]
+        got = measured[name]
+        slack = max(
+            float(entry.get("abs_tol", DEFAULT_ABS_TOL)),
+            float(entry.get("rel_tol", 0.0)) * abs(float(value)),
+        )
+        if abs(float(got) - float(value)) > slack:
+            failures.append(
+                f"{name}: measured {got:.6g} vs golden {value:.6g} "
+                f"(tolerance {slack:.6g})"
+            )
+    for name in measured:
+        if name not in golden["metrics"]:
+            failures.append(f"{name}: metric not in golden snapshot")
+    return failures
+
+
+def perturbation_self_test(golden: dict, fraction: float) -> List[str]:
+    """Prove the gate catches a ±``fraction`` drift of any one metric.
+
+    For every snapshotted metric, perturb just that value up and down
+    by ``fraction`` and require :func:`compare` to flag it.  Returns
+    the metrics the gate FAILED to catch (empty = self-test passed).
+    """
+    baseline = {
+        name: entry["value"] for name, entry in golden["metrics"].items()
+    }
+    undetected = []
+    for name, entry in golden["metrics"].items():
+        value = entry["value"]
+        for sign in (+1.0, -1.0):
+            shifted = dict(baseline)
+            # Near-zero metrics drift additively (a relative nudge of
+            # 0.0 is still 0.0): perturb by the absolute band instead.
+            if abs(float(value)) > 1e-6:
+                shifted[name] = value * (1.0 + sign * fraction)
+            else:
+                shifted[name] = float(value) + sign * (
+                    2.0 * float(entry.get("abs_tol", 1.0)) + 1.0
+                )
+            if not compare(shifted, golden):
+                undetected.append(f"{name} ({'+' if sign > 0 else '-'})")
+    return undetected
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness golden",
+        description="Golden-result regression gate over the reproduced "
+        "headline numbers (docs/testing.md).",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="recompute and rewrite the snapshot",
+    )
+    parser.add_argument(
+        "--perturb", type=float, default=None, metavar="FRACTION",
+        help="self-test only: verify the gate catches a ±FRACTION drift "
+        "of every snapshotted metric (no simulation runs)",
+    )
+    parser.add_argument("--golden", default=str(GOLDEN_PATH), metavar="PATH")
+    parser.add_argument("--transactions", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    path = Path(args.golden)
+    if args.perturb is not None:
+        golden = load_golden(path)
+        undetected = perturbation_self_test(golden, args.perturb)
+        if undetected:
+            print(
+                f"[golden][FAIL] ±{args.perturb:.0%} drift NOT caught for: "
+                + ", ".join(undetected),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"[golden] self-test ok: ±{args.perturb:.0%} drift caught on "
+            f"all {len(golden['metrics'])} metrics"
+        )
+        return 0
+
+    if args.update:
+        transactions = args.transactions or TIER1_TRANSACTIONS
+        seed = args.seed or TIER1_SEED
+        metrics = compute_metrics(transactions, seed, jobs=args.jobs)
+        snapshot = build_snapshot(metrics, transactions, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"[golden] wrote {len(metrics)} metrics to {path}")
+        return 0
+
+    golden = load_golden(path)
+    meta = golden["meta"]
+    transactions = args.transactions or meta["transactions"]
+    seed = args.seed or meta["seed"]
+    metrics = compute_metrics(transactions, seed, jobs=args.jobs)
+    failures = compare(metrics, golden)
+    for failure in failures:
+        print(f"[golden][FAIL] {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"[golden] {len(golden['metrics'])} metrics within tolerance "
+            f"(transactions={transactions}, seed={seed})"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,6 +180,111 @@ class TraceStore:
         return final
 
 
+def default_result_cache_dir() -> Optional[Path]:
+    """Resolve the shared *result*-cache directory from the environment.
+
+    ``REPRO_RESULT_CACHE`` mirrors ``REPRO_TRACE_CACHE`` (same disable
+    values); unset defaults to a ``results`` sibling of the trace cache.
+    """
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env is not None:
+        if env.strip().lower() in _DISABLED_VALUES or not env.strip():
+            return None
+        return Path(env).expanduser()
+    traces = default_cache_dir()
+    if traces is None:
+        return None
+    return traces.parent / "results"
+
+
+class ResultStore:
+    """Content-addressed on-disk cache of completed experiment results.
+
+    The :mod:`repro.service` scheduler keys each job by a digest
+    computed exactly the way :meth:`TraceStore.digest` keys traces
+    (canonical JSON of the full identity, SHA-256, truncated) and
+    stores the job's JSON result payload here, so identical jobs
+    resubmitted across server restarts replay from disk instead of
+    re-simulating.  Every entry embeds a digest of its payload bytes
+    that is re-verified on load — a corrupt or truncated entry is
+    quarantined (same policy as :class:`TraceStore`) and treated as a
+    miss, never surfaced as a JSON error or, worse, a wrong result.
+    """
+
+    QUARANTINE_DIR = TraceStore.QUARANTINE_DIR
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    @staticmethod
+    def payload_digest(payload: dict) -> str:
+        """Digest of the canonical JSON encoding of ``payload``."""
+        material = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """Return the cached payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+            if entry.get("key") != key:
+                raise ValueError("result cache key mismatch")
+            if entry.get("payload_digest") != self.payload_digest(payload):
+                raise ValueError("result payload digest mismatch")
+        except Exception:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> Path:
+        """Persist ``payload`` under ``key`` (atomic rename, race-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        entry = {
+            "key": key,
+            "payload": payload,
+            "payload_digest": self.payload_digest(payload),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def _quarantine(self, path: Path) -> None:
+        target_dir = self.root / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
+
 class TraceCache:
     """Two-level trace cache: per-process memory over a shared disk store.
 

@@ -1,0 +1,273 @@
+"""Blocking JSON-lines client for the experiment service.
+
+Used by ``python -m repro.harness submit``, the smoke harness, and the
+soak test.  Deliberately synchronous (plain sockets, one connection):
+each *client* is simple, and concurrency is exercised by running many
+of them — exactly how the smoke and soak tests drive the server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import socket
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.harness.tables import render_table
+from repro.oracle.check import CONTROLLER_MATRIX
+from repro.service import protocol
+from repro.service.protocol import JobSpec, ProtocolError
+
+Address = Union[Tuple[str, int], str]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """One connection to a running experiment server."""
+
+    def __init__(self, address: Address, timeout: float = 300.0) -> None:
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address)
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        #: Progress frames observed while waiting for results.
+        self.progress: List[dict] = []
+        self.hello = self._read()  # the greeting frame
+
+    # ------------------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        self._file.write(protocol.encode_message(message))
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_message(line)
+
+    # -- low-level frame API (smoke/soak drive these directly) ----------
+    def post(self, spec: JobSpec) -> str:
+        """Fire one submit frame without waiting; returns its request id."""
+        request_id = f"q{next(self._ids)}"
+        self._send({"type": "submit", "id": request_id, "job": spec.to_wire()})
+        return request_id
+
+    def read(self) -> dict:
+        """Read the next frame (blocking)."""
+        return self._read()
+
+    def collect(self, request_ids: Iterable[str]) -> Dict[str, dict]:
+        """Read frames until a result/error arrived for every id."""
+        outstanding = set(request_ids)
+        frames: Dict[str, dict] = {}
+        while outstanding:
+            frame = self._read()
+            kind = frame.get("type")
+            if kind in ("result", "error") and frame.get("id") in outstanding:
+                frames[frame["id"]] = frame
+                outstanding.discard(frame["id"])
+            else:
+                self.progress.append(frame)
+        return frames
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        self._send({"type": "ping"})
+        return self._wait_for({"pong"})
+
+    def stats(self) -> dict:
+        self._send({"type": "stats"})
+        return self._wait_for({"stats"})
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Submit one job and block until its result frame arrives."""
+        return self.submit_many([spec])[0]
+
+    def submit_many(self, specs: Iterable[JobSpec]) -> List[dict]:
+        """Pipeline many jobs on this connection; results in spec order.
+
+        The server may complete deduplicated jobs in any order; replies
+        are matched back to requests by ``id``.
+        """
+        wanted: Dict[str, int] = {}
+        specs = list(specs)
+        results: List[Optional[dict]] = [None] * len(specs)
+        for index, spec in enumerate(specs):
+            request_id = f"q{next(self._ids)}"
+            wanted[request_id] = index
+            self._send(
+                {"type": "submit", "id": request_id, "job": spec.to_wire()}
+            )
+        outstanding = set(wanted)
+        while outstanding:
+            frame = self._read()
+            kind = frame.get("type")
+            if kind == "result":
+                index = wanted.get(frame.get("id"))
+                if index is not None:
+                    results[index] = frame
+                    outstanding.discard(frame["id"])
+            elif kind == "error":
+                request_id = frame.get("id")
+                if request_id in outstanding:
+                    raise ServiceError(
+                        str(frame.get("code")), str(frame.get("message"))
+                    )
+                self.progress.append(frame)
+            elif kind in ("progress", "accepted", "draining"):
+                self.progress.append(frame)
+            # hello/pong/stats frames interleaved here are ignorable
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        try:
+            self._send({"type": "bye"})
+        except (OSError, ValueError):
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _wait_for(self, kinds) -> dict:
+        while True:
+            frame = self._read()
+            if frame.get("type") in kinds:
+                return frame
+            self.progress.append(frame)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.harness submit
+# ----------------------------------------------------------------------
+def _parse_overrides(pairs: List[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--override expects key=value, got {pair!r}")
+        if value.lower() in ("true", "false"):
+            overrides[key] = value.lower() == "true"
+        else:
+            try:
+                overrides[key] = int(value)
+            except ValueError:
+                overrides[key] = value
+    return overrides
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness submit",
+        description="Submit experiment jobs to a running service "
+        "(python -m repro.harness serve).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--unix", default=None, help="Unix socket path")
+    parser.add_argument("--workload", default="hashmap")
+    parser.add_argument(
+        "--design",
+        default="dolos-partial",
+        help=f"one of {', '.join(CONTROLLER_MATRIX)}, or 'matrix' "
+        "for all six",
+    )
+    parser.add_argument("--transactions", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--experiment", default="", dest="experiment_id")
+    parser.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="config override (transaction_size, adr_budget, "
+        "wpq_coalescing, persist_model); repeatable",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print raw result frames"
+    )
+    args = parser.parse_args(argv)
+    if args.port is None and args.unix is None:
+        parser.error("one of --port or --unix is required")
+    address: Address = args.unix if args.unix else (args.host, args.port)
+
+    overrides = _parse_overrides(args.override)
+    designs = (
+        list(CONTROLLER_MATRIX) if args.design == "matrix" else [args.design]
+    )
+    try:
+        specs = [
+            JobSpec(
+                workload=args.workload,
+                design=design,
+                transactions=args.transactions,
+                seed=args.seed,
+                experiment_id=args.experiment_id,
+                overrides=overrides,
+            ).validate()
+            for design in designs
+        ]
+    except ProtocolError as exc:
+        print(f"invalid job: {exc}", file=sys.stderr)
+        return 2
+
+    with ServiceClient(address) as client:
+        frames = client.submit_many(specs)
+        stats = client.stats()
+
+    if args.json:
+        for frame in frames:
+            print(json.dumps(frame, sort_keys=True))
+        return 0
+    rows = []
+    for spec, frame in zip(specs, frames):
+        payload = frame["payload"]
+        rows.append(
+            [
+                spec.design,
+                payload["workload"],
+                payload["cycles"],
+                payload["instructions"],
+                f"{payload['cycles'] / max(1, payload['instructions']):.3f}",
+                "cached" if frame.get("cached") else "ran",
+                frame["digest"],
+            ]
+        )
+    print(
+        render_table(
+            ["design", "workload", "cycles", "instr", "cpi", "source",
+             "digest"],
+            rows,
+            title=f"{args.workload} x{args.transactions} seed {args.seed}",
+        )
+    )
+    print(
+        f"server: {stats['completed']} completed, "
+        f"dedup hit-rate {stats['dedup_hit_rate']:.2f} "
+        f"({stats['dedup_hits']}/{stats['submitted']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

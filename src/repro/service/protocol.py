@@ -1,0 +1,254 @@
+"""Wire protocol of the experiment service.
+
+**Framing** — newline-delimited JSON objects (one message per line,
+UTF-8, ``\\n`` terminated, 1 MiB line bound).  Every message carries a
+``type``; requests carry a client-chosen ``id`` echoed on every reply
+so one connection can multiplex jobs.
+
+Client -> server::
+
+    {"type": "submit", "id": "r1", "job": {...JobSpec...}}
+    {"type": "stats"}              # scheduler/dedup counters
+    {"type": "ping"}
+    {"type": "bye"}                # polite close
+
+Server -> client::
+
+    {"type": "hello", "version": 1, ...}
+    {"type": "accepted", "id": "r1", "key": "...", "dedup": "new|inflight|cached"}
+    {"type": "progress", "key": "...", "state": "...", ...}
+    {"type": "result", "id": "r1", "key": "...", "payload": {...},
+     "digest": "...", "cached": false}
+    {"type": "error", "id": "r1", "code": "...", "message": "..."}
+    {"type": "stats", ...} / {"type": "pong"} / {"type": "draining"}
+
+**Job identity** — :func:`job_key` content-hashes the simulation-
+relevant fields of a :class:`JobSpec` exactly the way
+:meth:`repro.harness.trace_store.TraceStore.digest` keys traces:
+canonical sorted-key JSON, SHA-256, 24-hex truncation, with the trace
+``GENERATOR_VERSION`` folded in so a workload-generator bump
+invalidates service results and disk traces in lockstep.  The client
+label ``experiment_id`` is deliberately *not* hashed: two users asking
+for the same simulation under different labels share one execution.
+
+**Result integrity** — :func:`result_payload` serialises a
+:class:`~repro.harness.runner.RunResult` to a plain dict and
+:func:`result_digest` fingerprints its canonical JSON; the digest
+travels with every ``result`` message and is what the golden suite and
+the smoke compare bit-for-bit against direct in-process runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.config import ADRConfig, ControllerKind, MiSUDesign, SimConfig
+from repro.harness.runner import RunResult
+from repro.oracle.check import controller_matrix
+from repro.workloads import ALL_WORKLOADS, GENERATOR_VERSION
+
+PROTOCOL_VERSION = 1
+
+#: Newline-framed JSON lines are bounded to keep a hostile or buggy
+#: client from ballooning server memory.
+MAX_LINE_BYTES = 1 << 20
+
+#: Override keys a job may set, with their validators/coercers.  Kept
+#: to a whitelist so the hash-relevant surface is explicit — anything
+#: else in ``overrides`` is a protocol error, not a silent ignore.
+_OVERRIDE_COERCERS = {
+    "transaction_size": int,
+    "adr_budget": int,
+    "wpq_coalescing": bool,
+    "persist_model": str,
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed, oversized, or semantically invalid message."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment job: the unit of submission and dedup.
+
+    ``design`` names a column of the oracle's six-config controller
+    matrix (``dolos-full``, ``dolos-partial``, ``dolos-post``,
+    ``prewpq-eager``, ``prewpq-lazy``, ``eadr``); ``overrides`` tweaks
+    the whitelisted :class:`~repro.config.SimConfig` knobs.
+    ``experiment_id`` is a client-side label (echoed in progress
+    events, excluded from the job hash).
+    """
+
+    workload: str
+    design: str
+    transactions: int
+    seed: int
+    experiment_id: str = ""
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def validate(self) -> "JobSpec":
+        if self.workload not in ALL_WORKLOADS:
+            raise ProtocolError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(ALL_WORKLOADS)}"
+            )
+        if self.design not in controller_matrix():
+            raise ProtocolError(
+                f"unknown design {self.design!r}; "
+                f"choose from {sorted(controller_matrix())}"
+            )
+        if not isinstance(self.transactions, int) or self.transactions <= 0:
+            raise ProtocolError("transactions must be a positive integer")
+        if not isinstance(self.seed, int):
+            raise ProtocolError("seed must be an integer")
+        for key, value in dict(self.overrides).items():
+            coerce = _OVERRIDE_COERCERS.get(key)
+            if coerce is None:
+                raise ProtocolError(
+                    f"unknown override {key!r}; "
+                    f"choose from {sorted(_OVERRIDE_COERCERS)}"
+                )
+            try:
+                coerce(value)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"override {key!r} has invalid value {value!r}"
+                ) from None
+        return self
+
+    # -- wire form -------------------------------------------------------
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "transactions": self.transactions,
+            "seed": self.seed,
+            "experiment_id": self.experiment_id,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, object]) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise ProtocolError("job must be an object")
+        try:
+            spec = cls(
+                workload=data["workload"],
+                design=data["design"],
+                transactions=data["transactions"],
+                seed=data["seed"],
+                experiment_id=str(data.get("experiment_id", "")),
+                overrides=dict(data.get("overrides", {}) or {}),
+            )
+        except KeyError as exc:
+            raise ProtocolError(f"job missing field {exc.args[0]!r}") from None
+        return spec.validate()
+
+
+# ----------------------------------------------------------------------
+# Job identity
+# ----------------------------------------------------------------------
+def canonical_job(spec: JobSpec) -> Dict[str, object]:
+    """The hash-relevant identity of ``spec`` (label excluded)."""
+    return {
+        "workload": spec.workload,
+        "design": spec.design,
+        "transactions": spec.transactions,
+        "seed": spec.seed,
+        "overrides": {k: spec.overrides[k] for k in sorted(spec.overrides)},
+        "generator_version": GENERATOR_VERSION,
+        "protocol_version": PROTOCOL_VERSION,
+    }
+
+
+def job_key(spec: JobSpec) -> str:
+    """Stable content digest of ``spec`` (TraceStore-style)."""
+    material = json.dumps(canonical_job(spec), sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+
+def resolve_config(spec: JobSpec) -> SimConfig:
+    """Build the :class:`SimConfig` a job runs under."""
+    config = controller_matrix()[spec.design]
+    changes: Dict[str, object] = {}
+    overrides = dict(spec.overrides)
+    if "transaction_size" in overrides:
+        changes["transaction_size"] = int(overrides["transaction_size"])
+    if "adr_budget" in overrides:
+        changes["adr"] = ADRConfig(budget_entries=int(overrides["adr_budget"]))
+    if "wpq_coalescing" in overrides:
+        changes["wpq_coalescing"] = bool(overrides["wpq_coalescing"])
+    if "persist_model" in overrides:
+        changes["core"] = dataclasses.replace(
+            config.core, persist_model=str(overrides["persist_model"])
+        )
+    if changes:
+        config = config.with_(**changes)
+    return config
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def result_payload(result: RunResult) -> Dict[str, object]:
+    """Serialise one :class:`RunResult` to a wire/cache-stable dict."""
+    return {
+        "workload": result.workload,
+        "controller": result.controller.value,
+        "misu_design": result.misu_design.value,
+        "transactions": result.transactions,
+        "payload_bytes": result.payload_bytes,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stats": {k: result.stats[k] for k in sorted(result.stats)},
+    }
+
+
+def payload_to_result(payload: Mapping[str, object]) -> RunResult:
+    """Rebuild a :class:`RunResult` from its wire dict."""
+    return RunResult(
+        workload=payload["workload"],
+        controller=ControllerKind(payload["controller"]),
+        misu_design=MiSUDesign(payload["misu_design"]),
+        transactions=payload["transactions"],
+        payload_bytes=payload["payload_bytes"],
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        stats=dict(payload["stats"]),
+    )
+
+
+def result_digest(payload: Mapping[str, object]) -> str:
+    """Fingerprint of a result payload's canonical JSON."""
+    material = json.dumps(dict(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_message(message: Mapping[str, object]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    line = json.dumps(dict(message), sort_keys=True, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    return data
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be an object with a 'type'")
+    return message

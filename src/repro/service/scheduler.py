@@ -1,0 +1,317 @@
+"""Job admission: dedup, batching, the warm pool, and drain.
+
+The scheduler is the single-writer owner of all job state; it runs on
+the server's asyncio loop, so no locks are needed — pool completion
+callbacks (which arrive on the pool's result-handler thread) are
+trampolined back onto the loop with ``call_soon_threadsafe``.
+
+Admission pipeline for one ``submit``:
+
+1. **Key** the spec (:func:`repro.service.protocol.job_key`).
+2. **Dedup** — an identical job already RUNNING/QUEUED gains a waiter
+   (``dedup="inflight"``); a key present in the persistent
+   :class:`~repro.harness.trace_store.ResultStore` replays from disk
+   with its payload digest re-verified (``dedup="cached"``); otherwise
+   the job is new.
+3. **Batch** — new jobs buffer briefly (``batch_window`` seconds, or
+   until ``batch_max`` accumulate) so a burst of submissions dispatches
+   to the pool as one batch; the window is the service's equivalent of
+   an inference frontend's request batcher.
+4. **Execute** — batches go to a shared
+   :class:`~repro.harness.parallel.WarmPool` (``jobs >= 2``) or an
+   in-process thread (``jobs <= 1``; identical results either way,
+   both run :func:`repro.harness.parallel.execute_unit`).  A unit
+   whose worker dies is retried once in-process — the service-side
+   analogue of :func:`repro.harness.parallel._resilient_map`'s serial
+   degrade — before the job is failed.
+5. **Complete** — the result payload is digest-stamped, written to the
+   result store, and every waiter's future resolves.
+
+``drain()`` implements graceful shutdown: new submissions are refused,
+but every *accepted* job — queued, batched, or running — completes and
+reaches its waiters before drain returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.parallel import WarmPool, execute_unit, RunUnit
+from repro.harness.trace_store import (
+    ResultStore,
+    TraceCache,
+    default_result_cache_dir,
+)
+from repro.service.protocol import (
+    JobSpec,
+    job_key,
+    resolve_config,
+    result_digest,
+    result_payload,
+)
+from repro.tracing.progress import JobEventLog
+
+
+class DrainingError(RuntimeError):
+    """Submission refused: the scheduler is draining for shutdown."""
+
+
+class JobStatus(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One deduplicated unit of work and everyone waiting on it."""
+
+    key: str
+    spec: JobSpec
+    unit: RunUnit
+    status: JobStatus = JobStatus.QUEUED
+    payload: Optional[dict] = None
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    #: Replayed from the persistent result store (no simulation ran).
+    cached: bool = False
+    #: Completed by the in-process retry after a worker death.
+    degraded: bool = False
+    batch_id: Optional[int] = None
+    #: Resolved (with this Job) when the job reaches a terminal state.
+    done: asyncio.Future = field(default_factory=asyncio.Future)
+    #: Progress callbacks: fn(job, state) — must not block.
+    watchers: List[Callable[["Job", str], None]] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.FAILED)
+
+
+class ExperimentScheduler:
+    """Dedup + batching front of the simulation pool (single-loop)."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        batch_window: float = 0.02,
+        batch_max: int = 16,
+        result_cache_dir=TraceCache.AUTO,
+        events: Optional[JobEventLog] = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.batch_window = batch_window
+        self.batch_max = max(1, batch_max)
+        if result_cache_dir is TraceCache.AUTO:
+            result_cache_dir = default_result_cache_dir()
+        self.results = (
+            ResultStore(result_cache_dir)
+            if result_cache_dir is not None
+            else None
+        )
+        self.events = events if events is not None else JobEventLog()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[WarmPool] = None
+        self._thread_cache: Optional[TraceCache] = None
+        self._jobs: Dict[str, Job] = {}
+        self._pending_batch: List[Job] = []
+        self._batch_timer: Optional[asyncio.TimerHandle] = None
+        self._batch_counter = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # -- counters (the ``stats`` wire reply) --
+        self.submitted = 0
+        self.dedup_inflight = 0
+        self.dedup_cached = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, detail: str) -> None:
+        loop = self._loop or asyncio.get_event_loop()
+        self.events.event(int(loop.time() * 1e6), kind, detail)
+
+    def _notify(self, job: Job, state: str) -> None:
+        for watcher in list(job.watchers):
+            watcher(job, state)
+
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec) -> Job:
+        """Admit one job; returns its (possibly shared) :class:`Job`.
+
+        The returned job may already be finished (cache replay / dedup
+        against a completed job); otherwise await ``job.done``.
+        """
+        self._loop = asyncio.get_running_loop()
+        if self._draining:
+            raise DrainingError("server is draining; job refused")
+        key = job_key(spec)
+        self.submitted += 1
+        self._emit("job.submitted", f"{key}:{spec.experiment_id or '-'}")
+
+        existing = self._jobs.get(key)
+        if existing is not None:
+            self.dedup_inflight += 1
+            self._emit("job.dedup", f"{key}:inflight")
+            return existing
+
+        unit = RunUnit(
+            spec.workload,
+            resolve_config(spec),
+            spec.transactions,
+            spec.seed,
+        )
+        job = Job(key=key, spec=spec, unit=unit)
+        self._jobs[key] = job
+
+        if self.results is not None:
+            payload = self.results.load(key)
+            if payload is not None:
+                self.dedup_cached += 1
+                job.cached = True
+                self._emit("job.dedup", f"{key}:cached")
+                self._finish(job, payload=payload)
+                return job
+
+        self._idle.clear()
+        self._pending_batch.append(job)
+        if len(self._pending_batch) >= self.batch_max:
+            self._flush_batch()
+        elif self._batch_timer is None:
+            self._batch_timer = self._loop.call_later(
+                self.batch_window, self._flush_batch
+            )
+        return job
+
+    # -- batching --------------------------------------------------------
+    def _flush_batch(self) -> None:
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        batch, self._pending_batch = self._pending_batch, []
+        if not batch:
+            return
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        for job in batch:
+            job.batch_id = batch_id
+            self._emit("job.batched", f"{job.key}:batch{batch_id}")
+        for job in batch:
+            self._dispatch(job)
+
+    def _dispatch(self, job: Job) -> None:
+        job.status = JobStatus.RUNNING
+        self._emit("job.started", job.key)
+        self._notify(job, "running")
+        if self.jobs >= 2:
+            self._ensure_pool().submit(job.unit, self._pool_done(job))
+        else:
+            task = self._loop.create_task(self._run_inline(job))
+            task.add_done_callback(lambda _t: None)
+
+    def _ensure_pool(self) -> WarmPool:
+        if self._pool is None:
+            self._pool = WarmPool(self.jobs)
+        return self._pool
+
+    # -- completion paths ------------------------------------------------
+    def _pool_done(self, job: Job):
+        loop = self._loop
+
+        def on_done(_unit, result, error):
+            # Pool result-handler thread -> loop thread.
+            loop.call_soon_threadsafe(self._pool_landed, job, result, error)
+
+        return on_done
+
+    def _pool_landed(self, job: Job, result, error) -> None:
+        if error is None:
+            self._finish(job, result=result)
+            return
+        # Worker died: one in-process retry before failing the job.
+        task = self._loop.create_task(self._run_inline(job, degraded=True))
+        task.add_done_callback(lambda _t: None)
+
+    async def _run_inline(self, job: Job, degraded: bool = False) -> None:
+        if self._thread_cache is None:
+            self._thread_cache = TraceCache()
+        try:
+            result = await asyncio.to_thread(
+                execute_unit, job.unit, self._thread_cache
+            )
+        except Exception as exc:
+            self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            return
+        job.degraded = degraded
+        self._finish(job, result=result)
+
+    def _finish(
+        self,
+        job: Job,
+        result=None,
+        payload: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if error is not None:
+            job.status = JobStatus.FAILED
+            job.error = error
+            self.failed += 1
+            outcome = "error"
+        else:
+            if payload is None:
+                payload = result_payload(result)
+                if self.results is not None:
+                    self.results.store(job.key, payload)
+            job.payload = payload
+            job.digest = result_digest(payload)
+            job.status = JobStatus.DONE
+            self.completed += 1
+            outcome = "degraded" if job.degraded else "ok"
+        self._emit("job.completed", f"{job.key}:{outcome}")
+        if not job.done.done():
+            job.done.set_result(job)
+        self._notify(job, job.status.value)
+        if not any(not j.finished for j in self._jobs.values()):
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters for the wire ``stats`` reply and the smoke test."""
+        in_flight = sum(1 for j in self._jobs.values() if not j.finished)
+        dedup_hits = self.dedup_inflight + self.dedup_cached
+        return {
+            "submitted": self.submitted,
+            "unique_jobs": len(self._jobs),
+            "in_flight": in_flight,
+            "completed": self.completed,
+            "failed": self.failed,
+            "dedup_inflight": self.dedup_inflight,
+            "dedup_cached": self.dedup_cached,
+            "dedup_hits": dedup_hits,
+            "dedup_hit_rate": (
+                dedup_hits / self.submitted if self.submitted else 0.0
+            ),
+            "result_store_hits": self.results.hits if self.results else 0,
+            "events": self.events.snapshot(),
+            "draining": self._draining,
+            "jobs": self.jobs,
+        }
+
+    # -- shutdown --------------------------------------------------------
+    async def drain(self) -> None:
+        """Refuse new work, then wait until every accepted job finishes."""
+        self._draining = True
+        self._flush_batch()
+        await self._idle.wait()
+
+    async def close(self) -> None:
+        """Drain, then release the worker pool."""
+        await self.drain()
+        if self._pool is not None:
+            await asyncio.to_thread(self._pool.close, True)
+            self._pool = None

@@ -1,0 +1,458 @@
+"""The asyncio JSON-lines experiment server.
+
+One :class:`ExperimentServer` listens on loopback TCP and (optionally)
+a Unix-domain socket, multiplexing any number of clients over one
+:class:`~repro.service.scheduler.ExperimentScheduler`.
+
+Per-client machinery:
+
+* **Rate limiting** — a token bucket gates message *reads*: when a
+  client exhausts its burst, the server simply stops reading its
+  socket until tokens refill, so backpressure propagates to the client
+  through TCP/SO_SNDBUF instead of through unbounded server queues.
+* **Bounded event queue** — replies flow through one
+  ``asyncio.Queue(maxsize=...)`` per client drained by a writer task.
+  Progress events are droppable (a slow reader loses narration, never
+  correctness; drops are counted and reported on ``bye``); results and
+  errors are *critical* — enqueueing them awaits space, so a slow
+  client slows only its own deliveries.
+* **Graceful drain** — on SIGTERM/SIGINT (or :meth:`shutdown`), the
+  listeners close, new submissions are refused with ``draining``, the
+  scheduler drains every accepted job, all pending result deliveries
+  flush, and only then do connections close.  No accepted job is lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from repro.harness.trace_store import TraceCache
+from repro.service import protocol
+from repro.service.protocol import JobSpec, ProtocolError
+from repro.service.scheduler import (
+    DrainingError,
+    ExperimentScheduler,
+    Job,
+    JobStatus,
+)
+
+#: Default per-client token bucket: sustained messages/second + burst.
+DEFAULT_RATE = 200.0
+DEFAULT_BURST = 64
+#: Default per-client reply-queue bound.
+DEFAULT_QUEUE_SIZE = 256
+
+
+class TokenBucket:
+    """Classic token bucket; ``acquire`` sleeps until a token exists."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+
+    async def acquire(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            self._refill(loop.time())
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            await asyncio.sleep((1.0 - self._tokens) / self.rate)
+
+
+class _ClientSession:
+    """Per-connection state: reply queue, writer task, rate limiter."""
+
+    def __init__(self, server: "ExperimentServer", writer) -> None:
+        self.server = server
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=server.queue_size)
+        self.bucket = TokenBucket(server.rate, server.burst)
+        self.dropped_progress = 0
+        self.closed = False
+
+    def post(self, message: Dict[str, object]) -> None:
+        """Best-effort enqueue (progress narration; droppable)."""
+        try:
+            self.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            self.dropped_progress += 1
+
+    async def post_critical(self, message: Dict[str, object]) -> None:
+        """Guaranteed enqueue (results/errors; awaits queue space)."""
+        await self.queue.put(message)
+
+    async def drain_writer(self) -> None:
+        """Sentinel-close the queue and wait for the writer to flush."""
+        await self.queue.put(None)
+
+
+class ExperimentServer:
+    """Serve experiment jobs over loopback TCP and a Unix socket."""
+
+    def __init__(
+        self,
+        scheduler: ExperimentScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        rate: float = DEFAULT_RATE,
+        burst: int = DEFAULT_BURST,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.rate = rate
+        self.burst = burst
+        self.queue_size = queue_size
+        self._servers: list = []
+        self._sessions: Set[_ClientSession] = set()
+        self._deliveries: Set[asyncio.Task] = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listeners (TCP always; Unix when a path was given)."""
+        tcp = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        self._servers.append(tcp)
+        self.port = tcp.sockets[0].getsockname()[1]
+        if self.unix_path:
+            unix = await asyncio.start_unix_server(
+                self._handle_client, path=self.unix_path
+            )
+            self._servers.append(unix)
+
+    async def serve_until_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        session = _ClientSession(self, writer)
+        self._sessions.add(session)
+        writer_task = asyncio.create_task(self._writer_loop(session))
+        session.post(
+            {
+                "type": "hello",
+                "version": protocol.PROTOCOL_VERSION,
+                "draining": self._draining,
+            }
+        )
+        try:
+            while True:
+                await session.bucket.acquire()
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    session.post(
+                        {
+                            "type": "error",
+                            "code": "oversized",
+                            "message": "line too long",
+                        }
+                    )
+                    break
+                done = await self._handle_message(session, line)
+                if done:
+                    break
+        finally:
+            await session.drain_writer()
+            await writer_task
+            session.closed = True
+            self._sessions.discard(session)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_message(self, session: _ClientSession, line: bytes) -> bool:
+        """Dispatch one frame; returns True when the session should end."""
+        try:
+            message = protocol.decode_message(line)
+        except ProtocolError as exc:
+            session.post(
+                {"type": "error", "code": "protocol", "message": str(exc)}
+            )
+            return False
+        kind = message.get("type")
+        if kind == "ping":
+            session.post({"type": "pong"})
+            return False
+        if kind == "stats":
+            session.post({"type": "stats", **self.scheduler.stats()})
+            return False
+        if kind == "bye":
+            session.post(
+                {"type": "bye", "dropped_progress": session.dropped_progress}
+            )
+            return True
+        if kind == "submit":
+            await self._handle_submit(session, message)
+            return False
+        session.post(
+            {
+                "type": "error",
+                "code": "unknown-type",
+                "message": f"unknown message type {kind!r}",
+            }
+        )
+        return False
+
+    async def _handle_submit(
+        self, session: _ClientSession, message: Dict[str, object]
+    ) -> None:
+        request_id = message.get("id")
+        try:
+            spec = JobSpec.from_wire(message.get("job"))
+        except ProtocolError as exc:
+            await session.post_critical(
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "code": "bad-job",
+                    "message": str(exc),
+                }
+            )
+            return
+        try:
+            job = await self.scheduler.submit(spec)
+        except DrainingError as exc:
+            await session.post_critical(
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "code": "draining",
+                    "message": str(exc),
+                }
+            )
+            return
+        dedup = "new"
+        if job.cached:
+            dedup = "cached"
+        elif job.spec is not spec:
+            dedup = "inflight"
+        session.post(
+            {
+                "type": "accepted",
+                "id": request_id,
+                "key": job.key,
+                "dedup": dedup,
+                "state": job.status.value,
+            }
+        )
+        if not job.finished:
+            # Droppable narration: running / done transitions.
+            def watch(j: Job, state: str, _s=session, _id=request_id) -> None:
+                if not _s.closed and state == "running":
+                    _s.post(
+                        {
+                            "type": "progress",
+                            "id": _id,
+                            "key": j.key,
+                            "state": state,
+                            "batch": j.batch_id,
+                        }
+                    )
+
+            job.watchers.append(watch)
+        task = asyncio.create_task(
+            self._deliver_result(session, request_id, job)
+        )
+        self._deliveries.add(task)
+        task.add_done_callback(self._deliveries.discard)
+
+    async def _deliver_result(
+        self, session: _ClientSession, request_id, job: Job
+    ) -> None:
+        if not job.finished:
+            await asyncio.shield(job.done)
+        if session.closed:
+            return
+        if job.status is JobStatus.DONE:
+            await session.post_critical(
+                {
+                    "type": "result",
+                    "id": request_id,
+                    "key": job.key,
+                    "payload": job.payload,
+                    "digest": job.digest,
+                    "cached": job.cached,
+                    "degraded": job.degraded,
+                }
+            )
+        else:
+            await session.post_critical(
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "key": job.key,
+                    "code": "job-failed",
+                    "message": job.error or "job failed",
+                }
+            )
+
+    async def _writer_loop(self, session: _ClientSession) -> None:
+        while True:
+            message = await session.queue.get()
+            if message is None:
+                session.queue.task_done()
+                break
+            try:
+                session.writer.write(protocol.encode_message(message))
+                await session.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                session.closed = True
+            finally:
+                session.queue.task_done()
+
+    # ------------------------------------------------------------------
+    async def shutdown(self) -> None:
+        """Graceful drain: finish accepted jobs, flush, then stop."""
+        if self._draining:
+            return
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for session in list(self._sessions):
+            session.post({"type": "draining"})
+        await self.scheduler.drain()
+        if self._deliveries:
+            await asyncio.gather(*list(self._deliveries), return_exceptions=True)
+        # Every reply is enqueued; wait (bounded) for writers to flush
+        # them onto the sockets before the process goes away.
+        flushes = [
+            session.queue.join()
+            for session in list(self._sessions)
+            if not session.closed
+        ]
+        if flushes:
+            try:
+                await asyncio.wait_for(asyncio.gather(*flushes), timeout=15.0)
+            except asyncio.TimeoutError:
+                pass  # a reader stopped reading; its loss, not a hang
+        await self.scheduler.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        self._stopped.set()
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.harness serve
+# ----------------------------------------------------------------------
+async def _amain(args) -> int:
+    scheduler = ExperimentScheduler(
+        jobs=args.jobs,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        result_cache_dir=(
+            Path(args.result_cache)
+            if args.result_cache
+            else TraceCache.AUTO
+        ),
+    )
+    server = ExperimentServer(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        rate=args.rate,
+        burst=args.burst,
+        queue_size=args.queue_size,
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        except NotImplementedError:  # non-Unix event loops
+            pass
+    endpoints = {"host": server.host, "port": server.port, "unix": args.unix}
+    if args.ready_file:
+        ready = Path(args.ready_file)
+        ready.parent.mkdir(parents=True, exist_ok=True)
+        tmp = ready.with_suffix(".tmp")
+        tmp.write_text(json.dumps(endpoints))
+        tmp.replace(ready)
+    print(f"[serve] listening {json.dumps(endpoints)}", flush=True)
+    await server.serve_until_stopped()
+    stats = scheduler.stats()
+    print(f"[serve] drained: {json.dumps(stats)}", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Long-lived experiment service (JSON lines over "
+        "loopback TCP and an optional Unix socket).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument("--unix", default=None, help="Unix socket path")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation workers (>=2 uses a warm process pool; "
+        "0 = all cores)",
+    )
+    parser.add_argument("--batch-window", type=float, default=0.02)
+    parser.add_argument("--batch-max", type=int, default=16)
+    parser.add_argument(
+        "--result-cache",
+        default=None,
+        help="persistent result-cache dir (default: $REPRO_RESULT_CACHE "
+        "or the trace cache's sibling)",
+    )
+    parser.add_argument("--rate", type=float, default=DEFAULT_RATE)
+    parser.add_argument("--burst", type=int, default=DEFAULT_BURST)
+    parser.add_argument("--queue-size", type=int, default=DEFAULT_QUEUE_SIZE)
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        help="write the bound endpoints as JSON here once listening",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs <= 0:
+        import os
+
+        args.jobs = os.cpu_count() or 1
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

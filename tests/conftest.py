@@ -16,6 +16,18 @@ def sim():
     return Simulator()
 
 
+@pytest.fixture(scope="session")
+def tier1_metrics():
+    """Every golden-snapshot headline metric, recomputed once per session.
+
+    Shared by the golden-result suite and the characterization tests so
+    the (deterministic) tier-1 experiment bundle runs a single time.
+    """
+    from repro.harness import golden
+
+    return golden.compute_metrics()
+
+
 @pytest.fixture
 def config():
     return SimConfig()

@@ -1,0 +1,116 @@
+"""Characterization tests pinning the EXPERIMENTS.md "known deltas".
+
+The reproduction intentionally diverges from the paper in a few
+documented places ("Known deltas (summary)" in EXPERIMENTS.md).  Each
+test here pins one delta *as currently measured*, so a model change
+that silently flips a documented divergence — or silently "fixes" one
+without the doc being updated — fails loudly.  Every assertion cites
+the delta it guards.
+
+These are direction/shape assertions, deliberately looser than the
+golden gate (tests/test_golden_results.py), which pins the same runs
+to exact values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MiSUDesign
+from repro.harness.experiments import DESIGNS, run_experiment
+from repro.harness.golden import TIER1_SEED, TIER1_TRANSACTIONS
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    """Per-workload lazy-ToC speedups (means live in tier1_metrics)."""
+    return run_experiment(
+        "fig16", transactions=TIER1_TRANSACTIONS, seed=TIER1_SEED
+    )
+
+
+def _fig16_speedup(fig16, workload: str, design: MiSUDesign) -> float:
+    column = 1 + list(DESIGNS).index(design)
+    row = next(r for r in fig16.rows if r[0] == workload)
+    return row[column]
+
+
+class TestDelta2Fig15Saturation:
+    """Delta 2: Figure 15 saturates by 28 entries at a ~2x ceiling
+    (2.12x at paper scale vs the paper's 1.88x)."""
+
+    def test_retries_vanish_as_the_wpq_grows(self, tier1_metrics):
+        retries = {
+            size: tier1_metrics[f"fig15.mean_retries_kwr.wpq{size}"]
+            for size in (13, 28, 57, 113)
+        }
+        # 13 entries thrash; 28 nearly absorbs the bursts; 57+ never
+        # retry at all.
+        assert retries[13] > 50.0
+        assert retries[28] < 20.0
+        assert retries[13] > 10.0 * retries[28]
+        assert retries[57] == 0.0
+        assert retries[113] == 0.0
+
+    def test_speedup_saturates_by_28_entries(self, tier1_metrics):
+        speedup = {
+            size: tier1_metrics[f"fig15.mean_speedup.wpq{size}"]
+            for size in (13, 28, 57, 113)
+        }
+        # The big jump is 13 -> 28; everything past 28 is within 2%.
+        assert speedup[28] > speedup[13] * 1.15
+        assert speedup[57] == pytest.approx(speedup[113], rel=0.02)
+        assert speedup[28] == pytest.approx(speedup[113], rel=0.02)
+
+    def test_saturated_ceiling_near_two_x(self, tier1_metrics):
+        # ~1.98x at tier-1 scale (2.12x at the paper's transaction
+        # count) vs the paper's 1.88x — delta 2's documented gap.
+        ceiling = tier1_metrics["fig15.mean_speedup.wpq113"]
+        assert 1.8 <= ceiling <= 2.3
+
+
+class TestDelta3LazyPostDipsBelowParity:
+    """Delta 3: under lazy ToC, Post-WPQ-MiSU dips below 1.0 on
+    burst-heavy workloads where the paper reports 1.071 — we take the
+    single-deferred-op serialization literally."""
+
+    @pytest.mark.parametrize("workload", ["hashmap", "redis"])
+    def test_post_wpq_below_parity_on_burst_heavy_workloads(
+        self, fig16, workload
+    ):
+        speedup = _fig16_speedup(fig16, workload, MiSUDesign.POST_WPQ)
+        assert speedup < 1.0, (
+            f"{workload}: lazy Post-WPQ speedup {speedup:.3f} no longer "
+            "below parity — EXPERIMENTS.md delta 3 needs updating"
+        )
+
+    def test_post_is_the_lazy_toc_laggard(self, tier1_metrics):
+        post = tier1_metrics["fig16.mean_speedup.post-wpq"]
+        assert post < tier1_metrics["fig16.mean_speedup.full-wpq"]
+        assert post < tier1_metrics["fig16.mean_speedup.partial-wpq"]
+
+    def test_lazy_toc_narrows_every_design_advantage(self, tier1_metrics):
+        # The lazy backend is fast, so Dolos' fixed Mi-SU cost buys
+        # less: Figure 16 means sit well below Figure 12's for every
+        # design (the paper shows the same compression).
+        for design in DESIGNS:
+            slug = design.value
+            lazy = tier1_metrics[f"fig16.mean_speedup.{slug}"]
+            eager = tier1_metrics[f"fig12.mean_speedup.{slug}"]
+            assert lazy < eager, slug
+
+
+class TestDelta4NStoreRetries:
+    """Delta 4: NStore:YCSB retries are ~0 where the paper reports
+    1.1-182 — our NStore model spreads persists even more evenly."""
+
+    def test_nstore_ycsb_retries_near_zero_for_every_design(
+        self, tier1_metrics
+    ):
+        for design in DESIGNS:
+            slug = design.value
+            retries = tier1_metrics[f"tab02.nstore_ycsb_retries.{slug}"]
+            assert retries <= 5.0, (
+                f"{slug}: NStore:YCSB retries/KWR {retries:.2f} no "
+                "longer ~0 — EXPERIMENTS.md delta 4 needs updating"
+            )

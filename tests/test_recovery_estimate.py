@@ -1,0 +1,110 @@
+"""The Section 5.5 analytic recovery model (repro/recovery/estimate.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ADRConfig, MiSUDesign, SimConfig
+from repro.recovery.estimate import (
+    BLOCK_READ_CYCLES,
+    DRAIN_ENTRY_CYCLES,
+    MAC_BLOCKS,
+    PAD_GEN_CYCLES,
+    estimate_recovery,
+)
+
+ALL_DESIGNS = (
+    MiSUDesign.FULL_WPQ,
+    MiSUDesign.PARTIAL_WPQ,
+    MiSUDesign.POST_WPQ,
+)
+
+
+def _config(design: MiSUDesign, budget: int = 16) -> SimConfig:
+    return SimConfig().with_(
+        misu_design=design, adr=ADRConfig(budget_entries=budget)
+    )
+
+
+class TestPaperNumbers:
+    def test_full_wpq_matches_the_quoted_44480(self):
+        est = estimate_recovery(_config(MiSUDesign.FULL_WPQ))
+        assert est.entries == 16
+        assert est.read_cycles == 600 * 16
+        assert est.old_pad_cycles == 40 * 16
+        assert est.drain_cycles == 2100 * 16
+        assert est.new_pad_cycles == 40 * 16
+        assert est.total_cycles == 44480
+
+    @pytest.mark.parametrize(
+        "design,entries,total",
+        [
+            (MiSUDesign.PARTIAL_WPQ, 13, 37340),
+            (MiSUDesign.POST_WPQ, 10, 29000),
+        ],
+    )
+    def test_split_designs_recover_fewer_entries(self, design, entries, total):
+        est = estimate_recovery(_config(design))
+        assert est.entries == entries
+        assert est.total_cycles == total
+
+    def test_default_budget_recovery_is_about_ten_microseconds(self):
+        # The paper quotes ~0.01 ms at 4 GHz for the Full-WPQ image.
+        est = estimate_recovery(_config(MiSUDesign.FULL_WPQ))
+        assert est.total_ms() == pytest.approx(0.0111, rel=0.01)
+
+
+class TestModelStructure:
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_total_is_the_sum_of_its_components(self, design):
+        est = estimate_recovery(_config(design))
+        assert est.total_cycles == (
+            est.read_cycles
+            + est.old_pad_cycles
+            + est.drain_cycles
+            + est.new_pad_cycles
+        )
+
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_component_arithmetic(self, design):
+        est = estimate_recovery(_config(design))
+        extra = 0 if design is MiSUDesign.FULL_WPQ else MAC_BLOCKS
+        assert est.read_cycles == BLOCK_READ_CYCLES * (est.entries + extra)
+        assert est.old_pad_cycles == PAD_GEN_CYCLES * est.entries
+        assert est.new_pad_cycles == PAD_GEN_CYCLES * est.entries
+        assert est.drain_cycles == DRAIN_ENTRY_CYCLES * est.entries
+
+    def test_mac_blocks_only_charged_to_split_designs(self):
+        # Full-WPQ stores MACs inside the entries; Partial/Post read
+        # two extra 64 B MAC blocks with the image.
+        full = estimate_recovery(_config(MiSUDesign.FULL_WPQ))
+        partial = estimate_recovery(_config(MiSUDesign.PARTIAL_WPQ))
+        assert full.read_cycles == BLOCK_READ_CYCLES * full.entries
+        assert partial.read_cycles == BLOCK_READ_CYCLES * (
+            partial.entries + MAC_BLOCKS
+        )
+
+    def test_total_ms_scales_inversely_with_frequency(self):
+        est = estimate_recovery(_config(MiSUDesign.PARTIAL_WPQ))
+        assert est.total_ms(2.0) == pytest.approx(2.0 * est.total_ms(4.0))
+        assert est.total_ms(4.0) == pytest.approx(
+            est.total_cycles / 4e9 * 1e3
+        )
+
+
+class TestBudgetScaling:
+    @pytest.mark.parametrize("budget", [16, 32, 64, 128])
+    def test_entries_track_the_usable_adr_budget(self, budget):
+        for design in ALL_DESIGNS:
+            config = _config(design, budget)
+            est = estimate_recovery(config)
+            assert est.entries == config.adr.usable_entries(design)
+
+    def test_recovery_time_grows_with_the_budget(self):
+        for design in ALL_DESIGNS:
+            totals = [
+                estimate_recovery(_config(design, budget)).total_cycles
+                for budget in (16, 32, 64, 128)
+            ]
+            assert totals == sorted(totals)
+            assert len(set(totals)) == len(totals)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering (repro/harness/tables.py)."""
+
+from __future__ import annotations
+
+from repro.harness.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_floats_render_with_two_decimals(self):
+        assert format_cell(2.5) == "2.50"
+        assert format_cell(1.0 / 3.0) == "0.33"
+        assert format_cell(-0.5) == "-0.50"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_cell(7) == "7"
+        assert format_cell(0) == "0"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_exact_layout(self):
+        out = render_table(
+            ["a", "bb"], [[1, 2.5], ["xyz", "q"]], title="t"
+        )
+        assert out == "\n".join(
+            [
+                "t",
+                "  a |   bb",
+                "----+-----",
+                "  1 | 2.50",
+                "xyz |    q",
+            ]
+        )
+
+    def test_no_title_line_when_title_empty(self):
+        out = render_table(["h"], [[1]])
+        assert out.splitlines()[0] == "h"
+
+    def test_columns_widen_to_the_longest_cell(self):
+        out = render_table(["x"], [["longer-than-header"]])
+        header, sep, row = out.splitlines()
+        assert header == "x".rjust(len("longer-than-header"))
+        assert sep == "-" * len("longer-than-header")
+        assert row == "longer-than-header"
+
+    def test_empty_rows_render_header_and_separator_only(self):
+        out = render_table(["a", "b"], [])
+        assert out.splitlines() == ["a | b", "--+--"]
+
+    def test_all_rows_share_one_width_per_column(self):
+        out = render_table(
+            ["name", "v"],
+            [["short", 1], ["a-much-longer-name", 123456]],
+            title="widths",
+        )
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[1:]}) == 1

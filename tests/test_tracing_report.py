@@ -1,0 +1,178 @@
+"""Span aggregation and reconciliation (repro/tracing/report.py).
+
+test_tracing.py exercises the full traced-run pipeline end to end;
+this module covers the report layer's own logic on synthetic inputs:
+interval-union arithmetic, histogram aggregation, the stage table, and
+every reconciliation failure path.
+"""
+
+from __future__ import annotations
+
+from repro.harness.breakdown import CycleBreakdown
+from repro.tracing.collector import SpanTracer
+from repro.tracing.report import (
+    _interval_union,
+    reconcile,
+    render_stage_table,
+    stage_histograms,
+)
+from repro.tracing.spans import PersistSpan
+
+
+def _span(slot=0, seq=0, kind="P", **stages) -> PersistSpan:
+    span = PersistSpan(slot=slot, seq=seq, address=0x1000, kind=kind)
+    for name, value in stages.items():
+        setattr(span, name, value)
+    return span
+
+
+class TestIntervalUnion:
+    def test_empty_and_degenerate(self):
+        assert _interval_union([]) == 0
+        assert _interval_union([(5, 5)]) == 0
+        assert _interval_union([(7, 3)]) == 0  # inverted -> ignored
+
+    def test_disjoint_intervals_sum(self):
+        assert _interval_union([(0, 4), (10, 13)]) == 7
+
+    def test_overlap_counted_once(self):
+        assert _interval_union([(0, 10), (5, 15)]) == 15
+        assert _interval_union([(0, 10), (2, 8)]) == 10  # contained
+
+    def test_unsorted_input(self):
+        assert _interval_union([(10, 20), (0, 5), (18, 25)]) == 20
+
+
+class TestStageHistograms:
+    def test_deltas_and_total_per_span(self):
+        spans = [
+            _span(seq=0, issue=0, alloc=2, protect=5, persisted=9),
+            _span(seq=1, issue=10, alloc=13, protect=17, persisted=22),
+        ]
+        hists = stage_histograms(spans)
+        assert hists["issue->alloc"].count == 2
+        assert hists["issue->alloc"].mean == 2.5  # (2 + 3) / 2
+        assert hists["alloc->protect"].mean == 3.5  # (3 + 4) / 2
+        assert hists["total"].count == 2
+        assert hists["total"].mean == 10.5  # (9 + 12) / 2
+
+    def test_kind_filter_defaults_to_persists(self):
+        spans = [
+            _span(seq=0, kind="P", issue=0, persisted=4),
+            _span(seq=1, kind="E", alloc=0, drain=6),
+        ]
+        assert stage_histograms(spans)["total"].count == 1
+        assert stage_histograms(spans, kinds=("P", "E"))["total"].count == 2
+        assert stage_histograms(spans, kinds=())["total"].count == 2
+
+    def test_degenerate_spans_contribute_nothing(self):
+        assert stage_histograms([_span(issue=3)]) == {}
+
+    def test_observed_order_labels_post_wpq_inversion(self):
+        # Post-WPQ protects *after* persist: the delta label follows
+        # the observed order, not the nominal pipeline order.
+        hists = stage_histograms([_span(issue=0, persisted=5, protect=9)])
+        assert "persisted->protect" in hists
+        assert "protect->persisted" not in hists
+
+
+class TestRenderStageTable:
+    def test_rows_in_pipeline_order_with_total_last(self):
+        spans = [_span(issue=0, alloc=2, protect=5, persisted=9)]
+        out = render_stage_table("demo", spans)
+        assert "per-stage persist latency (cycles) — demo" in out
+        positions = [
+            out.index(label)
+            for label in (
+                "issue->alloc",
+                "alloc->protect",
+                "protect->persisted",
+                "total",
+            )
+        ]
+        assert positions == sorted(positions)
+
+    def test_percentile_columns_present(self):
+        out = render_stage_table("x", [_span(issue=0, persisted=8)])
+        header = out.splitlines()[1]
+        for column in ("stage", "spans", "mean", "p50", "p95", "p99"):
+            assert column in header
+
+
+def _tracer(fence=100, spans=(), unmatched=0, dropped=0) -> SpanTracer:
+    tracer = SpanTracer()
+    tracer.fence_stall_cycles = fence
+    tracer.spans.extend(spans)
+    tracer.unmatched_events = unmatched
+    tracer.dropped_events = dropped
+    return tracer
+
+
+class TestReconcile:
+    SPANS = [_span(issue=0, persisted=200)]
+
+    def test_matching_totals_pass(self):
+        outcome = reconcile(
+            _tracer(fence=100, spans=self.SPANS),
+            CycleBreakdown(total=1000, fence_stall=100, read_stall=0),
+        )
+        assert outcome.passed
+        assert outcome.tracer_fence_cycles == 100
+        assert outcome.breakdown_fence_cycles == 100
+        assert outcome.outstanding_union_cycles == 200
+
+    def test_mismatch_beyond_slack_fails(self):
+        outcome = reconcile(
+            _tracer(fence=1000, spans=self.SPANS),
+            CycleBreakdown(total=9000, fence_stall=4000, read_stall=0),
+        )
+        assert not outcome.passed
+        assert any("fence-stall mismatch" in f for f in outcome.failures)
+
+    def test_mismatch_within_absolute_floor_passes(self):
+        # 2% of 100 is 2 cycles, but the 64-cycle absolute floor
+        # absorbs event-log truncation on tiny runs.
+        outcome = reconcile(
+            _tracer(fence=160, spans=self.SPANS),
+            CycleBreakdown(total=1000, fence_stall=100, read_stall=0),
+        )
+        assert outcome.passed
+        assert outcome.slack_cycles == 64
+
+    def test_stall_with_nothing_outstanding_fails(self):
+        # The core can only fence-stall while a persist is in flight:
+        # a breakdown total exceeding the spans' outstanding union is
+        # a model-level inconsistency even if the two counters agree.
+        outcome = reconcile(
+            _tracer(fence=5000, spans=[_span(issue=0, persisted=100)]),
+            CycleBreakdown(total=9000, fence_stall=5000, read_stall=0),
+        )
+        assert any("outstanding-persist union" in f for f in outcome.failures)
+
+    def test_unmatched_and_dropped_events_fail(self):
+        outcome = reconcile(
+            _tracer(fence=100, spans=self.SPANS, unmatched=3, dropped=2),
+            CycleBreakdown(total=1000, fence_stall=100, read_stall=0),
+        )
+        assert any("did not match" in f for f in outcome.failures)
+        assert any("dropped" in f for f in outcome.failures)
+        assert outcome.unmatched_events == 3
+        assert outcome.dropped_events == 2
+
+    def test_open_spans_count_toward_the_union(self):
+        tracer = _tracer(fence=100, spans=[])
+        tracer.open[0] = _span(issue=0, persisted=300)
+        outcome = reconcile(
+            tracer, CycleBreakdown(total=1000, fence_stall=100, read_stall=0)
+        )
+        assert outcome.outstanding_union_cycles == 300
+
+    def test_eviction_spans_excluded_from_the_union(self):
+        outcome = reconcile(
+            _tracer(
+                fence=0,
+                spans=[_span(kind="E", issue=0, persisted=500)],
+            ),
+            CycleBreakdown(total=1000, fence_stall=0, read_stall=0),
+        )
+        assert outcome.outstanding_union_cycles == 0

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Statement coverage for ``src/repro`` with nothing but the stdlib.
+
+CI measures coverage with pytest-cov, but that plugin is not part of
+the pinned local toolchain — this tool is how the fail-under baseline
+in ``.github/workflows/ci.yml`` was measured and how it gets
+re-measured before being raised.  It runs the tier-1 suite in-process
+under ``sys.settrace`` and reports per-module statement coverage:
+
+    python tools/measure_coverage.py                # tier-1 suite
+    python tools/measure_coverage.py --fail-under 80
+    python tools/measure_coverage.py -- tests/test_service.py
+
+Caveats (all make this a *lower bound* on pytest-cov's number):
+
+* tracing is per-thread; worker *subprocesses* (pool runs, the service
+  smoke) report nothing, so modules exercised only in workers undercount;
+* ``settrace`` costs roughly 3-6x in wall clock — fine for a baseline
+  measurement, not something to run on every push (CI uses pytest-cov).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Set
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+# ----------------------------------------------------------------------
+# Executable-line discovery (the denominator)
+# ----------------------------------------------------------------------
+def executable_lines(path: Path) -> Set[int]:
+    """Line numbers the compiler can attribute bytecode to."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _start, _end, line in obj.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in obj.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Tracing (the numerator)
+# ----------------------------------------------------------------------
+def make_tracer(covered: Dict[str, Set[int]], prefix: str):
+    def tracer(frame, event, _arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None  # never trace into foreign code again
+        if event == "line":
+            covered[filename].add(frame.f_lineno)
+        return tracer
+
+    return tracer
+
+
+def run_suite_traced(pytest_args, prefix: str) -> tuple:
+    import pytest
+
+    covered: Dict[str, Set[int]] = defaultdict(set)
+    tracer = make_tracer(covered, prefix)
+    threading.settrace(tracer)  # asyncio.to_thread workers too
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return covered, int(exit_code)
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="stdlib statement-coverage measurement over src/repro "
+        "(the source of CI's pytest-cov fail-under baseline)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if total statement coverage is below PCT",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the report here"
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="arguments for pytest (default: the tier-1 suite)",
+    )
+    args = parser.parse_args(argv)
+
+    package = SRC / "repro"
+    pytest_args = args.pytest_args or ["-q", str(REPO / "tests")]
+    covered, exit_code = run_suite_traced(pytest_args, str(package) + "/")
+    if exit_code not in (0, 1):  # 1 = test failures: still report
+        print(f"[coverage] pytest exited {exit_code}", file=sys.stderr)
+        return exit_code
+
+    rows = []
+    total_hit = total_exec = 0
+    for path in sorted(package.rglob("*.py")):
+        possible = executable_lines(path)
+        hit = covered.get(str(path), set()) & possible
+        total_hit += len(hit)
+        total_exec += len(possible)
+        pct = 100.0 * len(hit) / len(possible) if possible else 100.0
+        rows.append(
+            [str(path.relative_to(SRC)), len(possible), len(hit), pct]
+        )
+
+    from repro.harness.tables import render_table
+
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(
+        render_table(
+            ["module", "stmts", "hit", "%"],
+            rows + [["TOTAL", total_exec, total_hit, total_pct]],
+            title="statement coverage (sys.settrace; subprocesses excluded)",
+        )
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "total_percent": total_pct,
+                    "modules": {
+                        name: {"stmts": stmts, "hit": hit, "percent": pct}
+                        for name, stmts, hit, pct in rows
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    if exit_code:
+        print("[coverage] NOTE: some tests failed", file=sys.stderr)
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(
+            f"[coverage] FAIL: {total_pct:.1f}% < fail-under "
+            f"{args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
