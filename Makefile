@@ -5,8 +5,8 @@ PYTHON ?= python
 JOBS ?= 0
 
 .PHONY: install test check-oracle fault-smoke bench bench-perf perf-gate \
-	trace-smoke service-smoke golden golden-update coverage experiments \
-	examples clean
+	profile-kernel trace-smoke service-smoke golden golden-update coverage \
+	experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -48,6 +48,11 @@ bench-perf:
 # overrides, as a fraction).
 perf-gate:
 	$(PYTHON) benchmarks/check_perf_gate.py
+
+# cProfile one batched run unit: top-20 cumulative hotspots on stdout,
+# full ranking as JSON under results/ (uploaded as a CI artifact).
+profile-kernel:
+	$(PYTHON) tools/profile_kernel.py
 
 # Span-tracing smoke (docs/performance.md): per-stage latency tables
 # for all six controller configurations on a 200-transaction hashmap

@@ -25,6 +25,8 @@ The core-facing protocol:
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush
 from typing import Dict, Generator, Optional
 
 from repro.config import ControllerKind, MiSUDesign, SimConfig
@@ -33,7 +35,7 @@ from repro.core.misu import MinorSecurityUnit, PostWPQMiSU, make_misu
 from repro.core.registers import PersistentRegisters
 from repro.core.requests import ReadRequest, WriteKind, WriteRequest
 from repro.crypto.keys import KeyStore
-from repro.engine import Delay, Process, Signal, Simulator, WaitSignal
+from repro.engine import Process, Signal, Simulator
 from repro.engine.resources import PipelineLane, Resource
 from repro.stats import StatsRegistry
 from repro.wpq.adr import ADRDrain
@@ -101,15 +103,14 @@ class MemoryController:
         request.arrival = self.sim.now
         self.writes_received += 1
         self.stats.add("controller.writes")
+        # Names are static: per-request formatted names cost a string
+        # build per write and nothing reads them (request identity for
+        # the span tracer rides on the timeline event details instead).
         if request.kind is WriteKind.PERSIST:
-            done = Signal(self.sim, f"persist.{request.seq}")
-            Process(
-                self.sim,
-                self._write_path(request, done),
-                name=f"write.{request.seq}",
-            )
+            done = Signal(self.sim, "persist")
+            Process(self.sim, self._write_path(request, done), name="write")
             return done
-        Process(self.sim, self._write_path(request, None), name=f"wb.{request.seq}")
+        Process(self.sim, self._write_path(request, None), name="wb")
         return None
 
     def read(self, address: int) -> Signal:
@@ -153,7 +154,7 @@ class MemoryController:
                 blocked = True
                 self.wpq.record_retry()
                 self.stats.add("wpq.retries")
-            yield WaitSignal(self.slot_freed)
+            yield self.slot_freed
 
     def _wpq_read_hit_latency(self) -> int:
         """Serving a read from the WPQ: tag lookup + XOR decrypt."""
@@ -178,17 +179,18 @@ class MemoryController:
         one write per interval; completions free slots when the bank
         write finishes, so independent banks overlap.
         """
+        sim = self.sim
+        wpq = self.wpq
+        interval = self.DRAIN_ISSUE_INTERVAL
         while True:
-            entry = self.wpq.oldest_pending()
+            entry = wpq.oldest_pending()
             if entry is None:
-                yield WaitSignal(self.entry_added)
+                yield self.entry_added
                 continue
-            self.wpq.begin_fetch(entry)
+            wpq.begin_fetch(entry)
             assert entry.request is not None
             request = entry.request
-            accepted, _done = self.nvm.timed_write_accept(
-                self.sim.now, request.address
-            )
+            accepted, _done = self.nvm.timed_write_accept(sim.now, request.address)
 
             def complete(entry=entry, request=request) -> None:
                 if request.data is not None and self.DRAIN_WRITES_DATA:
@@ -197,12 +199,10 @@ class MemoryController:
                 self.stats.add("wpq.drained")
                 self.slot_freed.fire(entry)
 
-            self.sim.call_after(accepted - self.sim.now, complete)
+            sim.call_after(accepted - sim.now, complete)
             # The next command can issue once this one is accepted (the
             # command bus is serial) or after the issue interval.
-            yield Delay(
-                max(self.DRAIN_ISSUE_INTERVAL, accepted - self.sim.now)
-            )
+            yield max(interval, accepted - sim.now)
 
     def wpq_occupancy(self) -> int:
         return self.wpq.occupancy
@@ -325,7 +325,7 @@ class NonSecureIdealController(MemoryController):
 
     def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
         entry = yield from self._acquire_wpq_slot(request)
-        yield Delay(1)  # queue insertion
+        yield 1  # queue insertion
         if done is not None:
             done.fire(self.sim.now)
             self.stats.add("persist.completed")
@@ -334,11 +334,11 @@ class NonSecureIdealController(MemoryController):
     def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
         if self.wpq.lookup(request.address) is not None:
             self.wpq.read_hits += 1
-            yield Delay(self._wpq_read_hit_latency())
+            yield self._wpq_read_hit_latency()
             done.fire(self.sim.now - request.arrival)
             return
         finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield Delay(finish - self.sim.now)
+        yield finish - self.sim.now
         done.fire(self.sim.now - request.arrival)
 
     def _drain_loop(self) -> Generator:
@@ -383,11 +383,11 @@ class PreWPQSecureController(MemoryController):
         _start, finish = self._pipeline.book(self.sim.now, latency)
         if request.data is not None:
             self.masu.secure_write(request.address, request.data)
-        yield Delay(finish - self.sim.now)
+        yield finish - self.sim.now
         self.stats.add("security.pre_wpq_ops")
         # Then persist: WPQ insertion.
         entry = yield from self._acquire_wpq_slot(request)
-        yield Delay(1)
+        yield 1
         if done is not None:
             done.fire(self.sim.now)
             self.stats.add("persist.completed")
@@ -396,13 +396,13 @@ class PreWPQSecureController(MemoryController):
     def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
         if self.wpq.lookup(request.address) is not None:
             self.wpq.read_hits += 1
-            yield Delay(self._wpq_read_hit_latency())
+            yield self._wpq_read_hit_latency()
             done.fire(self.sim.now - request.arrival)
             return
         finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield Delay(finish - self.sim.now)
+        yield finish - self.sim.now
         verify = self.masu.read_verify_latency(self.sim.now, request.address)
-        yield Delay(verify)
+        yield verify
         done.fire(self.sim.now - request.arrival)
 
     def _drain_loop(self) -> Generator:
@@ -448,57 +448,157 @@ class DolosController(MemoryController):
             self.config.security.masu_issue_interval, "masu"
         )
         self.adr_drain = ADRDrain(self.nvm, self.config.adr, self.misu.design)
+        #: The Mi-SU flavour is fixed per run; resolve the per-write
+        #: isinstance branches once.
+        self._misu_deferred = isinstance(self.misu, PostWPQMiSU)
+        #: Subclasses (Fig 5-c, secure eADR) override ``_write_path``
+        #: with their own generators; only the plain Dolos controller
+        #: may take the callback-machine fast path below.
+        self._callback_paths = type(self) is DolosController
 
     def _wpq_capacity(self) -> int:
         return self.config.adr.usable_entries(self.config.misu_design)
 
     # ------------------------------------------------------------------
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        yield from self._misu_port.acquire()
-        try:
-            # Post-WPQ-MiSU: a previous deferred secure op may still be
-            # running; only one may be outstanding (Section 4.3).
-            misu = self.misu
-            if isinstance(misu, PostWPQMiSU) and misu.is_busy(self.sim.now):
-                wait = misu.busy_until - self.sim.now
-                self.stats.add("misu.busy_stalls")
-                self.stats.add("misu.busy_wait_cycles", wait)
-                yield Delay(wait)
-            entry = yield from self._acquire_wpq_slot(request)
-            if isinstance(misu, PostWPQMiSU):
-                # Commit immediately; the secure op runs post-commit on
-                # the (reservable-by-ADR) deferred engine.  The port is
-                # held through commit so the "at most one outstanding
-                # deferred op" invariant (Section 4.3) cannot be raced.
-                yield Delay(misu.insertion_latency())
-                entry.mac_pending = True
-                entry.protected = True  # committed; ADR covers the MAC
-                deferred_done = misu.start_deferred(self.sim.now)
-                self.sim.call_after(
-                    deferred_done - self.sim.now,
-                    lambda e=entry: self._finish_deferred(e),
-                )
-                finish = self.sim.now
-            else:
-                # Full/Partial: XOR + MAC(s) before commit, on the
-                # pipelined Mi-SU MAC engine (the port is released as
-                # soon as the op is booked, so inserts pipeline at the
-                # engine's initiation interval).
-                _start, finish = self._misu_lane.book(
-                    self.sim.now, misu.insertion_latency()
-                )
-        finally:
-            self._misu_port.release()
-        if not isinstance(misu, PostWPQMiSU):
-            yield Delay(finish - self.sim.now)
-            if request.data is not None:
-                misu.protect(entry)
-            entry.protected = True
-            self.stats.add("misu.protected")
-            if self.timeline is not None:
-                self.timeline.event(
-                    self.sim.now, "misu.protect", f"{entry.index}:{request.seq}"
-                )
+    # Write path — a callback state machine instead of a generator
+    # process.  Dolos spawns one write path per persist/eviction, so the
+    # per-write Process + generator-resume machinery was the single
+    # largest simulation cost.  Each ``_write_*`` stage mirrors one
+    # segment of the former generator between yields; every wait becomes
+    # a ``call_after``/Signal subscription with identical scheduling, so
+    # the event interleaving (and hence every metric) is unchanged.  The
+    # zero-delay start honours the same pending-same-cycle guard as
+    # ``Process.__init__``.
+    # ------------------------------------------------------------------
+    def submit_write(self, request: WriteRequest) -> Optional[Signal]:
+        if not self._callback_paths:
+            return super().submit_write(request)
+        sim = self.sim
+        request.seq = self._seq
+        self._seq += 1
+        request.arrival = sim.now
+        self.writes_received += 1
+        self.stats.add("controller.writes")
+        done = (
+            Signal(sim, "persist")
+            if request.kind is WriteKind.PERSIST
+            else None
+        )
+        heap = sim._queue._heap
+        if sim._batch_pending or (heap and heap[0][0] == sim.now):
+            sim.call_after(0, partial(self._write_start, request, done))
+        else:
+            self._write_start(request, done)
+        return done
+
+    def _write_start(self, request: WriteRequest, done: Optional[Signal]) -> None:
+        """Acquire the Mi-SU port (Resource.acquire's uncontended path
+        inlined), then move to the busy-check/alloc stage."""
+        port = self._misu_port
+        if port.in_use < port.capacity and not port._wait_queue:
+            port.in_use += 1
+            port.total_acquisitions += 1
+            self._write_port_held(request, done)
+            return
+        gate = Signal(self.sim, name=f"{port.name}.gate")
+        port._wait_queue.append(gate)
+        started = self.sim.now
+
+        def granted(_value: object) -> None:
+            port.total_wait_cycles += self.sim.now - started
+            port.in_use += 1
+            port.total_acquisitions += 1
+            self._write_port_held(request, done)
+
+        gate._waiters.append(granted)
+
+    def _write_port_held(self, request: WriteRequest, done: Optional[Signal]) -> None:
+        # Post-WPQ-MiSU: a previous deferred secure op may still be
+        # running; only one may be outstanding (Section 4.3).
+        if self._misu_deferred and self.misu.is_busy(self.sim.now):
+            wait = self.misu.busy_until - self.sim.now
+            self.stats.add("misu.busy_stalls")
+            self.stats.add("misu.busy_wait_cycles", wait)
+            self.sim.call_after(
+                wait, partial(self._write_alloc, request, done, False)
+            )
+            return
+        self._write_alloc(request, done, False)
+
+    def _write_alloc(
+        self, request: WriteRequest, done: Optional[Signal], blocked: bool
+    ) -> None:
+        """_acquire_wpq_slot's retry loop (Table 2 retry semantics)."""
+        wpq = self.wpq
+        if self.config.wpq_coalescing:
+            entry = wpq.try_coalesce(request)
+            if entry is not None:
+                self.stats.add("wpq.coalesced")
+                self._write_committed(entry, request, done)
+                return
+        entry = wpq.try_allocate(request)
+        if entry is not None:
+            self._write_committed(entry, request, done)
+            return
+        if not blocked:
+            wpq.record_retry()
+            self.stats.add("wpq.retries")
+        self.slot_freed._waiters.append(
+            lambda _value: self._write_alloc(request, done, True)
+        )
+
+    def _write_committed(
+        self, entry, request: WriteRequest, done: Optional[Signal]
+    ) -> None:
+        sim = self.sim
+        misu = self.misu
+        if self._misu_deferred:
+            # Commit immediately; the secure op runs post-commit on the
+            # (reservable-by-ADR) deferred engine.  The port is held
+            # through commit so the "at most one outstanding deferred
+            # op" invariant (Section 4.3) cannot be raced.
+            sim.call_after(
+                misu.insertion_latency(),
+                partial(self._write_deferred_commit, entry, request, done),
+            )
+            return
+        # Full/Partial: XOR + MAC(s) before commit, on the pipelined
+        # Mi-SU MAC engine (the port is released as soon as the op is
+        # booked, so inserts pipeline at the engine's initiation
+        # interval).
+        _start, finish = self._misu_lane.book(sim.now, misu.insertion_latency())
+        self._misu_port.release()
+        sim.call_after(
+            finish - sim.now, partial(self._write_protect, entry, request, done)
+        )
+
+    def _write_deferred_commit(
+        self, entry, request: WriteRequest, done: Optional[Signal]
+    ) -> None:
+        entry.mac_pending = True
+        entry.protected = True  # committed; ADR covers the MAC
+        deferred_done = self.misu.start_deferred(self.sim.now)
+        self.sim.call_after(
+            deferred_done - self.sim.now,
+            lambda e=entry: self._finish_deferred(e),
+        )
+        self._misu_port.release()
+        self._write_done(entry, done)
+
+    def _write_protect(
+        self, entry, request: WriteRequest, done: Optional[Signal]
+    ) -> None:
+        if request.data is not None:
+            self.misu.protect(entry)
+        entry.protected = True
+        self.stats.add("misu.protected")
+        if self.timeline is not None:
+            self.timeline.event(
+                self.sim.now, "misu.protect", f"{entry.index}:{request.seq}"
+            )
+        self._write_done(entry, done)
+
+    def _write_done(self, entry, done: Optional[Signal]) -> None:
         if done is not None:
             done.fire(self.sim.now)
             self.stats.add("persist.completed")
@@ -519,17 +619,58 @@ class DolosController(MemoryController):
                 )
 
     # ------------------------------------------------------------------
+    # Read path — same callback-machine treatment as the write path.
+    # ------------------------------------------------------------------
+    def read(self, address: int) -> Signal:
+        if not self._callback_paths:
+            return super().read(address)
+        sim = self.sim
+        self.reads_received += 1
+        self.stats.add("controller.reads")
+        done = Signal(sim, "read")
+        request = ReadRequest(address, sim.now)
+        heap = sim._queue._heap
+        if sim._batch_pending or (heap and heap[0][0] == sim.now):
+            sim.call_after(0, partial(self._read_start, request, done))
+        else:
+            self._read_start(request, done)
+        return done
+
+    def _read_start(self, request: ReadRequest, done: Signal) -> None:
+        sim = self.sim
+        if self.wpq.lookup(request.address) is not None:
+            self.wpq.read_hits += 1
+            sim.call_after(
+                self._wpq_read_hit_latency(),
+                partial(self._read_fire, request, done),
+            )
+            return
+        finish = self.nvm.timed_access(sim.now, request.address, False)
+        sim.call_after(
+            finish - sim.now, partial(self._read_verify, request, done)
+        )
+
+    def _read_verify(self, request: ReadRequest, done: Signal) -> None:
+        verify = self.masu.read_verify_latency(self.sim.now, request.address)
+        self.sim.call_after(verify, partial(self._read_fire, request, done))
+
+    def _read_fire(self, request: ReadRequest, done: Signal) -> None:
+        done.fire(self.sim.now - request.arrival)
+
     def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
+        # Generator twin of the callback read path, used by the Fig 5-c
+        # and secure-eADR subclasses (which go through the base-class
+        # ``read``).  Keep in sync with ``_read_start``/``_read_verify``.
         hit = self.wpq.lookup(request.address)
         if hit is not None:
             self.wpq.read_hits += 1
-            yield Delay(self._wpq_read_hit_latency())
+            yield self._wpq_read_hit_latency()
             done.fire(self.sim.now - request.arrival)
             return
         finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield Delay(finish - self.sim.now)
+        yield finish - self.sim.now
         verify = self.masu.read_verify_latency(self.sim.now, request.address)
-        yield Delay(verify)
+        yield verify
         done.fire(self.sim.now - request.arrival)
 
     # ------------------------------------------------------------------
@@ -541,23 +682,28 @@ class DolosController(MemoryController):
         elapses before its redo log is ready (and hence before the WPQ
         slot can be reclaimed).
         """
+        sim = self.sim
+        wpq = self.wpq
+        masu = self.masu
+        lane = self._masu_lane
+        mac_latency = self.config.security.mac_latency
         while True:
-            entry = self.wpq.oldest_pending()
+            entry = wpq.oldest_pending()
             if entry is None:
-                yield WaitSignal(self.entry_added)
+                yield self.entry_added
                 continue
             if entry.mac_pending:
                 # Let the deferred Mi-SU op finish before consuming.
-                yield Delay(self.config.security.mac_latency)
+                yield mac_latency
                 continue
-            self.wpq.begin_fetch(entry)
+            wpq.begin_fetch(entry)
             assert entry.request is not None
             request = entry.request
             address = request.address
             # Step 1 (XOR decrypt, 1 cycle) + step 2 (full security
             # processing into the redo log) on the pipelined back-end.
-            latency = 1 + self.masu.write_pipeline_latency(self.sim.now, address)
-            start, finish = self._masu_lane.book(self.sim.now, latency)
+            latency = 1 + masu.write_pipeline_latency(sim.now, address)
+            start, finish = lane.book(sim.now, latency)
 
             def complete(entry=entry, request=request, address=address) -> None:
                 if request.data is not None:
@@ -587,9 +733,12 @@ class DolosController(MemoryController):
                 self.stats.add("masu.writes")
                 self.slot_freed.fire(entry)
 
-            self.sim.call_after(finish - self.sim.now, complete)
+            queue = sim._queue
+            heappush(queue._heap, (finish, queue._seq, complete))
+            queue._seq += 1
             # Next issue no earlier than the lane's next free slot.
-            yield Delay(max(1, self._masu_lane.next_free(self.sim.now) - self.sim.now))
+            wait = lane._next_start - sim.now
+            yield wait if wait > 1 else 1
 
     # ------------------------------------------------------------------
     def crash(self):
@@ -626,7 +775,7 @@ class PostWPQHypotheticalController(DolosController):
 
     def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
         entry = yield from self._acquire_wpq_slot(request)
-        yield Delay(1)
+        yield 1
         if done is not None:
             done.fire(self.sim.now)
             self.stats.add("persist.completed")
@@ -663,7 +812,7 @@ class EADRSecureController(DolosController):
 
     def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
         entry = yield from self._acquire_wpq_slot(request)
-        yield Delay(1)
+        yield 1
         entry.protected = True  # inside the (battery-backed) domain
         if done is not None:
             done.fire(self.sim.now)

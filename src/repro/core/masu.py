@@ -110,6 +110,34 @@ class MajorSecurityUnit:
         self.integrity_failures = 0
         self.dedup_cancelled_writes = 0
         self.page_reencryptions = 0
+        #: Per-page ancestor-key chains for the tree walks.  The tree's
+        #: height and arity are fixed at construction (the merkle model
+        #: never regrows), so the keys touched walking up from a leaf
+        #: are a pure function of the page number — computed once and
+        #: replayed as a tuple on every subsequent persist to the page.
+        self._walk_keys: Dict[int, Tuple[int, ...]] = {}
+        # Latency constants resolved once: the timing helpers run per
+        # write/read and the config attribute chains dominate them.
+        self._aes_latency = security.aes_latency
+        self._mac_latency = security.mac_latency
+        self._hash_latency = security.masu_hash_latency
+        self._critical_hash_latency = security.masu_critical_hash_latency
+        self._counter_cache_latency = security.counter_cache.latency
+        self._eager = self.scheme is TreeUpdateScheme.EAGER
+
+    def _page_walk_keys(self, page: int) -> Tuple[int, ...]:
+        """Tree-node keys on the path from ``page``'s leaf to the root."""
+        keys = self._walk_keys.get(page)
+        if keys is None:
+            arity = self.config.security.tree_arity
+            index = page
+            path = []
+            for level in range(1, self.tree.height + 1):
+                index //= arity
+                path.append(ShadowTracker.tree_key(level, index))
+            keys = tuple(path)
+            self._walk_keys[page] = keys
+        return keys
 
     # ==================================================================
     # Functional write path (Figure 11 steps 2-3)
@@ -355,30 +383,26 @@ class MajorSecurityUnit:
         a tree-path verification walk that stops at the first MT-cache
         hit (verified-on-chip nodes need no re-verification).
         """
-        page, _line = CounterStore.locate(address)
+        page = address >> 12  # CounterStore.locate, page part only
         cache_key = (
             self.morphable.cache_key(page) if self.morphable is not None else page
         )
-        cache_cfg = self.config.security.counter_cache
+        cache_latency = self._counter_cache_latency
         if self.counter_cache.access(cache_key, is_write):
-            return cache_cfg.latency
+            return cache_latency
         # Miss: fetch the counter block from NVM.
         done = self.nvm.timed_meta_access(now, cache_key, is_write=False)
-        latency = (done - now) + cache_cfg.latency
+        latency = (done - now) + cache_latency
         latency += self._tree_walk_latency(now + latency, page)
         return latency
 
     def _tree_walk_latency(self, now: int, page: int) -> int:
         """Verification walk up the tree until a cached (verified) node."""
-        mac_latency = self.config.security.mac_latency
+        mac_latency = self._mac_latency
         latency = 0
-        index = page
-        arity = self.config.security.tree_arity
-        height = self.tree.height
-        for level in range(1, height + 1):
-            index //= arity
-            key = ShadowTracker.tree_key(level, index)
-            hit = self.mt_cache.access(key, is_write=False)
+        mt_access = self.mt_cache.access
+        for key in self._page_walk_keys(page):
+            hit = mt_access(key, False)
             latency += mac_latency  # verify child against this node
             if hit:
                 return latency
@@ -400,20 +424,16 @@ class MajorSecurityUnit:
                 off-path.
         """
         latency = self.counter_access_latency(now, address, is_write=True)
-        latency += self.config.security.aes_latency
+        latency += self._aes_latency
         if critical_path:
-            latency += self.config.security.masu_critical_hash_latency
+            latency += self._critical_hash_latency
         else:
-            latency += self.config.security.masu_hash_latency
+            latency += self._hash_latency
         # Touch the MT cache for the updated path (eager) — hits keep
         # the lump latency; misses were already charged via the counter
         # walk, so we only mark dirtiness here.
-        page, _ = CounterStore.locate(address)
-        if self.scheme is TreeUpdateScheme.EAGER:
-            index = page
-            for level in range(1, self.tree.height + 1):
-                index //= self.config.security.tree_arity
-                self.mt_cache.access(ShadowTracker.tree_key(level, index), True)
+        if self._eager:
+            self.mt_cache.access_path(self._page_walk_keys(address >> 12), True)
         return latency
 
     def read_verify_latency(self, now: int, address: int) -> int:
@@ -421,7 +441,7 @@ class MajorSecurityUnit:
         latency = self.counter_access_latency(now, address, is_write=False)
         # Data-MAC verification; decryption pad generation overlaps the
         # NVM data read, so AES latency is hidden.
-        latency += self.config.security.mac_latency
+        latency += self._mac_latency
         return latency
 
     # ==================================================================

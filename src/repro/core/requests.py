@@ -17,7 +17,7 @@ class WriteKind(enum.Enum):
     EVICTION = "eviction"
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteRequest:
     """One 64-byte write arriving at the memory controller."""
 
@@ -38,7 +38,7 @@ class WriteRequest:
         self.address &= ~0x3F  # line-align
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRequest:
     """One 64-byte read (LLC miss) arriving at the memory controller."""
 

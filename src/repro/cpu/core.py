@@ -32,7 +32,7 @@ from repro.cpu.trace import (
     OP_TXEND,
     OP_WORK,
 )
-from repro.engine import Delay, Process, Signal, Simulator, WaitSignal
+from repro.engine import Process, Signal, Simulator
 from repro.mem.hierarchy import CacheHierarchy
 from repro.stats import StatsRegistry
 
@@ -73,7 +73,19 @@ class TraceCore:
         return self._process
 
     def _run(self, trace: Iterable[Tuple]):
+        # Hot loop: one iteration per trace op.  Delays are yielded as
+        # bare ints and waits as bare Signals (the allocation-free
+        # directive forms); invariant collaborators are hoisted into
+        # locals once — the generator's frame keeps them live across
+        # yields.
+        sim = self.sim
         ipc = self.config.core.ipc
+        strict = self.config.core.persist_model == "strict"
+        hierarchy_access = self.hierarchy.access
+        hierarchy_clwb = self.hierarchy.clwb
+        controller_read = self.controller.read
+        stats_add = self.stats.add
+        fence_signal = self._fence_signal
         acc = 0  # batched latency not yet yielded to the kernel
         tx_start_cycle = 0
         for op in trace:
@@ -88,80 +100,80 @@ class TraceCore:
             elif code == OP_LOAD or code == OP_STORE:
                 self.instructions += 1
                 is_store = code == OP_STORE
-                result = self.hierarchy.access(op[1], is_store)
+                result = hierarchy_access(op[1], is_store)
                 acc += result.latency
                 if result.needs_memory:
                     if is_store:
                         # Write-allocate fill: the store retires through
                         # the store buffer; the fill proceeds in the
                         # background (OoO cores hide store misses).
-                        self.controller.read(op[1])
-                        self.stats.add("core.store_miss_fills")
+                        controller_read(op[1])
+                        stats_add("core.store_miss_fills")
                     else:
                         # Demand load: the core (its dependent work)
                         # waits for the memory + verification round trip.
                         if acc:
-                            yield Delay(acc)
+                            yield acc
                             acc = 0
-                        done = self.controller.read(op[1])
-                        yield WaitSignal(done)
-                        self.stats.add("core.memory_reads")
+                        done = controller_read(op[1])
+                        yield done
+                        stats_add("core.memory_reads")
                 for victim in result.writebacks:
                     self._submit_eviction(victim)
             elif code == OP_CLWB:
                 self.instructions += 1
                 acc += 1  # issue slot
-                line = self.hierarchy.clwb(op[1])
+                line = hierarchy_clwb(op[1])
                 if line is not None:
                     if acc:
-                        yield Delay(acc)
+                        yield acc
                         acc = 0
                     self._launch_persist(line)
-                    if self.config.core.persist_model == "strict":
+                    if strict:
                         # Strict persistency: the flush itself blocks
                         # until the write is in the persistence domain.
                         while self._outstanding_persists > 0:
-                            started = self.sim.now
-                            yield WaitSignal(self._fence_signal)
-                            stall = self.sim.now - started
-                            self.stats.add("core.fence_stall_cycles", stall)
+                            started = sim.now
+                            yield fence_signal
+                            stall = sim.now - started
+                            stats_add("core.fence_stall_cycles", stall)
                             if self.timeline is not None:
                                 self.timeline.event(
-                                    self.sim.now, "core.fence_stall", str(stall)
+                                    sim.now, "core.fence_stall", str(stall)
                                 )
             elif code == OP_FENCE:
                 self.instructions += 1
                 if acc:
-                    yield Delay(acc)
+                    yield acc
                     acc = 0
                 while self._outstanding_persists > 0:
-                    started = self.sim.now
-                    yield WaitSignal(self._fence_signal)
-                    stall = self.sim.now - started
-                    self.stats.add("core.fence_stall_cycles", stall)
+                    started = sim.now
+                    yield fence_signal
+                    stall = sim.now - started
+                    stats_add("core.fence_stall_cycles", stall)
                     if self.timeline is not None:
                         self.timeline.event(
-                            self.sim.now, "core.fence_stall", str(stall)
+                            sim.now, "core.fence_stall", str(stall)
                         )
-                self.stats.add("core.fences")
+                stats_add("core.fences")
             elif code == OP_TXBEGIN:
                 if acc:
-                    yield Delay(acc)
+                    yield acc
                     acc = 0
-                tx_start_cycle = self.sim.now
+                tx_start_cycle = sim.now
             elif code == OP_TXEND:
                 if acc:
-                    yield Delay(acc)
+                    yield acc
                     acc = 0
-                self.stats.record("core.tx_cycles", self.sim.now - tx_start_cycle)
-                self.stats.add("core.transactions")
+                self.stats.record("core.tx_cycles", sim.now - tx_start_cycle)
+                stats_add("core.transactions")
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown trace op {op!r}")
         if acc:
-            yield Delay(acc)
+            yield acc
         # Implicit final fence so all persists land before we report.
         while self._outstanding_persists > 0:
-            yield WaitSignal(self._fence_signal)
+            yield fence_signal
         self.cycles = self.sim.now
         self.finished = True
         self.stats.set("core.cycles", self.cycles)
@@ -181,11 +193,11 @@ class TraceCore:
         def submit() -> None:
             done = self.controller.submit_write(request)
             assert done is not None
-            done.subscribe(lambda _value: self._persist_complete())
+            done.subscribe(self._persist_complete)
 
         self.sim.call_after(traversal, submit)
 
-    def _persist_complete(self) -> None:
+    def _persist_complete(self, _value: object = None) -> None:
         self._outstanding_persists -= 1
         if self._outstanding_persists == 0:
             self._fence_signal.fire(None)

@@ -19,11 +19,14 @@ from repro.cpu.trace import OP_FENCE
 FORMAT_VERSION = 1
 
 
-def trace_to_arrays(trace: List[Tuple]) -> "Tuple[np.ndarray, np.ndarray]":
+def trace_to_arrays(trace) -> "Tuple[np.ndarray, np.ndarray]":
     """Split an op list into (opcode, operand) columns.
 
-    Fences carry no operand; they are stored as operand 0.
+    Fences carry no operand; they are stored as operand 0.  A
+    :class:`PackedTrace` passes its columns through unchanged.
     """
+    if isinstance(trace, PackedTrace):
+        return trace.codes, trace.operands
     codes = np.empty(len(trace), dtype=np.int64)
     operands = np.zeros(len(trace), dtype=np.int64)
     for i, op in enumerate(trace):
@@ -31,6 +34,67 @@ def trace_to_arrays(trace: List[Tuple]) -> "Tuple[np.ndarray, np.ndarray]":
         if len(op) > 1:
             operands[i] = op[1]
     return codes, operands
+
+
+class PackedTrace:
+    """A column-packed op stream the core can replay directly.
+
+    Holds the two int64 columns of :func:`trace_to_arrays` and hands
+    the replay loop a C-level ``zip`` over plain Python ints — no
+    per-op tuple list is ever materialised on the replay path (loading
+    a cached trace used to rebuild the whole list through a Python
+    loop with a per-op length check).  ``__iter__`` provides the
+    classic tuple stream for code that still wants it.
+    """
+
+    __slots__ = ("codes", "operands", "_columns")
+
+    def __init__(self, codes: "np.ndarray", operands: "np.ndarray") -> None:
+        if len(codes) != len(operands):
+            raise ValueError(
+                f"column length mismatch: {len(codes)} codes vs "
+                f"{len(operands)} operands"
+            )
+        self.codes = codes
+        self.operands = operands
+        #: Lazily-built (codes, operands) Python-int lists; ``tolist``
+        #: is one C call and the lists are reused across replays.
+        self._columns: Optional[Tuple[list, list]] = None
+
+    @classmethod
+    def from_trace(cls, trace) -> "PackedTrace":
+        """Pack a tuple-list trace (idempotent on a PackedTrace)."""
+        if isinstance(trace, cls):
+            return trace
+        return cls(*trace_to_arrays(trace))
+
+    def columns(self) -> "Tuple[list, list]":
+        """The (codes, operands) columns as plain Python-int lists."""
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = (
+                self.codes.tolist(), self.operands.tolist()
+            )
+        return columns
+
+    def pairs(self):
+        """Iterator of ``(code, operand)`` pairs for the replay loop."""
+        codes, operands = self.columns()
+        return zip(codes, operands)
+
+    def to_trace(self) -> List[Tuple]:
+        """Materialise the classic tuple-list form."""
+        return arrays_to_trace(self.codes, self.operands)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __iter__(self):
+        for code, operand in self.pairs():
+            if code == OP_FENCE:
+                yield (code,)
+            else:
+                yield (code, operand)
 
 
 def arrays_to_trace(codes: "np.ndarray", operands: "np.ndarray") -> List[Tuple]:
@@ -73,11 +137,21 @@ def save_trace(
 
 def load_trace(path: Union[str, Path]) -> Tuple[List[Tuple], Dict]:
     """Read back (trace, metadata) written by :func:`save_trace`."""
+    packed, header = load_trace_packed(path)
+    return packed.to_trace(), header
+
+
+def load_trace_packed(path: Union[str, Path]) -> Tuple[PackedTrace, Dict]:
+    """Read back (packed trace, metadata) without rebuilding op tuples.
+
+    The warm path of the trace cache: the stored columns become the
+    replay stream directly.
+    """
     with np.load(Path(path)) as archive:
         header = json.loads(bytes(archive["header"]).decode())
         if header.get("version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported trace format version {header.get('version')}"
             )
-        trace = arrays_to_trace(archive["codes"], archive["operands"])
-    return trace, header
+        packed = PackedTrace(archive["codes"], archive["operands"])
+    return packed, header

@@ -11,6 +11,7 @@ timing model).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -18,10 +19,17 @@ MINOR_BITS = 7
 MINOR_LIMIT = 1 << MINOR_BITS  # 128
 COUNTERS_PER_BLOCK = 64
 
+#: Template for a freshly-reset minor array (copied, never mutated).
+_ZERO_MINORS = bytes(COUNTERS_PER_BLOCK)
 
-@dataclass
+
+@dataclass(slots=True)
 class SplitCounter:
-    """The (major, minor) pair for one cacheline."""
+    """The (major, minor) pair for one cacheline.
+
+    Slotted: one of these is allocated per counter read/increment, so
+    it sits on the per-write hot path of every secure controller.
+    """
 
     major: int
     minor: int
@@ -39,7 +47,10 @@ class CounterBlock:
 
     def __init__(self) -> None:
         self.major: int = 0
-        self.minors: List[int] = [0] * COUNTERS_PER_BLOCK
+        #: 7-bit minors in a flat byte array — one machine byte per
+        #: counter instead of a list of boxed ints (the store holds one
+        #: block per touched 4 KB page, so this is the bulk of its RAM).
+        self.minors: array = array("B", _ZERO_MINORS)
         self.overflows: int = 0
         #: Total increments; drives Osiris' persistence stride.
         self.updates: int = 0
@@ -62,7 +73,7 @@ class CounterBlock:
         minor = self.minors[line_index] + 1
         if minor >= MINOR_LIMIT:
             self.major += 1
-            self.minors = [0] * COUNTERS_PER_BLOCK
+            self.minors = array("B", _ZERO_MINORS)
             self.overflows += 1
             return SplitCounter(self.major, 0), True
         self.minors[line_index] = minor
@@ -76,8 +87,11 @@ class CounterBlock:
         major, minors = snapshot
         if len(minors) != COUNTERS_PER_BLOCK:
             raise ValueError("bad counter-block snapshot")
+        for minor in minors:
+            if not 0 <= minor < MINOR_LIMIT:
+                raise ValueError("bad counter-block snapshot")
         self.major = major
-        self.minors = list(minors)
+        self.minors = array("B", minors)
 
     def encode(self) -> bytes:
         """Serialize to the 64-byte on-NVM layout (8 B major + 56 B minors).
@@ -121,7 +135,7 @@ class CounterBlock:
             minors.append(acc & (MINOR_LIMIT - 1))
             acc >>= MINOR_BITS
             acc_bits -= MINOR_BITS
-        block.minors = minors
+        block.minors = array("B", minors)
         return block
 
     @staticmethod

@@ -11,6 +11,13 @@ comparison resolves entirely on ``(time, seq)`` (sequence numbers are
 unique), so every heap operation runs on C-level comparisons instead of
 dispatching ``Event.__lt__`` — the dominant cost of the old
 object-per-entry design in the simulator's hot loop.
+
+Cancelled entries stay in the heap (removing an arbitrary heap element
+is O(n)) but are *accounted*: every :meth:`Event.cancel` bumps a dead
+counter, and once dead entries outnumber live ones the queue compacts
+in one O(n) pass.  This bounds the heap at twice the live-event count
+no matter how many events a workload schedules and abandons, where the
+old design retained every corpse until it happened to reach the top.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ class Event:
         cancelled: set via :meth:`cancel`; cancelled events are skipped.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "_queue")
 
     def __init__(
         self,
@@ -37,16 +44,27 @@ class Event:
         seq: int,
         callback: Callable[[], Any],
         label: Optional[str] = None,
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the kernel drops it instead of firing it."""
+        """Mark the event so the kernel drops it instead of firing it.
+
+        Idempotent.  The owning queue is notified so it can compact its
+        heap once dead entries dominate (see :class:`EventQueue`).
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue.note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -62,14 +80,21 @@ class Event:
 class EventQueue:
     """A deterministic min-heap of scheduled callbacks."""
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_dead")
 
     def __init__(self) -> None:
         self._heap: List[Tuple] = []
         self._seq = 0
+        #: Cancelled-but-still-heaped entries (drives lazy compaction).
+        self._dead = 0
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def live_count(self) -> int:
+        """Scheduled events that have not been cancelled."""
+        return len(self._heap) - self._dead
 
     def push(
         self,
@@ -78,7 +103,7 @@ class EventQueue:
         label: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute cycle ``time`` (cancellable)."""
-        event = Event(time, self._seq, callback, label)
+        event = Event(time, self._seq, callback, label, self)
         heapq.heappush(self._heap, (time, self._seq, callback, event))
         self._seq += 1
         return event
@@ -92,6 +117,43 @@ class EventQueue:
         heapq.heappush(self._heap, (time, self._seq, callback))
         self._seq += 1
 
+    # ------------------------------------------------------------------
+    # Cancellation accounting / compaction
+    # ------------------------------------------------------------------
+    def note_cancelled(self) -> None:
+        """Record one cancellation; compact once corpses dominate.
+
+        Compaction is amortised O(1) per cancel: a pass over ``n``
+        entries is only paid after at least ``n/2`` cancellations.
+        """
+        self._dead += 1
+        if self._dead * 2 > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (one O(n) pass).
+
+        Rebuilds *in place* (slice assignment): the kernel's hot loops
+        bind the heap list locally, so the list object's identity must
+        survive a compaction triggered by a mid-run ``cancel()``.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry
+            for entry in heap
+            if len(entry) != 4 or not entry[3].cancelled
+        ]
+        heapq.heapify(heap)
+        self._dead = 0
+
+    def _discard_dead(self, count: int) -> None:
+        """Adjust the dead counter for entries dropped by a pop."""
+        if count:
+            self._dead -= count
+            if self._dead < 0:  # pragma: no cover - defensive
+                self._dead = 0
+
+    # ------------------------------------------------------------------
     def pop(self) -> Event:
         """Remove and return the earliest event (cancelled or not).
 
@@ -103,6 +165,8 @@ class EventQueue:
         """
         entry = heapq.heappop(self._heap)
         if len(entry) == 4:
+            if entry[3].cancelled:
+                self._discard_dead(1)
             return entry[3]
         return Event(entry[0], entry[1], entry[2])
 
@@ -116,12 +180,38 @@ class EventQueue:
         """
         heap = self._heap
         pop = heapq.heappop
+        dead = 0
         while heap:
             entry = pop(heap)
             if len(entry) == 4 and entry[3].cancelled:
+                dead += 1
                 continue
+            self._discard_dead(dead)
             return entry
+        self._discard_dead(dead)
         return None
+
+    def pop_epoch(self, out: List[Tuple]) -> int:
+        """Drain every entry scheduled at the earliest timestamp.
+
+        Appends the raw live entries (in seq order — heap pops at equal
+        times resolve on seq) to ``out`` and returns that timestamp.
+        Cancelled entries encountered on the way are dropped and
+        deducted from the dead count.  The queue must be non-empty.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        append = out.append
+        now = heap[0][0]
+        dead = 0
+        while heap and heap[0][0] == now:
+            entry = pop(heap)
+            if len(entry) == 4 and entry[3].cancelled:
+                dead += 1
+                continue
+            append(entry)
+        self._discard_dead(dead)
+        return now
 
     def peek_time(self) -> Optional[int]:
         """Return the timestamp of the earliest live event, or ``None``.
@@ -130,13 +220,25 @@ class EventQueue:
         effect, so the returned time always belongs to a live event.
         """
         heap = self._heap
+        dead = 0
         while heap:
             entry = heap[0]
             if len(entry) == 4 and entry[3].cancelled:
                 heapq.heappop(heap)
+                dead += 1
                 continue
+            self._discard_dead(dead)
             return entry[0]
+        self._discard_dead(dead)
         return None
+
+    def requeue(self, entries: List[Tuple]) -> None:
+        """Push raw entries back (undelivered epoch remainder on stop)."""
+        heap = self._heap
+        push = heapq.heappush
+        for entry in entries:
+            push(heap, entry)
 
     def clear(self) -> None:
         self._heap.clear()
+        self._dead = 0

@@ -4,9 +4,11 @@ Hardware pipelines (the Ma-SU steps, WPQ drain loop, NVM banks) read far
 more naturally as sequential coroutines than as callback chains.  A
 *process* is a Python generator that yields timing directives:
 
-* ``Delay(n)`` — suspend for ``n`` cycles.
+* ``Delay(n)`` — suspend for ``n`` cycles (a bare non-negative ``int``
+  is equivalent and avoids the wrapper allocation).
 * ``WaitSignal(sig)`` — suspend until ``sig.fire(...)``; the fired value
-  is sent back into the generator.
+  is sent back into the generator.  Yielding the bare ``Signal`` is
+  equivalent and avoids the wrapper allocation.
 * another ``Process`` — suspend until the child process finishes; the
   child's return value is sent back.
 
@@ -26,13 +28,20 @@ Example:
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.engine.kernel import SimulationError, Simulator
 
 
 class Delay:
-    """Yielded by a process to sleep for ``cycles``."""
+    """Yielded by a process to sleep for ``cycles``.
+
+    Hot-loop processes may equivalently yield a bare non-negative
+    ``int`` — the dispatcher treats it exactly like ``Delay(n)`` without
+    allocating the wrapper (the engine's biggest per-step allocation).
+    """
 
     __slots__ = ("cycles",)
 
@@ -62,7 +71,17 @@ class Signal:
     def fire(self, value: Any = None) -> None:
         """Resume all current waiters with ``value`` (immediately)."""
         self.fire_count += 1
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        if len(waiters) == 1:
+            # Detach before resuming (a waiter may re-subscribe) but
+            # reuse the list — no allocation on the hot one-waiter fire.
+            waiter = waiters[0]
+            waiters.clear()
+            waiter(value)
+            return
+        self._waiters = []
         for waiter in waiters:
             waiter(value)
 
@@ -86,10 +105,16 @@ class WaitSignal:
 class Process:
     """Drives a generator coroutine against a :class:`Simulator`.
 
-    The process is scheduled to take its first step at the current
-    cycle (plus ``start_delay``).  When the generator returns, the
-    ``StopIteration`` value is captured in :attr:`result` and the
-    completion :attr:`done_signal` fires.
+    The process takes its first step at the current cycle (plus
+    ``start_delay``).  When nothing else is pending at the current
+    cycle the zero-delay first step runs *synchronously inside the
+    constructor* — provably equivalent to scheduling it (any event
+    queued later lands behind it in seq order anyway) and one event
+    cheaper, which matters because the controller spawns one process
+    per write and per read.  With same-cycle events pending the step is
+    deferred behind them, preserving exact FIFO interleaving.  When the
+    generator returns, the ``StopIteration`` value is captured in
+    :attr:`result` and the completion :attr:`done_signal` fires.
     """
 
     def __init__(
@@ -104,8 +129,33 @@ class Process:
         self.name = name
         self.finished = False
         self.result: Any = None
-        self.done_signal = Signal(sim, name=f"{name}.done")
-        sim.call_after(start_delay, lambda: self._advance(None))
+        #: Lazily materialised — most processes (one per write/read in
+        #: the controller) are never awaited, so the Signal and its
+        #: formatted name would be pure allocation overhead.
+        self._done_signal: Optional[Signal] = None
+        #: One resume closure per *process* (not per step): every Delay
+        #: wake-up reuses it instead of allocating a fresh lambda, and
+        #: ``partial`` dispatches at C level (no wrapper frame).
+        self._resume = partial(self._advance, None)
+        if start_delay == 0:
+            heap = sim._queue._heap
+            if not sim._batch_pending and not (heap and heap[0][0] == sim.now):
+                self._advance(None)
+                return
+        sim.call_after(start_delay, self._resume)
+
+    @property
+    def done_signal(self) -> Signal:
+        """Fires with the generator's return value when it finishes.
+
+        Created on first access; subscribing after the process already
+        finished never fires (identical to subscribing to an eagerly
+        created signal after its one shot).
+        """
+        sig = self._done_signal
+        if sig is None:
+            sig = self._done_signal = Signal(self._sim, name=f"{self.name}.done")
+        return sig
 
     def _advance(self, send_value: Any) -> None:
         try:
@@ -113,21 +163,48 @@ class Process:
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
-            self.done_signal.fire(stop.value)
+            sig = self._done_signal
+            if sig is not None:
+                sig.fire(stop.value)
             return
-        self._dispatch(directive)
+        # Inlined dispatch on exact type: the hot directives (a bare
+        # int delay, a Signal to wait on, and Delay itself) resolve
+        # without isinstance or a second method call; everything else
+        # (subclasses, processes, errors) falls through to the general
+        # path.  The int path inlines the kernel's heap push — it is
+        # the single most-executed statement in a timing run.
+        cls = directive.__class__
+        if cls is int:
+            if directive < 0:
+                raise SimulationError(f"negative delay {directive}")
+            sim = self._sim
+            queue = sim._queue
+            heappush(queue._heap, (sim.now + directive, queue._seq, self._resume))
+            queue._seq += 1
+        elif cls is Signal:
+            # Waiting on a bare Signal — ``_advance`` already has the
+            # callback(value) shape, so subscribe it directly.
+            directive._waiters.append(self._advance)
+        elif cls is Delay:
+            self._sim.call_after(directive.cycles, self._resume)
+        elif cls is WaitSignal:
+            directive.signal._waiters.append(self._advance)
+        else:
+            self._dispatch(directive)
 
     def _dispatch(self, directive: Any) -> None:
         if isinstance(directive, Delay):
-            self._sim.call_after(directive.cycles, lambda: self._advance(None))
+            self._sim.call_after(directive.cycles, self._resume)
+        elif isinstance(directive, Signal):
+            directive.subscribe(self._advance)
         elif isinstance(directive, WaitSignal):
-            directive.signal.subscribe(lambda value: self._advance(value))
+            directive.signal.subscribe(self._advance)
         elif isinstance(directive, Process):
             child = directive
             if child.finished:
                 self._sim.call_after(0, lambda: self._advance(child.result))
             else:
-                child.done_signal.subscribe(lambda value: self._advance(value))
+                child.done_signal.subscribe(self._advance)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported directive {directive!r}"

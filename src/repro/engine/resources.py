@@ -6,7 +6,7 @@ from collections import deque
 from typing import Any, Deque, Generator, Optional
 
 from repro.engine.kernel import SimulationError, Simulator
-from repro.engine.process import Signal, WaitSignal
+from repro.engine.process import Signal
 
 
 class Resource:
@@ -41,7 +41,7 @@ class Resource:
         gate = Signal(self._sim, name=f"{self.name}.gate")
         self._wait_queue.append(gate)
         started = self._sim.now
-        yield WaitSignal(gate)
+        yield gate
         self.total_wait_cycles += self._sim.now - started
         self.in_use += 1
         self.total_acquisitions += 1
@@ -88,15 +88,18 @@ class PipelineLane:
 
         Returns ``(start, done)`` where ``done = start + latency``.
         """
-        start = max(now, self._next_start)
-        self._next_start = start + self.interval
+        next_start = self._next_start
+        start = now if now > next_start else next_start
+        interval = self.interval
+        self._next_start = start + interval
         self.operations += 1
-        self.busy_cycles += self.interval
+        self.busy_cycles += interval
         return start, start + latency
 
     def next_free(self, now: int) -> int:
         """Earliest cycle a new operation could start."""
-        return max(now, self._next_start)
+        next_start = self._next_start
+        return now if now > next_start else next_start
 
 
 class FifoChannel:
@@ -144,7 +147,7 @@ class FifoChannel:
             return self._items.popleft()
         gate = Signal(self._sim, name=f"{self.name}.get")
         self._getters.append(gate)
-        item = yield WaitSignal(gate)
+        item = yield gate
         return item
 
     def try_get(self) -> Any:

@@ -22,7 +22,7 @@ from repro.core.registers import PersistentRegisters
 from repro.crypto.keys import KeyStore
 from repro.harness import parallel as _parallel
 from repro.harness.parallel import RunUnit
-from repro.harness.runner import RunResult, geomean, run_trace
+from repro.harness.runner import RunResult, geomean
 from repro.harness.tables import render_table
 from repro.harness.trace_store import TraceCache
 from repro.recovery.estimate import estimate_recovery
@@ -81,12 +81,19 @@ def _run(
     transactions: int,
     seed: int,
 ) -> RunResult:
-    """Execute (or, under a parallel executor, record/replay) one run unit."""
+    """Execute (or, under a parallel executor, record/replay) one run unit.
+
+    Serial execution takes the batched path: packed trace columns
+    replayed through the content-addressed unit memo (identical units
+    are simulated once ever — see :mod:`repro.harness.memo`).
+    """
     executor = _parallel.active_executor()
     if executor is not None:
         return executor.run(RunUnit(workload, config, transactions, seed))
-    trace = cache.get(workload, transactions, config.transaction_size, seed)
-    return run_trace(config, trace, workload, transactions)
+    packed = cache.get_packed(
+        workload, transactions, config.transaction_size, seed
+    )
+    return _parallel._unit_memo().run(config, packed, workload, transactions)
 
 
 # ======================================================================

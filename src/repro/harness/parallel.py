@@ -68,16 +68,42 @@ class RunUnit:
     mode: str = "run"
 
 
+#: Per-process unit memo (lazily constructed; see repro.harness.memo).
+_UNIT_MEMO = None
+
+
+def _unit_memo():
+    global _UNIT_MEMO
+    if _UNIT_MEMO is None:
+        from repro.harness.memo import UnitMemo
+
+        _UNIT_MEMO = UnitMemo()
+    return _UNIT_MEMO
+
+
 def execute_unit(unit: RunUnit, cache: TraceCache):
-    """Simulate one unit, resolving its trace through ``cache``."""
-    trace = cache.get(
-        unit.workload, unit.transactions, unit.config.transaction_size, unit.seed
-    )
+    """Simulate one unit, resolving its trace through ``cache``.
+
+    Plain runs are replayed from the packed trace columns through the
+    content-addressed unit memo — a unit whose op stream, config and
+    simulator sources all match an earlier run is not resimulated.
+    Breakdown runs bypass both layers: their instrumented results
+    carry per-span state the memo does not capture.
+    """
     if unit.mode == "breakdown":
+        trace = cache.get(
+            unit.workload, unit.transactions, unit.config.transaction_size,
+            unit.seed,
+        )
         return run_with_breakdown(
             unit.config, trace, unit.workload, unit.transactions
         )
-    return run_trace(unit.config, trace, unit.workload, unit.transactions)
+    packed = cache.get_packed(
+        unit.workload, unit.transactions, unit.config.transaction_size, unit.seed
+    )
+    return _unit_memo().run(
+        unit.config, packed, unit.workload, unit.transactions
+    )
 
 
 # ----------------------------------------------------------------------

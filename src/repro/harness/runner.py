@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import ControllerKind, MiSUDesign, SimConfig
 from repro.core.controller import MemoryController, make_controller
 from repro.cpu.core import TraceCore
+from repro.cpu.trace_io import PackedTrace
 from repro.engine import Simulator
 from repro.stats import StatsRegistry
 from repro.workloads import generate_trace
@@ -52,16 +53,22 @@ class RunResult:
 
 def run_trace(
     config: SimConfig,
-    trace: List[Tuple],
+    trace,
     workload_name: str = "trace",
     transactions: int = 0,
 ) -> RunResult:
-    """Replay one prebuilt trace under ``config``; returns the result."""
+    """Replay one prebuilt trace under ``config``; returns the result.
+
+    ``trace`` is either the classic list of op tuples or a
+    :class:`repro.cpu.trace_io.PackedTrace`, whose columns are replayed
+    directly (no per-op tuple list is rebuilt — the batched path every
+    cache hit and every sweep repeat takes).
+    """
     sim = Simulator()
     stats = StatsRegistry()
     controller = make_controller(sim, config, stats)
     core = TraceCore(sim, config, controller, stats)
-    core.run(trace)
+    core.run(trace.pairs() if isinstance(trace, PackedTrace) else trace)
     sim.run()
     if not core.finished:
         raise RuntimeError(

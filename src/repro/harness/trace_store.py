@@ -73,13 +73,15 @@ class TraceStore:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def payload_digest(trace: List[Tuple]) -> str:
+    def payload_digest(trace) -> str:
         """Content digest of the trace *payload* (the arrays themselves).
 
         Stored in the entry's metadata and re-checked on load: the key
         digest authenticates *which* trace the file claims to be, this
         one authenticates its *bytes* — a truncated or bit-rotted file
-        fails here even when its header survived intact.
+        fails here even when its header survived intact.  Accepts the
+        tuple-list form or a :class:`repro.cpu.trace_io.PackedTrace`
+        (both digest identically for the same op stream).
         """
         codes, operands = trace_io.trace_to_arrays(trace)
         material = codes.tobytes() + b"|" + operands.tobytes()
@@ -120,22 +122,33 @@ class TraceStore:
         Entries written before payload digests existed are treated as
         corrupt — there is no way to vouch for their bytes.
         """
+        packed = self.load_packed(key)
+        return packed.to_trace() if packed is not None else None
+
+    def load_packed(self, key: TraceKey) -> Optional[trace_io.PackedTrace]:
+        """Return the cached trace for ``key`` in packed (column) form.
+
+        Same contract as :meth:`load` — corrupt entries quarantine and
+        count as misses — but the stored columns are handed back
+        directly, skipping the per-op tuple rebuild the replay path no
+        longer needs.
+        """
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
             return None
         try:
-            trace, header = trace_io.load_trace(path)
+            packed, header = trace_io.load_trace_packed(path)
             if header.get("cache_digest") != self.digest(key):
                 raise ValueError("cache key mismatch")
-            if header.get("payload_digest") != self.payload_digest(trace):
+            if header.get("payload_digest") != self.payload_digest(packed):
                 raise ValueError("payload digest mismatch")
         except Exception:
             self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return trace
+        return packed
 
     def _quarantine(self, path: Path) -> None:
         """Move a bad entry aside (fall back to deletion if that fails)."""
@@ -150,8 +163,12 @@ class TraceStore:
                 return
         self.quarantined += 1
 
-    def store(self, key: TraceKey, trace: List[Tuple]) -> Path:
-        """Persist ``trace`` under ``key`` (atomic rename, race-safe)."""
+    def store(self, key: TraceKey, trace) -> Path:
+        """Persist ``trace`` under ``key`` (atomic rename, race-safe).
+
+        Accepts the tuple-list form or a packed trace — both serialise
+        to the same column format.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         final = self.path_for(key)
         workload, transactions, payload, seed = key
@@ -298,6 +315,7 @@ class TraceCache:
 
     def __init__(self, cache_dir=AUTO) -> None:
         self._cache: Dict[TraceKey, List[Tuple]] = {}
+        self._packed: Dict[TraceKey, trace_io.PackedTrace] = {}
         if cache_dir is TraceCache.AUTO:
             cache_dir = default_cache_dir()
         self._store = TraceStore(cache_dir) if cache_dir is not None else None
@@ -321,3 +339,28 @@ class TraceCache:
                 self._store.store(key, trace)
         self._cache[key] = trace
         return trace
+
+    def get_packed(
+        self, workload: str, transactions: int, payload: int, seed: int
+    ) -> trace_io.PackedTrace:
+        """Like :meth:`get`, but in packed column form (replay-ready).
+
+        The packed and tuple layers share the disk store; whichever is
+        populated first feeds the other without regeneration.
+        """
+        key = (workload, transactions, payload, seed)
+        packed = self._packed.get(key)
+        if packed is not None:
+            return packed
+        trace = self._cache.get(key)
+        if trace is not None:
+            packed = trace_io.PackedTrace.from_trace(trace)
+        elif self._store is not None:
+            packed = self._store.load_packed(key)
+        if packed is None:
+            trace = generate_trace(workload, transactions, payload, seed)
+            packed = trace_io.PackedTrace.from_trace(trace)
+            if self._store is not None:
+                self._store.store(key, packed)
+        self._packed[key] = packed
+        return packed

@@ -33,6 +33,11 @@ class NVMDevice:
         # only with other reads while writes fill bank idle time.
         self._bank_free_at = [0] * self.config.num_banks
         self._read_free_at = [0] * self.config.num_banks
+        # Latency constants hoisted off the config attribute chain —
+        # timed_access runs once per memory operation.
+        self._num_banks = self.config.num_banks
+        self._read_latency = self.config.read_latency
+        self._write_latency = self.config.write_latency
         self.reads = 0
         self.writes = 0
         self.meta_reads = 0
@@ -156,15 +161,15 @@ class NVMDevice:
         and the target bank is free; the bank stays busy until the
         access completes.
         """
-        bank = self._bank_for(address)
+        bank = (address >> 6) % self._num_banks
         if is_write:
-            start = max(now, self._bank_free_at[bank])
-            done = start + self.config.write_latency
+            free = self._bank_free_at[bank]
+            done = (now if now > free else free) + self._write_latency
             self._bank_free_at[bank] = done
             self.writes += 1
         else:
-            start = max(now, self._read_free_at[bank])
-            done = start + self.config.read_latency
+            free = self._read_free_at[bank]
+            done = (now if now > free else free) + self._read_latency
             self._read_free_at[bank] = done
             self.reads += 1
         return done

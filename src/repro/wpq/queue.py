@@ -69,6 +69,11 @@ class WritePendingQueue:
         #: line address so unaligned writes coalesce, serve read hits,
         #: and leave no stale tag behind on clear.
         self._tags: Dict[int, int] = {}
+        #: Occupied-slot count, maintained by :meth:`try_allocate` /
+        #: :meth:`mark_cleared` / :meth:`reset` (the only three places
+        #: that flip ``WPQEntry.occupied``) so ``occupancy`` is O(1)
+        #: instead of an O(capacity) scan on every insert and poll.
+        self._occupied_count = 0
         self.inserts = 0
         self.coalesced = 0
         self.retry_events = 0
@@ -78,15 +83,15 @@ class WritePendingQueue:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return sum(1 for e in self.entries if e.occupied)
+        return self._occupied_count
 
     @property
     def is_full(self) -> bool:
-        return self.occupancy >= self.capacity
+        return self._occupied_count >= self.capacity
 
     @property
     def is_empty(self) -> bool:
-        return self.occupancy == 0
+        return self._occupied_count == 0
 
     def line_address(self, address: int) -> int:
         """The tag-array key: ``address`` masked to its cache line."""
@@ -94,7 +99,7 @@ class WritePendingQueue:
 
     def lookup(self, address: int) -> Optional[WPQEntry]:
         """Tag-array lookup (volatile); serves reads and coalescing."""
-        index = self._tags.get(self.line_address(address))
+        index = self._tags.get(address & self._line_mask)
         if index is None:
             return None
         entry = self.entries[index]
@@ -124,29 +129,40 @@ class WritePendingQueue:
 
     def try_allocate(self, request: WriteRequest) -> Optional[WPQEntry]:
         """Claim the next free slot for ``request``; None when full."""
-        if self.is_full:
+        capacity = self.capacity
+        if self._occupied_count >= capacity:
             return None
         # Scan from next_write_index for the first free slot (cleared
         # entries may be interleaved when Ma-SU completes out of order
-        # relative to insertion during recovery; normally it is FIFO).
-        for offset in range(self.capacity):
-            index = (self.next_write_index + offset) % self.capacity
-            entry = self.entries[index]
-            if not entry.occupied:
-                self.next_write_index = (index + 1) % self.capacity
-                entry.occupied = True
-                entry.in_flight = False
-                entry.mac_pending = False
-                entry.protected = False
-                entry.request = request
-                # entry.cleared / ciphertext / mac are untouched: the
-                # previous content remains architectural (and tree-
-                # covered) until Mi-SU protection overwrites it.
-                self._tags[self.line_address(request.address)] = index
-                self.inserts += 1
-                self.high_water = max(self.high_water, self.occupancy)
-                return entry
-        return None
+        # relative to insertion during recovery; normally it is FIFO and
+        # the first probe hits).
+        entries = self.entries
+        index = self.next_write_index
+        entry = entries[index]
+        if entry.occupied:
+            for offset in range(1, capacity):
+                index = (self.next_write_index + offset) % capacity
+                entry = entries[index]
+                if not entry.occupied:
+                    break
+            else:
+                return None
+        self.next_write_index = (index + 1) % capacity
+        entry.occupied = True
+        entry.in_flight = False
+        entry.mac_pending = False
+        entry.protected = False
+        entry.request = request
+        # entry.cleared / ciphertext / mac are untouched: the
+        # previous content remains architectural (and tree-
+        # covered) until Mi-SU protection overwrites it.
+        self._tags[request.address & self._line_mask] = index
+        self.inserts += 1
+        count = self._occupied_count + 1
+        self._occupied_count = count
+        if count > self.high_water:
+            self.high_water = count
+        return entry
 
     def record_retry(self) -> None:
         """Count one insertion re-try event (Table 2's metric)."""
@@ -155,9 +171,14 @@ class WritePendingQueue:
     # ------------------------------------------------------------------
     def oldest_pending(self) -> Optional[WPQEntry]:
         """The oldest occupied, not-in-flight entry (Ma-SU's next job)."""
-        for offset in range(self.capacity):
-            index = (self.next_fetch_index + offset) % self.capacity
-            entry = self.entries[index]
+        entries = self.entries
+        fetch = self.next_fetch_index
+        entry = entries[fetch]
+        if entry.occupied and not entry.in_flight:
+            return entry
+        capacity = self.capacity
+        for offset in range(1, capacity):
+            entry = entries[(fetch + offset) % capacity]
             if entry.occupied and not entry.in_flight:
                 return entry
         return None
@@ -174,6 +195,8 @@ class WritePendingQueue:
         avoids recomputing MACs on clear), and draining a cleared slot
         is harmless — recovery skips it.
         """
+        if entry.occupied:
+            self._occupied_count -= 1
         entry.occupied = False
         entry.cleared = True
         entry.in_flight = False
@@ -209,5 +232,6 @@ class WritePendingQueue:
             entry.mac_pending = False
             entry.protected = False
         self._tags.clear()
+        self._occupied_count = 0
         self.next_write_index = 0
         self.next_fetch_index = 0

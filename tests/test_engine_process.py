@@ -138,6 +138,20 @@ class TestProcess:
         def worker():
             yield "garbage"
 
+        # With an idle queue the first step runs inside the
+        # constructor, so the bad directive surfaces right there.
+        with pytest.raises(SimulationError):
+            Process(sim, worker())
+            sim.run()
+
+    def test_unsupported_directive_raises_deferred(self, sim):
+        def worker():
+            yield "garbage"
+
+        # A same-cycle event forces the first step to defer; the error
+        # then surfaces from run(), as before the synchronous-start
+        # optimization.
+        sim.schedule(0, lambda: None)
         Process(sim, worker())
         with pytest.raises(SimulationError):
             sim.run()
