@@ -4,9 +4,9 @@ PYTHON ?= python
 # Worker processes for experiment run units (0 = all cores).
 JOBS ?= 0
 
-.PHONY: install test check-oracle fault-smoke bench bench-perf perf-gate \
-	profile-kernel trace-smoke service-smoke golden golden-update coverage \
-	experiments examples clean
+.PHONY: install test check-oracle fault-smoke fleet-smoke bench bench-perf \
+	perf-gate profile-kernel trace-smoke service-smoke golden golden-update \
+	coverage experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,21 @@ fault-smoke:
 	$(PYTHON) -m repro.harness faults --workloads hashmap \
 		--transactions 30 --sites 2 --jobs $(JOBS) \
 		--report results/faults.json
+
+# Distributed fleet smoke (docs/fleet.md): the tier-1 integration
+# variants (2-worker bit-identical-to-serial + worker-kill
+# re-dispatch), then a real multi-worker CLI campaign whose JSON/HTML
+# report lands under results/fleet/.
+fleet-smoke:
+	mkdir -p results/fleet
+	$(PYTHON) -m pytest tests/test_fleet_integration.py -q
+	REPRO_FLEET_DB=results/fleet/fleet.sqlite \
+	$(PYTHON) -m repro.harness fleet run --name fleet-smoke \
+		--workloads hashmap --designs dolos-partial,prewpq-eager \
+		--seeds 1,2 --transactions 30 --fault-sites 1 --workers 2 \
+		--report-dir results/fleet
+	REPRO_FLEET_DB=results/fleet/fleet.sqlite \
+	$(PYTHON) -m repro.harness fleet status
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -121,6 +121,32 @@ class CampaignReport:
         return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def fault_unit_payload(unit: FaultUnitReport) -> Dict[str, object]:
+    """Wire/db-stable dict form of one fault unit (fleet ``faults`` jobs).
+
+    Deterministic for a given (workload, config, seed, sites) — the
+    campaign draws every fault from seeded RNGs — so the payload digest
+    can be compared bit-for-bit across re-dispatched fleet units.
+    """
+    return {
+        "kind": "faults",
+        "workload": unit.workload,
+        "controller": unit.controller,
+        "transactions": unit.transactions,
+        "seed": unit.seed,
+        "sites_used": unit.sites_used,
+        "detected": unit.count(DETECTED),
+        "tolerated": unit.count(TOLERATED),
+        "silent": unit.count(SILENT),
+        "passed": unit.passed,
+        "failures": list(unit.failures),
+        "outcomes": [
+            {"site_id": o.site_id, "kind": o.kind, "outcome": o.outcome}
+            for o in unit.outcomes
+        ],
+    }
+
+
 # ----------------------------------------------------------------------
 # Per-fault classification
 # ----------------------------------------------------------------------

@@ -1,0 +1,879 @@
+"""The fleet dispatcher: campaign expansion, sharding, worker driving.
+
+Shape follows fuzzbench's ``experiment/dispatcher.py`` +
+``scheduler.py``: a declarative :class:`CampaignSpec` (configs ×
+workloads × seeds × fault plans) expands into a deterministic,
+duplicate-free unit list (:func:`expand_units`), which
+:func:`shard_manifests` partitions exactly — no loss, no overlap —
+across worker shards.  The :class:`FleetDispatcher` then spawns one
+``python -m repro.harness serve`` subprocess per worker (Unix socket,
+the PR-5 wire protocol unchanged) and drives each from its own thread:
+
+* **Work stealing** — a worker whose shard runs dry steals from the
+  tail of the longest remaining shard, so a slow worker cannot strand
+  its manifest.
+* **Re-dispatch** — a worker that dies (connection drop, kill -9) has
+  its in-flight units returned to the pending set and picked up by the
+  survivors; this rides the same retry philosophy as
+  :func:`repro.harness.parallel._resilient_map` but across *worker
+  processes* instead of pool children.
+* **Straggler cloning** — when everything pending is exhausted but
+  another worker has held a unit longer than ``straggler_after``
+  seconds, an idle worker runs a clone; whichever finishes first wins
+  and the database's idempotent upsert absorbs the duplicate.
+
+Every completed unit is recorded into the :class:`~repro.fleet.db
+.FleetDB` the moment its result frame lands, so a dispatcher crash
+loses at most the in-flight units, and a re-run of the same experiment
+id resumes idempotently.  ``workers=0`` runs the whole campaign inline
+through :func:`repro.harness.parallel.run_units` with its streaming
+``on_result`` callback — the no-subprocess path used by tests and tiny
+campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.db import FleetDB, current_git_hash, default_db_path
+from repro.harness.parallel import RunUnit, run_units
+from repro.oracle.check import controller_matrix
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    job_key,
+    resolve_config,
+    result_payload,
+)
+from repro.workloads import ALL_WORKLOADS, ORACLE_SEMANTICS
+
+#: Seconds to wait for a worker subprocess to write its ready file.
+WORKER_START_TIMEOUT = 30.0
+#: Poll interval while a worker thread waits on other shards' units.
+_IDLE_POLL = 0.02
+
+
+class FleetError(RuntimeError):
+    """Campaign-level failure (bad spec, incomplete run, ...)."""
+
+
+# ----------------------------------------------------------------------
+# Campaign specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment matrix.
+
+    Expansion order (and therefore shard layout) is deterministic:
+    ``run`` units in workloads × designs × seeds order first, then —
+    when ``fault_sites > 0`` — one ``faults`` unit per (workload,
+    design, seed) for every workload with oracle semantics.
+    """
+
+    name: str
+    workloads: Tuple[str, ...]
+    designs: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    transactions: int = 60
+    #: Whitelisted config overrides applied to every unit (sorted
+    #: key/value pairs; tuple form keeps the spec hashable).
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    #: > 0 adds a fault-injection unit per (workload, design, seed)
+    #: with this many interior crash sites.
+    fault_sites: int = 0
+
+    def validate(self) -> "CampaignSpec":
+        if not self.name:
+            raise FleetError("campaign needs a name")
+        if not self.workloads or not self.designs or not self.seeds:
+            raise FleetError(
+                "campaign matrix is empty: need at least one workload, "
+                "design and seed"
+            )
+        matrix = controller_matrix()
+        for workload in self.workloads:
+            if workload not in ALL_WORKLOADS:
+                raise FleetError(
+                    f"unknown workload {workload!r}; choose from "
+                    f"{sorted(ALL_WORKLOADS)}"
+                )
+        for design in self.designs:
+            if design not in matrix:
+                raise FleetError(
+                    f"unknown design {design!r}; choose from "
+                    f"{sorted(matrix)}"
+                )
+        if self.transactions <= 0:
+            raise FleetError("transactions must be positive")
+        if self.fault_sites < 0:
+            raise FleetError("fault_sites must be >= 0")
+        if self.fault_sites:
+            for workload in self.workloads:
+                if workload not in ORACLE_SEMANTICS:
+                    raise FleetError(
+                        f"workload {workload!r} has no oracle semantics; "
+                        "fault units need one"
+                    )
+        return self
+
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-JSON form (db snapshot / campaign files)."""
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "designs": list(self.designs),
+            "seeds": list(self.seeds),
+            "transactions": self.transactions,
+            "overrides": {key: value for key, value in self.overrides},
+            "fault_sites": self.fault_sites,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "CampaignSpec":
+        overrides = data.get("overrides", {}) or {}
+        return cls(
+            name=str(data["name"]),
+            workloads=tuple(data["workloads"]),
+            designs=tuple(data["designs"]),
+            seeds=tuple(int(seed) for seed in data["seeds"]),
+            transactions=int(data.get("transactions", 60)),
+            overrides=tuple(sorted(overrides.items())),
+            fault_sites=int(data.get("fault_sites", 0)),
+        ).validate()
+
+    @classmethod
+    def from_file(cls, path: Path) -> "CampaignSpec":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FleetError(f"cannot read campaign {path}: {exc}") from None
+        return cls.from_payload(data)
+
+
+@dataclass(frozen=True)
+class FleetUnit:
+    """One dispatchable unit: a :class:`JobSpec` plus its content key."""
+
+    key: str
+    spec: JobSpec
+
+
+def _dedup_keep_order(values: Sequence) -> List:
+    return list(dict.fromkeys(values))
+
+
+def expand_units(campaign: CampaignSpec) -> List[FleetUnit]:
+    """Expand ``campaign`` into its deterministic, duplicate-free units.
+
+    The unit key is the service's :func:`job_key` content hash, so the
+    fleet, the per-worker scheduler dedup, and the persistent result
+    store all agree about unit identity.
+    """
+    campaign.validate()
+    overrides = {key: value for key, value in campaign.overrides}
+    workloads = _dedup_keep_order(campaign.workloads)
+    designs = _dedup_keep_order(campaign.designs)
+    seeds = _dedup_keep_order(campaign.seeds)
+
+    units: Dict[str, FleetUnit] = {}
+
+    def add(spec: JobSpec) -> None:
+        try:
+            spec = spec.validate()
+        except ProtocolError as exc:
+            raise FleetError(f"invalid unit in campaign: {exc}") from None
+        key = job_key(spec)
+        if key not in units:
+            units[key] = FleetUnit(key=key, spec=spec)
+
+    for workload in workloads:
+        for design in designs:
+            for seed in seeds:
+                add(
+                    JobSpec(
+                        workload=workload,
+                        design=design,
+                        transactions=campaign.transactions,
+                        seed=seed,
+                        experiment_id=campaign.name,
+                        overrides=overrides,
+                    )
+                )
+    if campaign.fault_sites > 0:
+        for workload in workloads:
+            for design in designs:
+                for seed in seeds:
+                    add(
+                        JobSpec(
+                            workload=workload,
+                            design=design,
+                            transactions=campaign.transactions,
+                            seed=seed,
+                            experiment_id=campaign.name,
+                            overrides=overrides,
+                            mode="faults",
+                            fault_sites=campaign.fault_sites,
+                        )
+                    )
+    return list(units.values())
+
+
+def shard_manifests(
+    units: Sequence[FleetUnit], shards: int
+) -> List[List[FleetUnit]]:
+    """Partition ``units`` into ``shards`` manifests, exactly.
+
+    Round-robin assignment: unit *i* lands in shard ``i % shards``, so
+    manifests are balanced to within one unit, the partition is exact
+    (no unit lost, none duplicated), and the layout is a pure function
+    of expansion order.  Shards may be empty when there are more
+    workers than units.
+    """
+    if shards < 1:
+        raise FleetError(f"need at least one shard, got {shards}")
+    manifests: List[List[FleetUnit]] = [[] for _ in range(shards)]
+    for index, unit in enumerate(units):
+        manifests[index % shards].append(unit)
+    return manifests
+
+
+def spec_to_run_unit(spec: JobSpec) -> RunUnit:
+    """The in-process :class:`RunUnit` equivalent of a wire job."""
+    return RunUnit(
+        spec.workload,
+        resolve_config(spec),
+        spec.transactions,
+        spec.seed,
+        mode=spec.mode,
+        fault_sites=spec.fault_sites if spec.mode == "faults" else 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# The unit ledger: pending shards, in-flight claims, completions
+# ----------------------------------------------------------------------
+class UnitLedger:
+    """Thread-safe unit state shared by all worker threads.
+
+    Invariant: every unit is in exactly one of *pending* (some shard's
+    deque), *in-flight* (claimed by ≥1 workers — more than one only
+    for straggler clones), or *done*.  ``claim``/``complete``/
+    ``requeue`` keep the sets consistent under any interleaving, which
+    the Hypothesis suite exercises with random stealing and death
+    schedules.
+    """
+
+    def __init__(self, manifests: Sequence[Sequence[FleetUnit]]) -> None:
+        self._pending: List[Deque[FleetUnit]] = [
+            deque(manifest) for manifest in manifests
+        ]
+        #: unit key -> {worker_id: claim time} for units being run.
+        self._inflight: Dict[str, Dict[str, float]] = {}
+        self._units: Dict[str, FleetUnit] = {}
+        for manifest in manifests:
+            for unit in manifest:
+                self._units[unit.key] = unit
+        self._home: Dict[str, int] = {}
+        for shard, manifest in enumerate(manifests):
+            for unit in manifest:
+                self._home[unit.key] = shard
+        self._done: set = set()
+        self._lock = threading.Lock()
+        self.steals = 0
+        self.redispatches = 0
+        self.straggler_clones = 0
+
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        shard: int,
+        worker_id: str,
+        straggler_after: Optional[float] = None,
+    ) -> Optional[FleetUnit]:
+        """Next unit for ``worker_id``: own shard, then steal, then clone.
+
+        Returns ``None`` when there is nothing this worker can usefully
+        run right now (its shard and every other shard are empty, and
+        no in-flight unit qualifies as a straggler).
+        """
+        with self._lock:
+            own = self._pending[shard]
+            if own:
+                unit = own.popleft()
+                self._claim_locked(unit, worker_id)
+                return unit
+            victim = max(
+                (d for i, d in enumerate(self._pending) if i != shard),
+                key=len,
+                default=None,
+            )
+            if victim:
+                # Steal from the tail: the victim keeps draining its
+                # head, so the two never contend for the same unit.
+                unit = victim.pop()
+                self.steals += 1
+                self._claim_locked(unit, worker_id)
+                return unit
+            if straggler_after is not None:
+                now = time.monotonic()
+                oldest_key = None
+                oldest_at = None
+                for key, claims in self._inflight.items():
+                    if worker_id in claims:
+                        continue  # never clone one's own claim
+                    started = min(claims.values())
+                    if now - started < straggler_after:
+                        continue
+                    if oldest_at is None or started < oldest_at:
+                        oldest_key, oldest_at = key, started
+                if oldest_key is not None:
+                    self.straggler_clones += 1
+                    self._inflight[oldest_key][worker_id] = now
+                    return self._units[oldest_key]
+            return None
+
+    def _claim_locked(self, unit: FleetUnit, worker_id: str) -> None:
+        self._inflight.setdefault(unit.key, {})[worker_id] = time.monotonic()
+
+    def complete(self, key: str, worker_id: str) -> bool:
+        """Mark ``key`` done; True only for the *first* completion."""
+        with self._lock:
+            self._inflight.pop(key, None)
+            if key in self._done:
+                return False
+            self._done.add(key)
+            return True
+
+    def requeue(self, worker_id: str) -> int:
+        """Return a dead worker's claims to pending; count re-dispatches.
+
+        A unit some *other* worker also has in flight (a straggler
+        clone) just loses the dead claim; units only the dead worker
+        held go back to the head of their home shard for the survivors
+        to steal.
+        """
+        with self._lock:
+            requeued = 0
+            for key in list(self._inflight):
+                claims = self._inflight[key]
+                if worker_id not in claims:
+                    continue
+                del claims[worker_id]
+                if claims:
+                    continue
+                del self._inflight[key]
+                if key in self._done:
+                    continue
+                self._pending[self._home[key]].appendleft(self._units[key])
+                requeued += 1
+            self.redispatches += requeued
+            return requeued
+
+    # ------------------------------------------------------------------
+    @property
+    def done_keys(self) -> set:
+        with self._lock:
+            return set(self._done)
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._units) - len(self._done)
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+class ServiceWorker:
+    """One fleet worker: a ``harness serve`` subprocess + Unix socket."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        runtime_dir: Path,
+        jobs: int = 1,
+        env: Optional[Dict[str, str]] = None,
+        submit_timeout: float = 300.0,
+    ) -> None:
+        self.worker_id = worker_id
+        self.runtime_dir = Path(runtime_dir)
+        self.jobs = jobs
+        self.env = dict(os.environ if env is None else env)
+        self.submit_timeout = submit_timeout
+        self.socket_path = str(self.runtime_dir / f"{worker_id}.sock")
+        self.ready_path = self.runtime_dir / f"{worker_id}.ready"
+        self.process: Optional[subprocess.Popen] = None
+
+    def start(self) -> None:
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+        self.ready_path.unlink(missing_ok=True)
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.harness",
+                "serve",
+                "--unix",
+                self.socket_path,
+                "--jobs",
+                str(self.jobs),
+                "--ready-file",
+                str(self.ready_path),
+            ],
+            env=self.env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + WORKER_START_TIMEOUT
+        while not self.ready_path.exists():
+            if self.process.poll() is not None:
+                raise FleetError(
+                    f"worker {self.worker_id} exited "
+                    f"{self.process.returncode} before becoming ready"
+                )
+            if time.monotonic() > deadline:
+                self.process.kill()
+                raise FleetError(
+                    f"worker {self.worker_id} did not become ready within "
+                    f"{WORKER_START_TIMEOUT}s"
+                )
+            time.sleep(0.01)
+
+    def connect(self) -> ServiceClient:
+        return ServiceClient(self.socket_path, timeout=self.submit_timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the fault-injection path (no graceful drain)."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+
+    def stop(self) -> None:
+        """Polite SIGTERM (graceful drain), escalating to kill."""
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerReport:
+    """Per-worker tally for the run summary."""
+
+    worker_id: str
+    completed: int = 0
+    duplicates: int = 0
+    died: bool = False
+
+
+@dataclass
+class FleetRunSummary:
+    """What one :meth:`FleetDispatcher.run` did."""
+
+    experiment_id: str
+    units_total: int
+    units_recorded: int
+    duplicates: int
+    steals: int
+    redispatches: int
+    straggler_clones: int
+    worker_deaths: int
+    elapsed_s: float
+    workers: List[WorkerReport] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class FleetDispatcher:
+    """Drive one campaign across many service workers into a FleetDB."""
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        db: FleetDB,
+        workers: int = 2,
+        experiment_id: Optional[str] = None,
+        worker_jobs: int = 1,
+        runtime_dir: Optional[Path] = None,
+        straggler_after: Optional[float] = None,
+        worker_env: Optional[Dict[str, str]] = None,
+        on_record: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.campaign = campaign.validate()
+        self.db = db
+        self.workers = workers
+        self.experiment_id = experiment_id or campaign.name
+        self.worker_jobs = worker_jobs
+        self.runtime_dir = runtime_dir
+        self.straggler_after = straggler_after
+        self.worker_env = worker_env
+        #: ``on_record(worker_id, unit_key)`` fires after every db
+        #: record — the integration tests' kill-injection hook.
+        self.on_record = on_record
+        #: Live handles, keyed by worker id (kill-injection surface).
+        self.worker_handles: Dict[str, ServiceWorker] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetRunSummary:
+        started = time.monotonic()
+        units = expand_units(self.campaign)
+        self.db.open_experiment(
+            self.experiment_id,
+            self.campaign.to_payload(),
+            git_hash=current_git_hash(),
+        )
+        # Resume support: anything a previous run of this experiment
+        # already recorded (digest-verified) is not re-dispatched.
+        already = set(self.db.unit_keys(self.experiment_id))
+        todo = [unit for unit in units if unit.key not in already]
+
+        if self.workers <= 0:
+            reports = [self._run_inline(todo)]
+            ledger = None
+        else:
+            ledger, reports = self._run_distributed(todo)
+
+        missing = [
+            unit.key
+            for unit in units
+            if self.db.load_unit(self.experiment_id, unit.key) is None
+        ]
+        if missing:
+            raise FleetError(
+                f"fleet run incomplete: {len(missing)} of {len(units)} "
+                f"units missing from the database ({missing[:4]}...)"
+            )
+        self.db.finish_experiment(self.experiment_id)
+        status = self.db.status(self.experiment_id)
+        return FleetRunSummary(
+            experiment_id=self.experiment_id,
+            units_total=len(units),
+            units_recorded=int(status["units"]),
+            duplicates=int(status["duplicates"]),
+            steals=ledger.steals if ledger else 0,
+            redispatches=ledger.redispatches if ledger else 0,
+            straggler_clones=ledger.straggler_clones if ledger else 0,
+            worker_deaths=sum(1 for r in reports if r.died),
+            elapsed_s=time.monotonic() - started,
+            workers=reports,
+        )
+
+    # -- inline (workers == 0) -------------------------------------------
+    def _run_inline(self, todo: Sequence[FleetUnit]) -> WorkerReport:
+        """No subprocesses: stream the units through run_units."""
+        report = WorkerReport(worker_id="inline")
+        run_specs = [spec_to_run_unit(unit.spec) for unit in todo]
+        timings: Dict[int, float] = {}
+
+        def on_result(index: int, _run_unit: RunUnit, result) -> None:
+            unit = todo[index]
+            elapsed = time.monotonic() - timings.get(index, time.monotonic())
+            status = self.db.record_unit(
+                self.experiment_id,
+                unit.key,
+                dict(unit.spec.to_wire()),
+                result_payload(result),
+                worker_id="inline",
+                elapsed_s=max(elapsed, 0.0),
+            )
+            report.completed += 1
+            if status == "duplicate":
+                report.duplicates += 1
+            if self.on_record is not None:
+                self.on_record("inline", unit.key)
+
+        for index in range(len(run_specs)):
+            timings[index] = time.monotonic()
+        run_units(run_specs, jobs=self.worker_jobs, on_result=on_result)
+        return report
+
+    # -- distributed -----------------------------------------------------
+    def _run_distributed(
+        self, todo: Sequence[FleetUnit]
+    ) -> Tuple[UnitLedger, List[WorkerReport]]:
+        manifests = shard_manifests(todo, self.workers) if todo else [
+            [] for _ in range(self.workers)
+        ]
+        ledger = UnitLedger(manifests)
+        runtime = (
+            Path(self.runtime_dir)
+            if self.runtime_dir is not None
+            else Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+        )
+        handles = [
+            ServiceWorker(
+                f"worker-{index}",
+                runtime,
+                jobs=self.worker_jobs,
+                env=self.worker_env,
+            )
+            for index in range(self.workers)
+        ]
+        reports = [WorkerReport(worker_id=h.worker_id) for h in handles]
+        for handle in handles:
+            handle.start()
+            self.worker_handles[handle.worker_id] = handle
+
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(handle, shard, ledger, report),
+                name=f"fleet-{handle.worker_id}",
+                daemon=True,
+            )
+            for shard, (handle, report) in enumerate(zip(handles, reports))
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if ledger.outstanding() and all(r.died for r in reports):
+                raise FleetError(
+                    "every fleet worker died; "
+                    f"{ledger.outstanding()} units outstanding"
+                )
+        finally:
+            for handle in handles:
+                handle.stop()
+        return ledger, reports
+
+    def _worker_loop(
+        self,
+        worker: ServiceWorker,
+        shard: int,
+        ledger: UnitLedger,
+        report: WorkerReport,
+    ) -> None:
+        try:
+            client = worker.connect()
+        except OSError:
+            report.died = True
+            ledger.requeue(worker.worker_id)
+            return
+        try:
+            while True:
+                unit = ledger.claim(
+                    shard, worker.worker_id,
+                    straggler_after=self.straggler_after,
+                )
+                if unit is None:
+                    if ledger.outstanding() == 0:
+                        return
+                    time.sleep(_IDLE_POLL)
+                    continue
+                submit_started = time.monotonic()
+                try:
+                    frame = client.submit(unit.spec)
+                except (ConnectionError, ServiceError, OSError, ValueError):
+                    # The worker died (or refused) mid-unit: hand the
+                    # claim back for the survivors and bow out.
+                    report.died = True
+                    ledger.requeue(worker.worker_id)
+                    return
+                status = self.db.record_unit(
+                    self.experiment_id,
+                    unit.key,
+                    dict(unit.spec.to_wire()),
+                    dict(frame["payload"]),
+                    worker_id=worker.worker_id,
+                    elapsed_s=time.monotonic() - submit_started,
+                )
+                ledger.complete(unit.key, worker.worker_id)
+                report.completed += 1
+                if status == "duplicate":
+                    report.duplicates += 1
+                if self.on_record is not None:
+                    self.on_record(worker.worker_id, unit.key)
+        finally:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.harness fleet {run,status,report}
+# ----------------------------------------------------------------------
+def _campaign_from_args(args) -> CampaignSpec:
+    if args.campaign:
+        return CampaignSpec.from_file(Path(args.campaign))
+    overrides = {}
+    for pair in args.override or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise FleetError(f"--override expects key=value, got {pair!r}")
+        if value.lower() in ("true", "false"):
+            overrides[key] = value.lower() == "true"
+        else:
+            try:
+                overrides[key] = int(value)
+            except ValueError:
+                overrides[key] = value
+    return CampaignSpec(
+        name=args.name,
+        workloads=tuple(w for w in args.workloads.split(",") if w),
+        designs=tuple(d for d in args.designs.split(",") if d),
+        seeds=tuple(int(s) for s in args.seeds.split(",") if s),
+        transactions=args.transactions,
+        overrides=tuple(sorted(overrides.items())),
+        fault_sites=args.fault_sites,
+    ).validate()
+
+
+def _cmd_run(args) -> int:
+    campaign = _campaign_from_args(args)
+    db = FleetDB(Path(args.db) if args.db else None)
+    dispatcher = FleetDispatcher(
+        campaign,
+        db,
+        workers=args.workers,
+        experiment_id=args.experiment or None,
+        worker_jobs=args.worker_jobs,
+        straggler_after=args.straggler_after,
+    )
+    summary = dispatcher.run()
+    print(
+        f"[fleet] {summary.experiment_id}: {summary.units_recorded}/"
+        f"{summary.units_total} units recorded in {summary.elapsed_s:.1f}s "
+        f"({summary.steals} steals, {summary.redispatches} re-dispatches, "
+        f"{summary.duplicates} duplicates, {summary.worker_deaths} worker "
+        f"deaths)"
+    )
+    if args.json:
+        print(json.dumps(summary.to_payload(), sort_keys=True))
+    if args.report_dir:
+        from repro.fleet.report import write_report
+
+        for path in write_report(
+            db, summary.experiment_id, Path(args.report_dir),
+            baseline=args.baseline or None,
+        ):
+            print(f"[fleet] wrote {path}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    db = FleetDB(Path(args.db) if args.db else None, readonly=True)
+    ids = [args.experiment] if args.experiment else db.experiments()
+    for experiment_id in ids:
+        status = db.status(experiment_id)
+        print(json.dumps(status, sort_keys=True))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.fleet.report import build_report, write_report
+
+    db = FleetDB(Path(args.db) if args.db else None, readonly=True)
+    if args.out:
+        for path in write_report(
+            db, args.experiment, Path(args.out), baseline=args.baseline or None
+        ):
+            print(f"[fleet] wrote {path}")
+        return 0
+    report = build_report(db, args.experiment, baseline=args.baseline or None)
+    print(json.dumps(report, sort_keys=True, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness fleet",
+        description="Distributed experiment fleet: dispatcher, sqlite "
+        "results database, report generator (docs/fleet.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand and run a campaign")
+    run.add_argument("--campaign", default=None, help="campaign JSON file")
+    run.add_argument("--name", default="campaign")
+    run.add_argument("--workloads", default="hashmap")
+    run.add_argument(
+        "--designs", default="dolos-partial,prewpq-eager",
+        help="comma-separated controller designs",
+    )
+    run.add_argument("--seeds", default="1,2,3")
+    run.add_argument("--transactions", type=int, default=60)
+    run.add_argument(
+        "--fault-sites", type=int, default=0,
+        help="> 0 adds a fault-injection unit per matrix cell",
+    )
+    run.add_argument(
+        "--override", action="append", default=[], metavar="KEY=VALUE"
+    )
+    run.add_argument(
+        "--workers", type=int, default=2,
+        help="worker service processes (0 = inline, no subprocesses)",
+    )
+    run.add_argument(
+        "--worker-jobs", type=int, default=1,
+        help="simulation processes per worker",
+    )
+    run.add_argument("--experiment", default="", help="experiment id")
+    run.add_argument(
+        "--db", default=None,
+        help=f"sqlite database path (default: ${ENV_DB_HELP})",
+    )
+    run.add_argument(
+        "--straggler-after", type=float, default=None,
+        help="clone units held longer than this many seconds",
+    )
+    run.add_argument("--json", action="store_true")
+    run.add_argument(
+        "--report-dir", default=None,
+        help="also write report.json + report.html here",
+    )
+    run.add_argument("--baseline", default="", help="trend baseline id")
+    run.set_defaults(fn=_cmd_run)
+
+    status = sub.add_parser("status", help="experiment roll-up from the db")
+    status.add_argument("--db", default=None)
+    status.add_argument("--experiment", default="")
+    status.set_defaults(fn=_cmd_status)
+
+    rep = sub.add_parser("report", help="generate JSON/HTML report")
+    rep.add_argument("--db", default=None)
+    rep.add_argument("--experiment", required=True)
+    rep.add_argument("--baseline", default="", help="trend baseline id")
+    rep.add_argument("--out", default=None, help="output directory")
+    rep.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        return 0  # output piped into a closed reader (e.g. `| head`)
+    except Exception as exc:
+        print(f"fleet: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+ENV_DB_HELP = "REPRO_FLEET_DB or ~/.cache/dolos-repro/fleet.sqlite"
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -56,6 +56,10 @@ def main(argv=None) -> int:
         from repro.harness.golden import main as golden_main
 
         return golden_main(list(argv[1:]))
+    if argv and argv[0] == "fleet":
+        from repro.fleet.dispatcher import main as fleet_main
+
+        return fleet_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -66,8 +70,10 @@ def main(argv=None) -> int:
         "motivation), 'all', 'list', 'check' (crash oracle), "
         "'trace' (persist-span tracing), 'faults' (fault-injection "
         "campaign), 'serve' (experiment service), 'submit' (service "
-        "client), or 'golden' (golden-result gate); see python -m "
-        "repro.harness {check,trace,faults,serve,submit,golden} --help",
+        "client), 'golden' (golden-result gate), or 'fleet' "
+        "(distributed campaign dispatcher); see python -m "
+        "repro.harness {check,trace,faults,serve,submit,golden,fleet} "
+        "--help",
     )
     parser.add_argument(
         "--transactions",

@@ -46,6 +46,15 @@ class MetricStats:
         """±half-width of a ~95% confidence interval (normal approx)."""
         return 1.96 * self.sem
 
+    def as_dict(self) -> dict:
+        """JSON-stable summary (the fleet report's aggregate cell)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "ci95": self.ci95(),
+        }
+
     def __str__(self) -> str:
         return f"{self.mean:.3f} ± {self.ci95():.3f} (n={self.n})"
 

@@ -64,8 +64,11 @@ class RunUnit:
     #: ``"run"`` → :func:`repro.harness.runner.run_trace` →
     #: :class:`RunResult`; ``"breakdown"`` →
     #: :func:`repro.harness.breakdown.run_with_breakdown` →
-    #: ``(RunResult, CycleBreakdown)``.
+    #: ``(RunResult, CycleBreakdown)``; ``"faults"`` →
+    #: :func:`repro.faults.campaign.run_fault_unit` → payload dict.
     mode: str = "run"
+    #: Interior crash sites per fault unit (``"faults"`` mode only).
+    fault_sites: int = 0
 
 
 #: Per-process unit memo (lazily constructed; see repro.harness.memo).
@@ -98,6 +101,30 @@ def execute_unit(unit: RunUnit, cache: TraceCache):
         return run_with_breakdown(
             unit.config, trace, unit.workload, unit.transactions
         )
+    if unit.mode == "faults":
+        # Fault units run the seeded injection campaign (crash sites +
+        # recovery classification) instead of a plain simulation; their
+        # result is the stable payload dict the fleet db records.
+        from repro.faults.campaign import fault_unit_payload, run_fault_unit
+        from repro.oracle.check import controller_matrix
+
+        label = next(
+            (
+                name
+                for name, config in controller_matrix().items()
+                if config == unit.config
+            ),
+            getattr(unit.config.controller, "value", str(unit.config.controller)),
+        )
+        report = run_fault_unit(
+            unit.workload,
+            label,
+            unit.config,
+            unit.transactions,
+            seed=unit.seed,
+            sites=unit.fault_sites or 2,
+        )
+        return fault_unit_payload(report)
     packed = cache.get_packed(
         unit.workload, unit.transactions, unit.config.transaction_size, unit.seed
     )
@@ -264,6 +291,7 @@ def _resilient_map(
     serial_fn: Callable,
     label_fn: Callable[[object], str],
     failures: Optional[List[WorkerFailure]] = None,
+    on_result: Optional[Callable[[int, object, object], None]] = None,
 ) -> List:
     """Pool-map ``worker`` over indexed ``items`` with retry + fallback.
 
@@ -276,6 +304,13 @@ def _resilient_map(
     pool (context exit terminates).  Raises
     :class:`ParallelExecutionError` only when the serial fallback
     fails too.
+
+    ``on_result(index, item, payload)`` streams each unit's completion
+    the moment it lands (at most once per unit).  The callback is
+    carried by this function, not by any one pool, so it keeps firing
+    for units completed on a retry-replacement pool and for units the
+    serial fallback finishes — a fleet recording results incrementally
+    must not lose the units that needed a second pool.
     """
     timeout = _worker_timeout()
     retries = _worker_retries()
@@ -315,6 +350,8 @@ def _resilient_map(
                     still_failing.append((index, item))
                 else:
                     results[got_index] = payload
+                    if on_result is not None:
+                        on_result(got_index, item, payload)
                     if got_index in history and failures is not None:
                         failures.append(
                             WorkerFailure(
@@ -332,6 +369,8 @@ def _resilient_map(
         errors = history.get(index, [])
         try:
             results[index] = serial_fn(item)
+            if on_result is not None:
+                on_result(index, item, results[index])
         except Exception as exc:
             if failures is not None:
                 failures.append(
@@ -377,6 +416,7 @@ def run_units(
     jobs: int,
     cache_dir=TraceCache.AUTO,
     failures: Optional[List[WorkerFailure]] = None,
+    on_result: Optional[Callable[[int, RunUnit, object], None]] = None,
 ) -> List:
     """Execute ``units`` on ``jobs`` workers; results in input order.
 
@@ -385,14 +425,22 @@ def run_units(
     ``units``.  Crashed or hung workers are retried and finally
     degraded to in-process execution (see :func:`_resilient_map`); pass
     ``failures`` to collect the per-unit summary (it is also printed to
-    stderr when the caller does not collect it).
+    stderr when the caller does not collect it).  ``on_result(index,
+    unit, result)`` streams each completion as it lands, surviving
+    retry-triggered pool replacement and the serial fallback.
     """
     units = list(units)
     if cache_dir is TraceCache.AUTO:
         cache_dir = default_cache_dir()
     if jobs <= 1 or len(units) <= 1:
         cache = TraceCache(cache_dir)
-        return [execute_unit(unit, cache) for unit in units]
+        results = []
+        for index, unit in enumerate(units):
+            result = execute_unit(unit, cache)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, unit, result)
+        return results
     jobs = min(jobs, len(units))
 
     serial_cache: List[Optional[TraceCache]] = [None]
@@ -412,6 +460,7 @@ def run_units(
         serial_fn,
         lambda unit: f"{unit.workload} x{unit.transactions} {unit.mode}",
         own_failures,
+        on_result=on_result,
     )
     if failures is None and own_failures:
         report_failures(own_failures)
@@ -545,6 +594,7 @@ def fan_out(
     items: Sequence,
     jobs: int,
     failures: Optional[List[WorkerFailure]] = None,
+    on_result: Optional[Callable[[int, object, object], None]] = None,
 ) -> List:
     """Map ``fn`` over ``items`` on ``jobs`` worker processes.
 
@@ -554,10 +604,22 @@ def fan_out(
     results line up index-for-index with ``items``.  ``jobs <= 1`` runs
     serially in-process.  Failing or hung workers are retried then
     degraded to in-process execution, exactly as in :func:`run_units`.
+
+    ``on_result(index, item, result)`` is the streaming per-item
+    completion callback.  It is registered with the retry machinery
+    itself rather than with the first pool, so when a crashed worker
+    forces the pool to be replaced, the callback is re-registered on
+    the fresh pool and still fires exactly once per item.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, item, result)
+        return results
     jobs = min(jobs, len(items))
     own_failures: List[WorkerFailure] = [] if failures is None else failures
     results = _resilient_map(
@@ -569,6 +631,7 @@ def fan_out(
         fn,
         lambda item: repr(item)[:80],
         own_failures,
+        on_result=on_result,
     )
     if failures is None and own_failures:
         report_failures(own_failures)

@@ -96,6 +96,31 @@ class ServiceClient:
         """Submit one job and block until its result frame arrives."""
         return self.submit_many([spec])[0]
 
+    def report(
+        self, experiment_id: str, fmt: str = "json", baseline: str = ""
+    ) -> dict:
+        """Fetch a fleet experiment report from the server, read-only."""
+        request_id = f"q{next(self._ids)}"
+        frame: Dict[str, object] = {
+            "type": "report",
+            "id": request_id,
+            "experiment": experiment_id,
+            "format": fmt,
+        }
+        if baseline:
+            frame["baseline"] = baseline
+        self._send(frame)
+        while True:
+            reply = self._read()
+            kind = reply.get("type")
+            if kind == "report" and reply.get("id") == request_id:
+                return reply
+            if kind == "error" and reply.get("id") == request_id:
+                raise ServiceError(
+                    str(reply.get("code")), str(reply.get("message"))
+                )
+            self.progress.append(reply)
+
     def submit_many(self, specs: Iterable[JobSpec]) -> List[dict]:
         """Pipeline many jobs on this connection; results in spec order.
 

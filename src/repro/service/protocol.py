@@ -49,9 +49,16 @@ from typing import Dict, Mapping, Optional
 from repro.config import ADRConfig, ControllerKind, MiSUDesign, SimConfig
 from repro.harness.runner import RunResult
 from repro.oracle.check import controller_matrix
-from repro.workloads import ALL_WORKLOADS, GENERATOR_VERSION
+from repro.workloads import ALL_WORKLOADS, GENERATOR_VERSION, ORACLE_SEMANTICS
 
 PROTOCOL_VERSION = 1
+
+#: Job execution modes.  ``run`` is the classic simulation unit
+#: (:class:`RunResult` payload); ``faults`` runs the seeded
+#: fault-injection campaign for one (workload, design) unit and
+#: returns its detected/tolerated/silent classification payload
+#: (see :func:`repro.faults.campaign.fault_unit_payload`).
+JOB_MODES = ("run", "faults")
 
 #: Newline-framed JSON lines are bounded to keep a hostile or buggy
 #: client from ballooning server memory.
@@ -90,8 +97,25 @@ class JobSpec:
     seed: int
     experiment_id: str = ""
     overrides: Mapping[str, object] = field(default_factory=dict)
+    #: ``run`` (default) or ``faults`` — see :data:`JOB_MODES`.
+    mode: str = "run"
+    #: Interior crash sites per fault unit (``faults`` mode only).
+    fault_sites: int = 2
 
     def validate(self) -> "JobSpec":
+        if self.mode not in JOB_MODES:
+            raise ProtocolError(
+                f"unknown mode {self.mode!r}; choose from {JOB_MODES}"
+            )
+        if self.mode == "faults":
+            if self.workload not in ORACLE_SEMANTICS:
+                raise ProtocolError(
+                    f"workload {self.workload!r} has no oracle semantics "
+                    f"(fault units need one); choose from "
+                    f"{sorted(ORACLE_SEMANTICS)}"
+                )
+            if not isinstance(self.fault_sites, int) or self.fault_sites <= 0:
+                raise ProtocolError("fault_sites must be a positive integer")
         if self.workload not in ALL_WORKLOADS:
             raise ProtocolError(
                 f"unknown workload {self.workload!r}; "
@@ -123,7 +147,7 @@ class JobSpec:
 
     # -- wire form -------------------------------------------------------
     def to_wire(self) -> Dict[str, object]:
-        return {
+        wire = {
             "workload": self.workload,
             "design": self.design,
             "transactions": self.transactions,
@@ -131,6 +155,10 @@ class JobSpec:
             "experiment_id": self.experiment_id,
             "overrides": dict(self.overrides),
         }
+        if self.mode != "run":
+            wire["mode"] = self.mode
+            wire["fault_sites"] = self.fault_sites
+        return wire
 
     @classmethod
     def from_wire(cls, data: Mapping[str, object]) -> "JobSpec":
@@ -144,6 +172,8 @@ class JobSpec:
                 seed=data["seed"],
                 experiment_id=str(data.get("experiment_id", "")),
                 overrides=dict(data.get("overrides", {}) or {}),
+                mode=str(data.get("mode", "run")),
+                fault_sites=data.get("fault_sites", 2),
             )
         except KeyError as exc:
             raise ProtocolError(f"job missing field {exc.args[0]!r}") from None
@@ -154,8 +184,13 @@ class JobSpec:
 # Job identity
 # ----------------------------------------------------------------------
 def canonical_job(spec: JobSpec) -> Dict[str, object]:
-    """The hash-relevant identity of ``spec`` (label excluded)."""
-    return {
+    """The hash-relevant identity of ``spec`` (label excluded).
+
+    ``mode``/``fault_sites`` are folded in only for non-default modes,
+    so every pre-existing ``run`` job keeps its historical key and the
+    persistent result caches stay valid across the protocol extension.
+    """
+    canonical = {
         "workload": spec.workload,
         "design": spec.design,
         "transactions": spec.transactions,
@@ -164,6 +199,10 @@ def canonical_job(spec: JobSpec) -> Dict[str, object]:
         "generator_version": GENERATOR_VERSION,
         "protocol_version": PROTOCOL_VERSION,
     }
+    if spec.mode != "run":
+        canonical["mode"] = spec.mode
+        canonical["fault_sites"] = spec.fault_sites
+    return canonical
 
 
 def job_key(spec: JobSpec) -> str:
@@ -195,8 +234,16 @@ def resolve_config(spec: JobSpec) -> SimConfig:
 # ----------------------------------------------------------------------
 # Result payloads
 # ----------------------------------------------------------------------
-def result_payload(result: RunResult) -> Dict[str, object]:
-    """Serialise one :class:`RunResult` to a wire/cache-stable dict."""
+def result_payload(result) -> Dict[str, object]:
+    """Serialise one unit result to a wire/cache-stable dict.
+
+    ``run`` units yield a :class:`RunResult`; ``faults`` units already
+    arrive as the plain dict :func:`repro.faults.campaign
+    .fault_unit_payload` builds (tagged ``"kind": "faults"``), which
+    passes through untouched so its digest is stable end to end.
+    """
+    if isinstance(result, Mapping):
+        return dict(result)
     return {
         "workload": result.workload,
         "controller": result.controller.value,

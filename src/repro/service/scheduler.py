@@ -165,6 +165,8 @@ class ExperimentScheduler:
             resolve_config(spec),
             spec.transactions,
             spec.seed,
+            mode=spec.mode,
+            fault_sites=spec.fault_sites if spec.mode == "faults" else 0,
         )
         job = Job(key=key, spec=spec, unit=unit)
         self._jobs[key] = job

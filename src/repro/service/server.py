@@ -114,6 +114,7 @@ class ExperimentServer:
         rate: float = DEFAULT_RATE,
         burst: int = DEFAULT_BURST,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        fleet_db: Optional[str] = None,
     ) -> None:
         self.scheduler = scheduler
         self.host = host
@@ -122,6 +123,9 @@ class ExperimentServer:
         self.rate = rate
         self.burst = burst
         self.queue_size = queue_size
+        #: Fleet results database served read-only by ``report`` frames
+        #: (None = $REPRO_FLEET_DB / the default cache path).
+        self.fleet_db = fleet_db
         self._servers: list = []
         self._sessions: Set[_ClientSession] = set()
         self._deliveries: Set[asyncio.Task] = set()
@@ -213,6 +217,9 @@ class ExperimentServer:
         if kind == "submit":
             await self._handle_submit(session, message)
             return False
+        if kind == "report":
+            await self._handle_report(session, message)
+            return False
         session.post(
             {
                 "type": "error",
@@ -284,6 +291,67 @@ class ExperimentServer:
         )
         self._deliveries.add(task)
         task.add_done_callback(self._deliveries.discard)
+
+    async def _handle_report(
+        self, session: _ClientSession, message: Dict[str, object]
+    ) -> None:
+        """Serve a fleet experiment report, read-only, over the wire.
+
+        ``{"type": "report", "experiment": <id>, "format": "json"|"html"}``
+        — the db is opened fresh per request in read-only mode, so a
+        concurrently-running dispatcher (separate process, WAL) is never
+        blocked by the service.
+        """
+        from repro.fleet.db import FleetDB, FleetDBError
+        from repro.fleet.report import build_report, render_html
+
+        request_id = message.get("id")
+        experiment = message.get("experiment")
+        fmt = message.get("format", "json")
+        baseline = message.get("baseline") or None
+        if not experiment or fmt not in ("json", "html"):
+            await session.post_critical(
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "code": "bad-report",
+                    "message": "report needs an experiment id and a "
+                    "format of json or html",
+                }
+            )
+            return
+
+        def build() -> Dict[str, object]:
+            db = FleetDB(self.fleet_db, readonly=True)
+            try:
+                report = build_report(db, str(experiment), baseline=baseline)
+            finally:
+                db.close()
+            reply: Dict[str, object] = {
+                "type": "report",
+                "id": request_id,
+                "experiment": experiment,
+                "format": fmt,
+            }
+            if fmt == "html":
+                reply["html"] = render_html(report)
+            else:
+                reply["report"] = report
+            return reply
+
+        try:
+            reply = await asyncio.to_thread(build)
+        except FleetDBError as exc:
+            await session.post_critical(
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "code": "no-report",
+                    "message": str(exc),
+                }
+            )
+            return
+        await session.post_critical(reply)
 
     async def _deliver_result(
         self, session: _ClientSession, request_id, job: Job
@@ -385,6 +453,7 @@ async def _amain(args) -> int:
         rate=args.rate,
         burst=args.burst,
         queue_size=args.queue_size,
+        fleet_db=args.fleet_db,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -442,6 +511,12 @@ def main(argv=None) -> int:
         "--ready-file",
         default=None,
         help="write the bound endpoints as JSON here once listening",
+    )
+    parser.add_argument(
+        "--fleet-db",
+        default=None,
+        help="fleet results database served read-only by 'report' "
+        "frames (default: $REPRO_FLEET_DB)",
     )
     args = parser.parse_args(argv)
     if args.jobs <= 0:

@@ -1,0 +1,244 @@
+"""The fleet experiment database: round-trips, upserts, quarantine.
+
+The db is the fleet's ground truth — re-dispatch, work stealing and
+straggler clones all funnel through :meth:`FleetDB.record_unit`, so the
+idempotent-upsert contract (first record wins, identical re-records
+count as duplicates, *divergent* re-records raise) is what makes
+"every unit exactly once" checkable at all.  Corruption handling
+mirrors the TraceStore: a row whose payload no longer matches its
+digest is quarantined and reported missing, never silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.fleet.db import (
+    ENV_DB,
+    FleetDB,
+    FleetDBError,
+    UnitDigestMismatch,
+    default_db_path,
+    payload_digest,
+)
+from repro.workloads import GENERATOR_VERSION
+
+
+def _spec(seed: int = 1, mode: str = "run") -> dict:
+    return {
+        "workload": "hashmap",
+        "design": "dolos-partial",
+        "transactions": 60,
+        "seed": seed,
+        "mode": mode,
+    }
+
+
+def _payload(seed: int = 1) -> dict:
+    return {
+        "workload": "hashmap",
+        "cycles": 1000 + seed,
+        "instructions": 400 + seed,
+        "stats": {"wpq_flushes": seed},
+    }
+
+
+@pytest.fixture
+def db(tmp_path):
+    return FleetDB(tmp_path / "fleet.sqlite")
+
+
+class TestSchemaRoundTrip:
+    def test_experiment_round_trip(self, db):
+        campaign = {"name": "exp", "workloads": ["hashmap"], "seeds": [1]}
+        db.open_experiment("exp", campaign, git_hash="abc123")
+        record = db.experiment("exp")
+        assert record["campaign"] == campaign
+        assert record["git_hash"] == "abc123"
+        assert record["generator_version"] == GENERATOR_VERSION
+        assert record["status"] == "running"
+        db.finish_experiment("exp")
+        assert db.experiment("exp")["status"] == "done"
+
+    def test_unit_round_trip_preserves_everything(self, db):
+        db.open_experiment("exp", {})
+        status = db.record_unit(
+            "exp", "k1", _spec(), _payload(), worker_id="w0",
+            attempts=2, elapsed_s=1.5,
+        )
+        assert status == "inserted"
+        row = db.load_unit("exp", "k1")
+        assert row.spec == _spec()
+        assert row.payload == _payload()
+        assert row.payload_digest == payload_digest(_payload())
+        assert (row.workload, row.design, row.seed) == (
+            "hashmap", "dolos-partial", 1,
+        )
+        assert (row.mode, row.worker_id, row.attempts) == ("run", "w0", 2)
+        assert row.elapsed_s == 1.5
+        assert row.duplicates == 0
+
+    def test_unknown_experiment_raises(self, db):
+        with pytest.raises(FleetDBError, match="unknown experiment"):
+            db.experiment("nope")
+
+    def test_missing_unit_is_none(self, db):
+        db.open_experiment("exp", {})
+        assert db.load_unit("exp", "missing") is None
+
+    def test_unit_rows_sorted_by_key(self, db):
+        db.open_experiment("exp", {})
+        for key in ("zz", "aa", "mm"):
+            db.record_unit("exp", key, _spec(), _payload())
+        assert [r.unit_key for r in db.unit_rows("exp")] == ["aa", "mm", "zz"]
+        assert db.unit_keys("exp") == ["aa", "mm", "zz"]
+
+
+class TestIdempotentUpsert:
+    def test_identical_rerecord_is_counted_not_duplicated(self, db):
+        db.open_experiment("exp", {})
+        assert db.record_unit("exp", "k1", _spec(), _payload()) == "inserted"
+        # Re-dispatch / straggler clone landing the same bytes again.
+        assert db.record_unit("exp", "k1", _spec(), _payload()) == "duplicate"
+        assert db.record_unit("exp", "k1", _spec(), _payload()) == "duplicate"
+        rows = db.unit_rows("exp")
+        assert len(rows) == 1
+        assert rows[0].duplicates == 2
+
+    def test_divergent_rerecord_raises(self, db):
+        db.open_experiment("exp", {})
+        db.record_unit("exp", "k1", _spec(), _payload(seed=1))
+        with pytest.raises(UnitDigestMismatch, match="non-deterministic"):
+            db.record_unit("exp", "k1", _spec(), _payload(seed=99))
+        # The original record survives untouched.
+        assert db.load_unit("exp", "k1").payload == _payload(seed=1)
+
+    def test_open_experiment_is_idempotent(self, db):
+        db.open_experiment("exp", {"name": "first"}, git_hash="aaa")
+        db.open_experiment("exp", {"name": "second"}, git_hash="bbb")
+        assert db.experiment("exp")["campaign"] == {"name": "first"}
+
+
+class TestConcurrentWriters:
+    def test_two_threads_recording_interleaved_keys(self, tmp_path):
+        """WAL + BEGIN IMMEDIATE: racing writers never corrupt or lose.
+
+        Both threads record the full key set, so every key sees one
+        insert and one duplicate, in some order — never a constraint
+        error, never a double insert.
+        """
+        path = tmp_path / "fleet.sqlite"
+        FleetDB(path).open_experiment("exp", {})
+        keys = [f"k{i:03d}" for i in range(40)]
+        outcomes = {"inserted": 0, "duplicate": 0}
+        lock = threading.Lock()
+        errors = []
+
+        def writer(worker_id):
+            thread_db = FleetDB(path)
+            try:
+                for key in keys:
+                    status = thread_db.record_unit(
+                        "exp", key, _spec(), _payload(), worker_id=worker_id
+                    )
+                    with lock:
+                        outcomes[status] += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                thread_db.close()
+
+        threads = [
+            threading.Thread(target=writer, args=(f"w{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert outcomes == {"inserted": len(keys), "duplicate": len(keys)}
+        verify = FleetDB(path)
+        rows = verify.unit_rows("exp")
+        assert [r.unit_key for r in rows] == keys
+        assert sum(r.duplicates for r in rows) == len(keys)
+
+
+class TestQuarantine:
+    def _corrupt(self, path, key):
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE units SET payload=? WHERE unit_key=?",
+            (json.dumps({"cycles": -1, "tampered": True}), key),
+        )
+        conn.commit()
+        conn.close()
+
+    def test_corrupted_row_quarantined_and_reported_missing(self, tmp_path):
+        path = tmp_path / "fleet.sqlite"
+        db = FleetDB(path)
+        db.open_experiment("exp", {})
+        db.record_unit("exp", "k1", _spec(), _payload())
+        db.close()
+        self._corrupt(path, "k1")
+
+        db = FleetDB(path)
+        assert db.load_unit("exp", "k1") is None
+        assert db.quarantined == 1
+        assert db.status("exp")["quarantined"] == 1
+        # The dispatcher's contract: quarantined == missing == re-run,
+        # and the fresh record lands cleanly.
+        assert db.record_unit("exp", "k1", _spec(), _payload()) == "inserted"
+        assert db.load_unit("exp", "k1").payload == _payload()
+
+    def test_corrupt_row_dropped_from_bulk_reads(self, tmp_path):
+        path = tmp_path / "fleet.sqlite"
+        db = FleetDB(path)
+        db.open_experiment("exp", {})
+        db.record_unit("exp", "k1", _spec(1), _payload(1))
+        db.record_unit("exp", "k2", _spec(2), _payload(2))
+        db.close()
+        self._corrupt(path, "k1")
+        db = FleetDB(path)
+        assert [r.unit_key for r in db.unit_rows("exp")] == ["k2"]
+
+
+class TestStatusAndEnv:
+    def test_status_rollup(self, db):
+        db.open_experiment("exp", {})
+        db.record_unit("exp", "k1", _spec(1), _payload(1), worker_id="w0")
+        db.record_unit(
+            "exp", "k2", _spec(2, mode="faults"), _payload(2), worker_id="w1"
+        )
+        db.record_unit("exp", "k2", _spec(2, mode="faults"), _payload(2))
+        status = db.status("exp")
+        assert status["units"] == 2
+        assert status["duplicates"] == 1
+        assert status["by_mode"] == {"faults": 1, "run": 1}
+        # The duplicate re-record bumps a counter, never adds a row, so
+        # its (empty) worker id is absent from the distinct-worker list.
+        assert status["workers"] == ["w0", "w1"]
+
+    def test_env_knob_names_the_default_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_DB, str(tmp_path / "custom.sqlite"))
+        assert default_db_path() == tmp_path / "custom.sqlite"
+        db = FleetDB()
+        db.open_experiment("exp", {})
+        assert (tmp_path / "custom.sqlite").exists()
+
+    def test_readonly_refuses_missing_file(self, tmp_path):
+        with pytest.raises(FleetDBError, match="no fleet database"):
+            FleetDB(tmp_path / "absent.sqlite", readonly=True)._conn()
+
+    def test_readonly_reads_without_writing(self, tmp_path):
+        path = tmp_path / "fleet.sqlite"
+        rw = FleetDB(path)
+        rw.open_experiment("exp", {})
+        rw.record_unit("exp", "k1", _spec(), _payload())
+        ro = FleetDB(path, readonly=True)
+        assert ro.load_unit("exp", "k1").payload == _payload()
+        with pytest.raises(sqlite3.OperationalError):
+            ro._conn().execute("INSERT INTO quarantine VALUES (1,2,3,4,5,6)")

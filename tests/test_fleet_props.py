@@ -1,0 +1,217 @@
+"""Property-based tests for fleet expansion, sharding and reporting.
+
+Three invariants carry the fleet's correctness argument:
+
+* **Expansion is a pure function** of the campaign — deterministic,
+  duplicate-free, and exactly the matrix product (plus one fault unit
+  per cell when requested), whatever duplicates or orderings the
+  campaign lists contain.
+* **Sharding is an exact partition** — across any shard count, and
+  across any interleaving of claims, steals, worker deaths and
+  re-dispatches, every unit is completed exactly once: no loss, no
+  overlap.
+* **Reports are arrival-order invariant** — the same units inserted in
+  any permutation (by any workers) produce byte-identical report
+  dicts, which is what makes the characterization fixture meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.db import FleetDB
+from repro.fleet.dispatcher import (
+    CampaignSpec,
+    FleetUnit,
+    UnitLedger,
+    expand_units,
+    shard_manifests,
+)
+from repro.fleet.report import build_report
+from repro.oracle.check import controller_matrix
+from repro.workloads import ORACLE_SEMANTICS
+
+# Fault units require oracle semantics, so campaigns draw from that set.
+_WORKLOADS = sorted(ORACLE_SEMANTICS)
+_DESIGNS = sorted(controller_matrix())
+
+campaigns = st.builds(
+    CampaignSpec,
+    name=st.just("prop"),
+    workloads=st.lists(
+        st.sampled_from(_WORKLOADS), min_size=1, max_size=4
+    ).map(tuple),
+    designs=st.lists(
+        st.sampled_from(_DESIGNS), min_size=1, max_size=3
+    ).map(tuple),
+    seeds=st.lists(
+        st.integers(0, 50), min_size=1, max_size=4
+    ).map(tuple),
+    transactions=st.integers(1, 500),
+    fault_sites=st.integers(0, 3),
+)
+
+
+class TestExpansion:
+    @given(campaign=campaigns)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_and_duplicate_free(self, campaign):
+        units = expand_units(campaign)
+        again = expand_units(campaign)
+        assert [u.key for u in units] == [u.key for u in again]
+        assert len({u.key for u in units}) == len(units)
+        cells = (
+            len(set(campaign.workloads))
+            * len(set(campaign.designs))
+            * len(set(campaign.seeds))
+        )
+        expected = cells * (2 if campaign.fault_sites else 1)
+        assert len(units) == expected
+
+    @given(campaign=campaigns)
+    @settings(max_examples=20, deadline=None)
+    def test_listing_order_never_creates_new_units(self, campaign):
+        """Reordering/duplicating campaign lists changes nothing but
+        expansion order — the unit *set* is the matrix, full stop."""
+        shuffled = CampaignSpec(
+            name=campaign.name,
+            workloads=tuple(reversed(campaign.workloads + campaign.workloads)),
+            designs=tuple(reversed(campaign.designs)),
+            seeds=tuple(reversed(campaign.seeds + campaign.seeds)),
+            transactions=campaign.transactions,
+            fault_sites=campaign.fault_sites,
+        )
+        assert {u.key for u in expand_units(campaign)} == {
+            u.key for u in expand_units(shuffled)
+        }
+
+
+def _fake_units(n: int):
+    return [FleetUnit(key=f"k{i:04d}", spec=None) for i in range(n)]
+
+
+class TestSharding:
+    @given(n=st.integers(0, 200), shards=st.integers(1, 17))
+    @settings(max_examples=60, deadline=None)
+    def test_manifests_partition_exactly(self, n, shards):
+        units = _fake_units(n)
+        manifests = shard_manifests(units, shards)
+        assert len(manifests) == shards
+        flat = [u.key for m in manifests for u in m]
+        assert sorted(flat) == [u.key for u in units]  # no loss, no dup
+        sizes = [len(m) for m in manifests]
+        assert max(sizes) - min(sizes) <= 1  # balanced round-robin
+
+    @given(
+        n=st.integers(1, 60),
+        shards=st.integers(1, 6),
+        schedule_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ledger_exact_under_stealing_and_deaths(
+        self, n, shards, schedule_seed
+    ):
+        """Random claim/complete/die interleavings: exactly-once.
+
+        A seeded schedule interleaves claims, completions and worker
+        deaths (whose units are requeued).  Whatever the order, every
+        unit must end up completed exactly once.
+        """
+        rng = random.Random(schedule_seed)
+        units = _fake_units(n)
+        ledger = UnitLedger(shard_manifests(units, shards))
+        workers = [f"w{i}" for i in range(shards)]
+        alive = set(workers)
+        holding = {w: [] for w in workers}
+        completed = []
+
+        while ledger.outstanding():
+            # A dead-end guard: at least one worker must stay alive.
+            actions = []
+            for w in sorted(alive):
+                actions.append(("claim", w))
+                if holding[w]:
+                    actions.append(("complete", w))
+                    if len(alive) > 1:
+                        actions.append(("die", w))
+            action, w = rng.choice(actions)
+            shard = workers.index(w)
+            if action == "claim":
+                unit = ledger.claim(shard, w)
+                if unit is not None:
+                    holding[w].append(unit)
+            elif action == "complete":
+                unit = holding[w].pop()
+                if ledger.complete(unit.key, w):
+                    completed.append(unit.key)
+            else:  # die
+                holding[w].clear()
+                ledger.requeue(w)
+                alive.discard(w)
+
+        assert sorted(completed) == sorted(u.key for u in units)
+        assert len(completed) == n  # exactly once each
+
+
+def _synthetic_rows(count: int):
+    rows = []
+    for i in range(count):
+        workload = _WORKLOADS[i % 3]
+        design = _DESIGNS[i % 2]
+        seed = i // 6
+        mode = "faults" if i % 5 == 0 else "run"
+        if mode == "faults":
+            payload = {
+                "kind": "faults",
+                "workload": workload,
+                "detected": i % 3,
+                "tolerated": i % 2,
+                "silent": 0,
+                "passed": True,
+            }
+        else:
+            payload = {
+                "workload": workload,
+                "cycles": 1000 + 17 * i,
+                "instructions": 400 + 7 * i,
+                "stats": {},
+            }
+        spec = {
+            "workload": workload,
+            "design": design,
+            "seed": seed,
+            "transactions": 60,
+            "mode": mode,
+        }
+        rows.append((f"key{i:03d}", spec, payload))
+    return rows
+
+
+class TestReportInvariance:
+    @given(order_seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_report_invariant_under_arrival_order(self, order_seed):
+        rows = _synthetic_rows(24)
+        shuffled = list(rows)
+        random.Random(order_seed).shuffle(shuffled)
+
+        tmp = Path(tempfile.mkdtemp(prefix="fleet-props-"))
+        reports = []
+        for tag, ordering in (("a", rows), ("b", shuffled)):
+            db = FleetDB(tmp / f"{order_seed}-{tag}.sqlite")
+            db.open_experiment("exp", {"name": "prop"}, git_hash="fixed")
+            for index, (key, spec, payload) in enumerate(ordering):
+                db.record_unit(
+                    "exp", key, spec, payload,
+                    worker_id=f"w{index % 3}",  # worker attribution varies
+                    recorded_at=float(index),   # ... and so do timestamps
+                )
+            reports.append(build_report(db, "exp"))
+            db.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+        assert reports[0] == reports[1]

@@ -1,0 +1,126 @@
+"""Characterization: the fleet report pinned against a fixed fixture.
+
+``tests/data/fleet_fixture.sqlite`` (regenerate with
+``python tools/make_fleet_fixture.py``) holds two synthetic
+formula-generated experiments.  These tests pin the exact statistics
+the report derives from them, so any change to aggregation, pairing,
+fault rollups or trend math shows up as a diff here — on data that can
+never drift with the simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.db import FleetDB
+from repro.fleet.report import build_report, render_html
+
+FIXTURE = Path(__file__).parent / "data" / "fleet_fixture.sqlite"
+
+
+@pytest.fixture(scope="module")
+def report():
+    db = FleetDB(FIXTURE, readonly=True)
+    return build_report(db, "fleet-fixture-b", baseline="fleet-fixture-a")
+
+
+class TestPinnedReport:
+    def test_identity_and_counts(self, report):
+        assert report["report_version"] == 1
+        assert report["experiment_id"] == "fleet-fixture-b"
+        assert report["git_hash"].startswith("fixture")
+        assert report["units"] == {
+            "total": 24, "run": 12, "faults": 12, "duplicates": 0,
+        }
+        assert report["workers"] == ["worker-0", "worker-1", "worker-2"]
+
+    def test_aggregate_cells_pinned(self, report):
+        cells = {
+            (a["workload"], a["design"]): a for a in report["aggregates"]
+        }
+        assert set(cells) == {
+            ("btree", "dolos-partial"), ("btree", "prewpq-eager"),
+            ("hashmap", "dolos-partial"), ("hashmap", "prewpq-eager"),
+        }
+        # Formula: cycles = 10000 + 500w + 1500d + 10s - 400(1-d);
+        # mean over seeds {1,2,3} adds 20, stdev of {10,20,30} is 10.
+        assert cells[("btree", "dolos-partial")]["cycles"]["mean"] == 9620.0
+        assert cells[("btree", "prewpq-eager")]["cycles"]["mean"] == 11520.0
+        assert cells[("hashmap", "dolos-partial")]["cycles"]["mean"] == 10120.0
+        assert cells[("hashmap", "prewpq-eager")]["cycles"]["mean"] == 12020.0
+        for cell in cells.values():
+            assert cell["seeds"] == [1, 2, 3]
+            assert cell["cycles"]["n"] == 3
+            assert cell["cycles"]["stdev"] == pytest.approx(10.0)
+            assert cell["cycles"]["ci95"] == pytest.approx(11.3160652761)
+        assert cells[("btree", "dolos-partial")]["cpi"]["mean"] == (
+            pytest.approx(2.3966138211545)
+        )
+
+    def test_speedups_pinned(self, report):
+        speedups = {s["workload"]: s for s in report["speedups"]}
+        assert set(speedups) == {"btree", "hashmap"}
+        for s in speedups.values():
+            assert (s["baseline"], s["improved"]) == (
+                "dolos-partial", "prewpq-eager",
+            )
+            assert s["seeds"] == [1, 2, 3]
+        assert speedups["btree"]["speedup"]["mean"] == (
+            pytest.approx(0.8350693615920)
+        )
+        assert speedups["hashmap"]["speedup"]["mean"] == (
+            pytest.approx(0.8419300435353)
+        )
+
+    def test_fault_rollups_pinned(self, report):
+        rollups = {
+            (f["workload"], f["design"]): f for f in report["faults"]
+        }
+        for workload in ("btree", "hashmap"):
+            clean = rollups[(workload, "dolos-partial")]
+            assert (clean["detected"], clean["tolerated"], clean["silent"]) \
+                == (6, 3, 0)
+            assert clean["units_passed"] == clean["units_total"] == 3
+            dirty = rollups[(workload, "prewpq-eager")]
+            # The fixture plants exactly one silent corruption per
+            # workload in the prewpq cell (seed 3).
+            assert (dirty["detected"], dirty["tolerated"], dirty["silent"]) \
+                == (5, 3, 1)
+            assert dirty["units_passed"] == 2
+            assert dirty["sites"] == 9
+
+    def test_trend_vs_baseline_pinned(self, report):
+        trend = {(t["workload"], t["design"]): t for t in report["trend"]}
+        # Fixture-b improves only the dolos configs, by exactly 400.
+        for workload in ("btree", "hashmap"):
+            assert trend[(workload, "dolos-partial")]["delta"] == -400.0
+            assert trend[(workload, "prewpq-eager")]["delta"] == 0.0
+        assert trend[("btree", "dolos-partial")]["delta_pct"] == (
+            pytest.approx(-3.9920159681)
+        )
+        assert trend[("hashmap", "dolos-partial")]["delta_pct"] == (
+            pytest.approx(-3.8022813688)
+        )
+
+    def test_report_is_deterministic(self, report):
+        db = FleetDB(FIXTURE, readonly=True)
+        again = build_report(
+            db, "fleet-fixture-b", baseline="fleet-fixture-a"
+        )
+        assert again == report
+
+    def test_html_renders_every_section(self, report):
+        html = render_html(report)
+        assert html.startswith("<!doctype html>")
+        assert "Fleet report — fleet-fixture-b" in html
+        for marker in (
+            "Per-config aggregates", "Pairwise speedups", "Fault campaigns",
+            "Trend vs fleet-fixture-a",
+        ):
+            assert marker in html
+        # The silent corruption is flagged, clean cells are green.
+        assert "<span class='bad'>1</span>" in html
+        assert "<span class='good'>0</span>" in html
+        assert "-3.99%" in html

@@ -234,6 +234,73 @@ class TestWorkerResilience:
         assert failures and {f.resolution for f in failures} == {"serial"}
 
 
+class TestStreamingCallbacks:
+    """``on_result`` must fire exactly once per item, every path.
+
+    The hazard: a retried unit completes on a *replacement* pool (or in
+    the serial fallback), not the pool that first ran it.  The callback
+    rides the mapping function, not any one pool, so it must still fire
+    for those items — and never twice for a unit that times out on one
+    pool but later completes elsewhere.
+    """
+
+    def _collect(self):
+        seen = []
+
+        def on_result(index, item, result):
+            seen.append((index, item, result))
+
+        return seen, on_result
+
+    def test_fires_once_per_item_after_retry_pool_replacement(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(_MARKER_ENV, str(tmp_path))
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0.01")
+        seen, on_result = self._collect()
+        failures = []
+        results = fan_out(
+            _flaky_square, [2, 3, 4], jobs=2, failures=failures,
+            on_result=on_result,
+        )
+        assert results == [4, 9, 16]
+        # Every item crashed its first pool and was retried on a fresh
+        # one — yet each streamed exactly once, with the right value.
+        assert failures and all(f.resolution == "retried" for f in failures)
+        assert sorted(seen) == [(0, 2, 4), (1, 3, 9), (2, 4, 16)]
+
+    def test_fires_once_per_item_in_serial_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        monkeypatch.setenv("REPRO_WORKER_BACKOFF", "0")
+        seen, on_result = self._collect()
+        results = fan_out(
+            _raise_in_pool, [1, 2, 3], jobs=2, on_result=on_result
+        )
+        assert results == [3, 6, 9]
+        assert sorted(seen) == [(0, 1, 3), (1, 2, 6), (2, 3, 9)]
+
+    def test_fires_in_pure_serial_mode(self):
+        seen, on_result = self._collect()
+        assert fan_out(
+            lambda x: x + 1, [7, 8], jobs=1, on_result=on_result
+        ) == [8, 9]
+        assert seen == [(0, 7, 8), (1, 8, 9)]
+
+    def test_run_units_streams_each_unit(self, tmp_path):
+        units = [
+            RunUnit("hashmap", eager_config(), TXNS, SEED),
+            RunUnit("btree", eager_config(), TXNS, SEED),
+        ]
+        seen, on_result = self._collect()
+        results = run_units(
+            units, jobs=2, cache_dir=tmp_path, on_result=on_result
+        )
+        assert len(seen) == 2
+        by_index = {index: result for index, _unit, result in seen}
+        for index, result in enumerate(results):
+            assert by_index[index].cycles == result.cycles
+
+
 class TestResolveJobs:
     def test_explicit_value_wins(self):
         assert resolve_jobs(3) == 3

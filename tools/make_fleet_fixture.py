@@ -1,0 +1,145 @@
+"""Regenerate tests/data/fleet_fixture.sqlite (characterization input).
+
+The fixture holds two synthetic experiments with formula-generated
+payloads (no simulation involved, so the fixture never drifts with the
+simulator):
+
+* ``fleet-fixture-a`` — the trend baseline
+* ``fleet-fixture-b`` — the experiment the characterization test
+  reports on, including fault units and one silent-corruption cell
+
+All timestamps are fixed constants: the report must not depend on them,
+and the characterization test pins the report dict byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_fleet_fixture.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.db import FleetDB  # noqa: E402
+
+FIXTURE = Path(__file__).resolve().parent.parent / "tests" / "data"
+WORKLOADS = ["btree", "hashmap"]
+DESIGNS = ["dolos-partial", "prewpq-eager"]
+SEEDS = [1, 2, 3]
+TRANSACTIONS = 60
+
+
+def run_payload(experiment: int, workload: str, design: str, seed: int):
+    w = WORKLOADS.index(workload)
+    d = DESIGNS.index(design)
+    # prewpq designs are "slower"; experiment b improves dolos configs.
+    cycles = 10_000 + 500 * w + 1_500 * d + 10 * seed - 400 * experiment * (
+        1 - d
+    )
+    instructions = 4_000 + 100 * w + 7 * seed
+    return {
+        "workload": workload,
+        "controller": design,
+        "transactions": TRANSACTIONS,
+        "cycles": cycles,
+        "instructions": instructions,
+        "stats": {"wpq_flushes": 10 + w + d + seed},
+    }
+
+
+def fault_payload(experiment: int, workload: str, design: str, seed: int):
+    # One silent corruption in fixture-b's prewpq-eager cell at seed 3.
+    silent = 1 if (experiment, design, seed) == (1, "prewpq-eager", 3) else 0
+    detected = 2 - silent
+    return {
+        "kind": "faults",
+        "workload": workload,
+        "controller": design,
+        "transactions": TRANSACTIONS,
+        "seed": seed,
+        "sites_used": 3,
+        "detected": detected,
+        "tolerated": 1,
+        "silent": silent,
+        "passed": silent == 0,
+        "failures": ["silent corruption at site 2"] if silent else [],
+    }
+
+
+def spec(workload: str, design: str, seed: int, mode: str):
+    data = {
+        "workload": workload,
+        "design": design,
+        "transactions": TRANSACTIONS,
+        "seed": seed,
+        "mode": mode,
+    }
+    if mode == "faults":
+        data["fault_sites"] = 3
+    return data
+
+
+def main() -> int:
+    FIXTURE.mkdir(parents=True, exist_ok=True)
+    path = FIXTURE / "fleet_fixture.sqlite"
+    path.unlink(missing_ok=True)
+    db = FleetDB(path)
+    for experiment, experiment_id in enumerate(
+        ["fleet-fixture-a", "fleet-fixture-b"]
+    ):
+        db.open_experiment(
+            experiment_id,
+            {
+                "name": experiment_id,
+                "workloads": WORKLOADS,
+                "designs": DESIGNS,
+                "seeds": SEEDS,
+                "transactions": TRANSACTIONS,
+                "fault_sites": 3,
+            },
+            git_hash="fixture0000000000000000000000000000000000",
+            created_at=1_700_000_000.0 + experiment,
+        )
+        counter = 0
+        for workload in WORKLOADS:
+            for design in DESIGNS:
+                for seed in SEEDS:
+                    for mode, payload in (
+                        ("run", run_payload(experiment, workload, design, seed)),
+                        (
+                            "faults",
+                            fault_payload(experiment, workload, design, seed),
+                        ),
+                    ):
+                        counter += 1
+                        db.record_unit(
+                            experiment_id,
+                            f"{experiment_id}-{mode}-{counter:03d}",
+                            spec(workload, design, seed, mode),
+                            payload,
+                            worker_id=f"worker-{counter % 3}",
+                            elapsed_s=0.25,
+                            recorded_at=1_700_000_100.0 + counter,
+                        )
+        db.finish_experiment(experiment_id, finished_at=1_700_000_500.0)
+    db.close()
+    # Fold the WAL back into the main file and drop the sidecars: the
+    # committed fixture must be a single file, openable read-only from
+    # a read-only checkout.
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    conn.execute("PRAGMA journal_mode=DELETE")
+    conn.close()
+    for suffix in ("-wal", "-shm"):
+        Path(str(path) + suffix).unlink(missing_ok=True)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
