@@ -15,12 +15,14 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Differential crash-consistency oracle (docs/testing.md): the full
-# 200-transaction crash-site sweep over all six controller
-# configurations, then the seeded-divergence self-test (exit 0 only if
-# the deliberately injected corruption is caught).
+# 200-transaction crash-site sweep over the whole controller matrix
+# (labels come from the shared registry, `repro.harness matrix`), then
+# the seeded-divergence self-test (exit 0 only if the deliberately
+# injected corruption is caught).
 check-oracle:
 	mkdir -p results
 	$(PYTHON) -m repro.harness check --workloads hashmap,btree \
+		--controllers $$($(PYTHON) -m repro.harness matrix --group all) \
 		--transactions 200 --jobs $(JOBS) --report results/oracle.json
 	$(PYTHON) -m repro.harness check --workloads hashmap \
 		--controllers dolos-partial --transactions 20 --site-budget 8 \
@@ -28,11 +30,12 @@ check-oracle:
 
 # Fault-injection campaign (docs/robustness.md): seeded media/metadata
 # corruption + degraded-ADR partial drains at interior crash sites over
-# all six controller configurations.  Exits non-zero if any injected
-# fault goes undetected AND unreconciled (a "silent" outcome).
+# the whole controller matrix.  Exits non-zero if any injected fault
+# goes undetected AND unreconciled (a "silent" outcome).
 fault-smoke:
 	mkdir -p results
 	$(PYTHON) -m repro.harness faults --workloads hashmap \
+		--controllers $$($(PYTHON) -m repro.harness matrix --group all) \
 		--transactions 30 --sites 2 --jobs $(JOBS) \
 		--report results/faults.json
 
@@ -45,7 +48,8 @@ fleet-smoke:
 	$(PYTHON) -m pytest tests/test_fleet_integration.py -q
 	REPRO_FLEET_DB=results/fleet/fleet.sqlite \
 	$(PYTHON) -m repro.harness fleet run --name fleet-smoke \
-		--workloads hashmap --designs dolos-partial,prewpq-eager \
+		--workloads hashmap \
+		--designs $$($(PYTHON) -m repro.harness matrix --group pair) \
 		--seeds 1,2 --transactions 30 --fault-sites 1 --workers 2 \
 		--report-dir results/fleet
 	REPRO_FLEET_DB=results/fleet/fleet.sqlite \
@@ -70,17 +74,17 @@ profile-kernel:
 	$(PYTHON) tools/profile_kernel.py
 
 # Span-tracing smoke (docs/performance.md): per-stage latency tables
-# for all six controller configurations on a 200-transaction hashmap
-# run, with span logs under results/trace/.  Exits non-zero if the
-# traced fence-stall cycles fail to reconcile with the breakdown.
+# on a 200-transaction hashmap run, with span logs under
+# results/trace/.  Exits non-zero if the traced fence-stall cycles
+# fail to reconcile with the breakdown.
 trace-smoke:
 	$(PYTHON) -m repro.harness trace hashmap --config dolos_full \
 		--transactions 200 --out results/trace
 
 # Experiment-service smoke (docs/performance.md): concurrent clients
-# submit the six-config controller matrix against a real server
-# subprocess; results must be bit-identical to direct runs, dedup must
-# fire, and SIGTERM must drain every accepted job.
+# submit the full controller matrix against a real server subprocess;
+# results must be bit-identical to direct runs, dedup must fire, and
+# SIGTERM must drain every accepted job.
 service-smoke:
 	mkdir -p results
 	$(PYTHON) -m repro.service.smoke --clients 4 --jobs 2 \

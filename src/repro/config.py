@@ -51,6 +51,12 @@ class TreeUpdateScheme(enum.Enum):
     #: Lazy ToC (SGX-style) with a shadow tree over the metadata cache
     #: (Phoenix).
     LAZY = "lazy"
+    #: Pipelined/coalesced Merkle updates (Freij et al., arXiv
+    #: 2003.04693): same tree *family* as EAGER — identical functional
+    #: state and recovery — but ancestor MAC updates overlap across
+    #: writes, so the engine accepts writes faster and exposes only the
+    #: leaf-side MACs on the persist critical path.
+    PIPELINED = "pipelined"
 
 
 class ControllerKind(enum.Enum):
@@ -70,6 +76,16 @@ class ControllerKind(enum.Enum):
     #: large buffer.  Needs a non-standard battery (the alternative the
     #: paper's intro rejects on cost grounds) — modeled for comparison.
     EADR_SECURE = "eadr-secure"
+    #: Triad-NVM (Awad et al.): pre-WPQ security with *relaxed
+    #: persistency* — only the lowest ``triad_persist_levels`` of the
+    #: counter/Merkle path are persisted on the critical path, the rest
+    #: is rebuilt at recovery from the persisted subtree.
+    TRIAD_NVM = "triad-nvm"
+    #: SuperMem (Zuo/Hua/Xie, arXiv 1901.00620): pre-WPQ security with
+    #: write-through counters — every counter update is written through
+    #: to NVM (coalesced per counter line), so crash consistency never
+    #: depends on the full tree walk.
+    WRITE_THROUGH = "write-through"
 
 
 @dataclass(frozen=True)
@@ -158,6 +174,27 @@ class SecurityConfig:
     #: so only the (small) serialized shadow-tree root path gates the
     #: write's crash consistency.  Eager mode exposes the full chain.
     lazy_critical_macs: int = 2
+    #: Pipelined-Merkle (Freij) back-end interval: ancestor updates of
+    #: consecutive writes overlap, so the engine accepts a new write as
+    #: soon as its leaf-level MAC slot frees.
+    pipelined_issue_interval: int = 48
+    #: MACs on the persist critical path under pipelined updates: the
+    #: leaf MAC plus the coalesced first ancestor; the rest of the chain
+    #: completes in the pipeline's shadow.
+    pipelined_critical_macs: int = 2
+    #: Triad-NVM relaxed persistency: persist only the lowest N levels
+    #: of the counter/Merkle path on the critical path (0 disables; the
+    #: paper's "persist up to level 2" corresponds to 2).  Recovery
+    #: rebuilds the upper tree from the persisted subtree.
+    triad_persist_levels: int = 0
+    #: SuperMem-style write-through counters: every counter update is
+    #: written through to NVM (coalesced per counter line), removing the
+    #: tree walk from the persist critical path at the cost of extra
+    #: metadata write traffic.
+    counter_write_through: bool = False
+    #: MACs left on the critical path when counters are written through
+    #: (the data MAC only — tree updates are no longer crash-critical).
+    write_through_critical_macs: int = 1
     #: Back-end optimizations (paper Section 6: Dolos composes with
     #: prior secure-NVM work — these switches exercise that claim).
     #: Write deduplication (Zuo et al.): cancel duplicate writebacks.
@@ -169,10 +206,19 @@ class SecurityConfig:
     morphable_coverage: int = 1
 
     @property
+    def tree_family(self) -> str:
+        """Functional tree family: ``"merkle"`` (eager/pipelined) or
+        ``"toc"`` (lazy).  The Ma-SU and recovery branch on the family —
+        pipelined updates change timing, not the persisted structure."""
+        return "toc" if self.tree_update is TreeUpdateScheme.LAZY else "merkle"
+
+    @property
     def masu_issue_interval(self) -> int:
         """Back-end initiation interval for the active update scheme."""
         if self.tree_update is TreeUpdateScheme.EAGER:
             return self.eager_issue_interval
+        if self.tree_update is TreeUpdateScheme.PIPELINED:
+            return self.pipelined_issue_interval
         return self.lazy_issue_interval
 
     @property
@@ -180,7 +226,7 @@ class SecurityConfig:
         """Total serialized hash latency in Ma-SU for one write."""
         count = (
             self.eager_mac_count
-            if self.tree_update is TreeUpdateScheme.EAGER
+            if self.tree_family == "merkle"
             else self.lazy_mac_count
         )
         return self.mac_latency * count
@@ -192,10 +238,20 @@ class SecurityConfig:
         Eager Merkle-tree updates serialize the whole chain before the
         write is crash consistent; lazy ToC (Phoenix) exposes only the
         shadow-root path while parallel engines handle the rest.
+        Pipelined Merkle updates (Freij) expose the leaf-side MACs only,
+        Triad-NVM persists just the lowest levels, and write-through
+        counters (SuperMem) take the tree walk off the path entirely.
         """
-        if self.tree_update is TreeUpdateScheme.EAGER:
-            return self.mac_latency * self.eager_mac_count
-        return self.mac_latency * self.lazy_critical_macs
+        if self.tree_update is TreeUpdateScheme.LAZY:
+            return self.mac_latency * self.lazy_critical_macs
+        if self.tree_update is TreeUpdateScheme.PIPELINED:
+            return self.mac_latency * self.pipelined_critical_macs
+        count = self.eager_mac_count
+        if self.triad_persist_levels:
+            count = min(count, self.triad_persist_levels)
+        if self.counter_write_through:
+            count = min(count, self.write_through_critical_macs)
+        return self.mac_latency * count
 
 
 @dataclass(frozen=True)
@@ -235,12 +291,26 @@ class ADRConfig:
         partial = paper_sizes.get(
             self.budget_entries, (self.budget_entries * 8) // 9
         )
+        if partial < 1:
+            raise ValueError(
+                f"ADR budget of {self.budget_entries} entries cannot hold "
+                f"a single WPQ entry plus its MAC under {design.value}; "
+                "the paper's energy model has no such configuration"
+            )
         if design is MiSUDesign.PARTIAL_WPQ:
             return partial
         # Post: additionally reserve budget for one delayed secure op
         # (one MAC computation + flush of its result).
         post = partial - self.deferred_mac_entry_cost - 1
-        return max(1, post)
+        if post < 1:
+            raise ValueError(
+                f"ADR budget of {self.budget_entries} entries cannot hold "
+                "one WPQ entry on top of the deferred-MAC reservation "
+                f"({self.deferred_mac_entry_cost} entry-equivalents + its "
+                "flush) required by post-wpq; the paper's energy model "
+                "has no such configuration"
+            )
+        return post
 
 
 @dataclass(frozen=True)
@@ -296,11 +366,14 @@ class SimConfig:
     def wpq_entries(self) -> int:
         """Usable WPQ entries for the configured controller.
 
-        Baseline controllers use the full ADR budget (security happened
-        pre-WPQ so only raw entries are flushed on a crash); Dolos sizes
-        the queue by Mi-SU design.
+        Controllers whose composition spec sizes the queue by Mi-SU
+        design (Dolos) get the design-dependent split; every other
+        organisation uses the full ADR budget (security happened
+        pre-WPQ so only raw entries are flushed on a crash).
         """
-        if self.controller is ControllerKind.DOLOS:
+        from repro.core.composition import controller_spec  # local: avoid cycle
+
+        if controller_spec(self.controller).wpq_sizing == "misu":
             return self.adr.usable_entries(self.misu_design)
         return self.adr.budget_entries
 
@@ -331,6 +404,35 @@ def lazy_config(**changes) -> SimConfig:
     """A ``SimConfig`` using lazy ToC Ma-SU (Section 5.4 / Phoenix)."""
     security = SecurityConfig(tree_update=TreeUpdateScheme.LAZY)
     cfg = SimConfig(security=security)
+    if changes:
+        cfg = replace(cfg, **changes)
+    return cfg
+
+
+def pipelined_config(**changes) -> SimConfig:
+    """A ``SimConfig`` using pipelined Merkle Ma-SU (Freij et al.)."""
+    security = SecurityConfig(tree_update=TreeUpdateScheme.PIPELINED)
+    cfg = SimConfig(security=security)
+    if changes:
+        cfg = replace(cfg, **changes)
+    return cfg
+
+
+def triad_config(**changes) -> SimConfig:
+    """A Triad-NVM ``SimConfig``: pre-WPQ security, relaxed persistency
+    with the lowest two counter/Merkle levels persisted eagerly."""
+    security = SecurityConfig(triad_persist_levels=2)
+    cfg = SimConfig(security=security, controller=ControllerKind.TRIAD_NVM)
+    if changes:
+        cfg = replace(cfg, **changes)
+    return cfg
+
+
+def writethrough_config(**changes) -> SimConfig:
+    """A SuperMem ``SimConfig``: pre-WPQ security with write-through,
+    coalesced counter persistence (Zuo/Hua/Xie, arXiv 1901.00620)."""
+    security = SecurityConfig(counter_write_through=True)
+    cfg = SimConfig(security=security, controller=ControllerKind.WRITE_THROUGH)
     if changes:
         cfg = replace(cfg, **changes)
     return cfg

@@ -2,11 +2,15 @@
 
 * :mod:`repro.core.misu` — the Minor Security Unit (3 design options).
 * :mod:`repro.core.masu` — the Major Security Unit (Anubis-style).
-* :mod:`repro.core.controller` — the Figure 5 controller design space.
+* :mod:`repro.core.composition` — controller-composition specs and the
+  pluggable protection/update/domain strategy objects.
+* :mod:`repro.core.controller` — the Figure 5 controller design space
+  plus the Triad-NVM and SuperMem write-through designs.
 * :mod:`repro.core.registers` — persistent on-chip registers.
 * :mod:`repro.core.requests` — controller request types.
 """
 
+from repro.core.composition import CONTROLLER_SPECS, ControllerSpec, controller_spec
 from repro.core.controller import (
     DolosController,
     EADRSecureController,
@@ -14,6 +18,8 @@ from repro.core.controller import (
     NonSecureIdealController,
     PostWPQHypotheticalController,
     PreWPQSecureController,
+    TriadNVMController,
+    WriteThroughController,
     make_controller,
 )
 from repro.core.masu import IntegrityError, MajorSecurityUnit
@@ -28,6 +34,8 @@ from repro.core.registers import PersistentRegisters, RedoLogBuffer
 from repro.core.requests import ReadRequest, WriteKind, WriteRequest
 
 __all__ = [
+    "CONTROLLER_SPECS",
+    "ControllerSpec",
     "DolosController",
     "EADRSecureController",
     "FullWPQMiSU",
@@ -43,8 +51,11 @@ __all__ = [
     "PreWPQSecureController",
     "ReadRequest",
     "RedoLogBuffer",
+    "TriadNVMController",
     "WriteKind",
     "WriteRequest",
+    "WriteThroughController",
+    "controller_spec",
     "make_controller",
     "make_misu",
 ]

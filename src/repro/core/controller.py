@@ -1,7 +1,12 @@
-"""Memory controllers: the Figure 5 design space.
+"""Memory controllers: the Figure 5 design space, grown to eight designs.
 
-Four controller organisations, all sharing the same WPQ, NVM, and core-
-facing interface so the CPU model and harness can swap them freely:
+Every organisation shares the same WPQ, NVM, and core-facing interface
+so the CPU model and harness can swap them freely.  A controller is a
+*composition* declared by its :class:`~repro.core.composition.ControllerSpec`
+— a WPQ-protection strategy (write path), a Ma-SU update strategy
+(drain side), and a persistence-domain policy — assembled by the
+generic :class:`MemoryController`; the classes below are thin ``kind``
+tags kept for the public API:
 
 * :class:`NonSecureIdealController` — Fig 5's non-secure reference: a
   write is persisted on WPQ arrival, no security anywhere.  This is the
@@ -14,6 +19,14 @@ facing interface so the CPU model and harness can swap them freely:
   plaintext securely) but the paper uses it for the Figure 6 bound.
 * :class:`DolosController` — Fig 5-d: Mi-SU protects insertions at
   near-zero latency; Ma-SU re-secures entries after they leave the WPQ.
+* :class:`EADRSecureController` — the battery-backed alternative the
+  paper's introduction rejects on cost grounds.
+* :class:`TriadNVMController` — Triad-NVM (Awad et al.): the pre-WPQ
+  front with relaxed persistency (selective counter/Merkle-subtree
+  persistence via ``SecurityConfig.triad_persist_levels``).
+* :class:`WriteThroughController` — SuperMem (Zuo/Hua/Xie): the
+  pre-WPQ front with write-through, coalesced counter persistence
+  (``SecurityConfig.counter_write_through``).
 
 The core-facing protocol:
 
@@ -25,25 +38,29 @@ The core-facing protocol:
 
 from __future__ import annotations
 
-from functools import partial
-from heapq import heappush
 from typing import Dict, Generator, Optional
 
-from repro.config import ControllerKind, MiSUDesign, SimConfig
+from repro.config import ControllerKind, SimConfig
+from repro.core.composition import (
+    CONTROLLER_SPECS,
+    DOMAINS,
+    DRAIN_STRATEGIES,
+    WRITE_STRATEGIES,
+    controller_spec,
+)
 from repro.core.masu import MajorSecurityUnit
-from repro.core.misu import MinorSecurityUnit, PostWPQMiSU, make_misu
+from repro.core.misu import MinorSecurityUnit, make_misu
 from repro.core.registers import PersistentRegisters
 from repro.core.requests import ReadRequest, WriteKind, WriteRequest
 from repro.crypto.keys import KeyStore
 from repro.engine import Process, Signal, Simulator
-from repro.engine.resources import PipelineLane, Resource
 from repro.stats import StatsRegistry
 from repro.wpq.adr import ADRDrain
 from repro.wpq.queue import WritePendingQueue
 
 
 class MemoryController:
-    """Shared plumbing for all Figure 5 organisations."""
+    """Generic controller: assembles the strategies its spec declares."""
 
     kind: ControllerKind
 
@@ -60,6 +77,7 @@ class MemoryController:
 
         self.sim = sim
         self.config = config
+        self.spec = controller_spec(self.kind)
         self.stats = stats if stats is not None else StatsRegistry()
         self.nvm = nvm if nvm is not None else NVMDevice(config.nvm)
         self.keys = keys if keys is not None else KeyStore(config.seed)
@@ -79,9 +97,44 @@ class MemoryController:
         self.reads_received = 0
         #: Optional instrumentation (see :meth:`attach_timeline`).
         self.timeline = None
+        # -- the declared composition ----------------------------------
+        spec = self.spec
+        self.masu: Optional[MajorSecurityUnit] = (
+            MajorSecurityUnit(self.config, self.keys, self.registers, self.nvm)
+            if spec.has_masu
+            else None
+        )
+        self.misu: Optional[MinorSecurityUnit] = (
+            make_misu(self.config, self.keys, self.registers, self.wpq)
+            if spec.has_misu
+            else None
+        )
+        if spec.has_misu:
+            assert self.misu is not None
+            self.adr_drain = ADRDrain(self.nvm, self.config.adr, self.misu.design)
+        self._write = WRITE_STRATEGIES[spec.protection](self)
+        self._drain = DRAIN_STRATEGIES[spec.update](self)
+        self._domain = DOMAINS[spec.domain](self)
+        if self._write.callback:
+            # Callback strategies (the Dolos Mi-SU engine) replace the
+            # per-write Process + generator machinery wholesale; binding
+            # the engine's methods keeps the hot path free of per-call
+            # dispatch.
+            self.submit_write = self._write.submit_write  # type: ignore[method-assign]
+            self.read = self._write.read  # type: ignore[method-assign]
+        battery = getattr(self._domain, "battery_drain", None)
+        if battery is not None:
+            # Only battery-backed domains expose ``battery_drain`` (the
+            # crash harness feature-tests for it with ``getattr``).
+            self.battery_drain = battery
 
     # -- capacity ------------------------------------------------------
     def _wpq_capacity(self) -> int:
+        sizing = self.spec.wpq_sizing
+        if sizing == "misu":
+            return self.config.adr.usable_entries(self.config.misu_design)
+        if sizing == "eadr":
+            return self.spec.eadr_buffer_entries
         return self.config.adr.budget_entries
 
     # -- core-facing API -----------------------------------------------
@@ -108,9 +161,9 @@ class MemoryController:
         # the span tracer rides on the timeline event details instead).
         if request.kind is WriteKind.PERSIST:
             done = Signal(self.sim, "persist")
-            Process(self.sim, self._write_path(request, done), name="write")
+            Process(self.sim, self._write.path(request, done), name="write")
             return done
-        Process(self.sim, self._write_path(request, None), name="wb")
+        Process(self.sim, self._write.path(request, None), name="wb")
         return None
 
     def read(self, address: int) -> Signal:
@@ -121,15 +174,30 @@ class MemoryController:
         Process(self.sim, self._read_path(ReadRequest(address, self.sim.now), done))
         return done
 
-    # -- to be specialised ----------------------------------------------
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        raise NotImplementedError
-
     def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
-        raise NotImplementedError
+        """Serve a read from the WPQ or the device (+ verification).
+
+        The verification yield exists only when the composition has a
+        Ma-SU — the non-secure ideal pays device timing alone.
+        """
+        if self.wpq.lookup(request.address) is not None:
+            self.wpq.read_hits += 1
+            yield self._wpq_read_hit_latency()
+            done.fire(self.sim.now - request.arrival)
+            return
+        finish = self.nvm.timed_access(self.sim.now, request.address, False)
+        yield finish - self.sim.now
+        if self.masu is not None:
+            verify = self.masu.read_verify_latency(self.sim.now, request.address)
+            yield verify
+        done.fire(self.sim.now - request.arrival)
 
     def _drain_loop(self) -> Generator:
-        raise NotImplementedError
+        return self._drain.loop()
+
+    def crash(self):
+        """Power failure: delegate to the persistence-domain policy."""
+        return self._domain.crash()
 
     # -- shared helpers --------------------------------------------------
     def _acquire_wpq_slot(self, request: WriteRequest) -> Generator:
@@ -159,50 +227,6 @@ class MemoryController:
     def _wpq_read_hit_latency(self) -> int:
         """Serving a read from the WPQ: tag lookup + XOR decrypt."""
         return 2
-
-    #: Cycles between WPQ drain command issues (scheduler bandwidth);
-    #: NVM bank busy-times provide the real throughput limit.
-    DRAIN_ISSUE_INTERVAL = 4
-
-    #: Whether the plain drain writes the request's raw bytes to the
-    #: device.  True for the non-secure ideal (its WPQ holds the final
-    #: plaintext); False for the pre-WPQ baseline, whose security unit
-    #: already wrote the *ciphertext* at submit time — draining the
-    #: plaintext over it would corrupt the secured image.
-    DRAIN_WRITES_DATA = True
-
-    def _plain_drain_loop(self) -> Generator:
-        """Drain already-secured entries: pipelined NVM writes.
-
-        Used by controllers whose entries need no post-WPQ security
-        (non-secure ideal and the pre-WPQ baseline).  The loop issues
-        one write per interval; completions free slots when the bank
-        write finishes, so independent banks overlap.
-        """
-        sim = self.sim
-        wpq = self.wpq
-        interval = self.DRAIN_ISSUE_INTERVAL
-        while True:
-            entry = wpq.oldest_pending()
-            if entry is None:
-                yield self.entry_added
-                continue
-            wpq.begin_fetch(entry)
-            assert entry.request is not None
-            request = entry.request
-            accepted, _done = self.nvm.timed_write_accept(sim.now, request.address)
-
-            def complete(entry=entry, request=request) -> None:
-                if request.data is not None and self.DRAIN_WRITES_DATA:
-                    self.nvm.write_line(request.address, request.data)
-                self.wpq.mark_cleared(entry)
-                self.stats.add("wpq.drained")
-                self.slot_freed.fire(entry)
-
-            sim.call_after(accepted - sim.now, complete)
-            # The next command can issue once this one is accepted (the
-            # command bus is serial) or after the issue interval.
-            yield max(interval, accepted - sim.now)
 
     def wpq_occupancy(self) -> int:
         return self.wpq.occupancy
@@ -316,450 +340,43 @@ class MemoryController:
 
 
 # ======================================================================
-# Non-secure ideal (persist == WPQ arrival, no security)
+# Thin per-design classes: a kind tag over the declared composition
 # ======================================================================
 class NonSecureIdealController(MemoryController):
     """The ideal reference: ADR fully exploited, zero security cost."""
 
     kind = ControllerKind.NON_SECURE_IDEAL
 
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        entry = yield from self._acquire_wpq_slot(request)
-        yield 1  # queue insertion
-        if done is not None:
-            done.fire(self.sim.now)
-            self.stats.add("persist.completed")
-        self.entry_added.fire(entry)
 
-    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
-        if self.wpq.lookup(request.address) is not None:
-            self.wpq.read_hits += 1
-            yield self._wpq_read_hit_latency()
-            done.fire(self.sim.now - request.arrival)
-            return
-        finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield finish - self.sim.now
-        done.fire(self.sim.now - request.arrival)
-
-    def _drain_loop(self) -> Generator:
-        yield from self._plain_drain_loop()
-
-
-# ======================================================================
-# Pre-WPQ secure baseline (Fig 5-b, Anubis AGIT)
-# ======================================================================
 class PreWPQSecureController(MemoryController):
-    """State of the art: all security operations before WPQ insertion.
-
-    The security unit (a :class:`MajorSecurityUnit`) is a single
-    serialized pipeline; persists queue behind each other's counter
-    fetches, AES, and eager tree-update MAC chains *before* they are
-    considered persisted.
-    """
+    """State of the art (Fig 5-b): all security before WPQ insertion."""
 
     kind = ControllerKind.PRE_WPQ_SECURE
 
-    #: Security ran pre-WPQ: the ciphertext is already in NVM, the WPQ
-    #: drain only models device timing and must not clobber it.
-    DRAIN_WRITES_DATA = False
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.masu = MajorSecurityUnit(
-            self.config, self.keys, self.registers, self.nvm
-        )
-        self._pipeline = PipelineLane(
-            self.config.security.masu_issue_interval, "security-unit"
-        )
+class TriadNVMController(MemoryController):
+    """Triad-NVM (Awad et al.): the pre-WPQ front with relaxed
+    persistency — only the lowest counter/Merkle levels are persisted on
+    the critical path (``SecurityConfig.triad_persist_levels``)."""
 
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        # Security first (the persist critical path of the baseline).
-        # The unit is pipelined: it accepts a new write every issue
-        # interval, but each write's full metadata/MAC latency must
-        # elapse before the write may enter the persistence domain.
-        latency = self.masu.write_pipeline_latency(
-            self.sim.now, request.address, critical_path=True
-        )
-        _start, finish = self._pipeline.book(self.sim.now, latency)
-        if request.data is not None:
-            self.masu.secure_write(request.address, request.data)
-        yield finish - self.sim.now
-        self.stats.add("security.pre_wpq_ops")
-        # Then persist: WPQ insertion.
-        entry = yield from self._acquire_wpq_slot(request)
-        yield 1
-        if done is not None:
-            done.fire(self.sim.now)
-            self.stats.add("persist.completed")
-        self.entry_added.fire(entry)
-
-    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
-        if self.wpq.lookup(request.address) is not None:
-            self.wpq.read_hits += 1
-            yield self._wpq_read_hit_latency()
-            done.fire(self.sim.now - request.arrival)
-            return
-        finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield finish - self.sim.now
-        verify = self.masu.read_verify_latency(self.sim.now, request.address)
-        yield verify
-        done.fire(self.sim.now - request.arrival)
-
-    def _drain_loop(self) -> Generator:
-        # Entries are already secured; draining is a plain NVM write.
-        yield from self._plain_drain_loop()
-
-    def crash(self):
-        """Power failure on the pre-WPQ baseline.
-
-        Every queued write already went through the full security
-        pipeline *before* WPQ insertion — its ciphertext, counters,
-        MACs and tree update are in NVM/persistent registers.  ADR has
-        nothing to re-secure; the queue contents are redundant copies
-        and are simply dropped (there is no drained image to replay).
-        """
-        return []
+    kind = ControllerKind.TRIAD_NVM
 
 
-# ======================================================================
-# Dolos (Fig 5-d)
-# ======================================================================
+class WriteThroughController(MemoryController):
+    """SuperMem (Zuo/Hua/Xie): the pre-WPQ front with write-through,
+    per-line-coalesced counter persistence — the tree walk leaves the
+    persist critical path (``SecurityConfig.counter_write_through``)."""
+
+    kind = ControllerKind.WRITE_THROUGH
+
+
 class DolosController(MemoryController):
     """Mi-SU before the WPQ, Ma-SU after it (the paper's design)."""
 
     kind = ControllerKind.DOLOS
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.masu = MajorSecurityUnit(
-            self.config, self.keys, self.registers, self.nvm
-        )
-        self.misu: MinorSecurityUnit = make_misu(
-            self.config, self.keys, self.registers, self.wpq
-        )
-        #: Serializes slot allocation so coalescing/allocation stay FIFO.
-        self._misu_port = Resource(self.sim, 1, "misu")
-        #: Mi-SU's pipelined MAC engine.
-        self._misu_lane = PipelineLane(
-            self.config.security.misu_issue_interval, "misu-mac"
-        )
-        #: Ma-SU's pipelined back-end (drain side).
-        self._masu_lane = PipelineLane(
-            self.config.security.masu_issue_interval, "masu"
-        )
-        self.adr_drain = ADRDrain(self.nvm, self.config.adr, self.misu.design)
-        #: The Mi-SU flavour is fixed per run; resolve the per-write
-        #: isinstance branches once.
-        self._misu_deferred = isinstance(self.misu, PostWPQMiSU)
-        #: Subclasses (Fig 5-c, secure eADR) override ``_write_path``
-        #: with their own generators; only the plain Dolos controller
-        #: may take the callback-machine fast path below.
-        self._callback_paths = type(self) is DolosController
 
-    def _wpq_capacity(self) -> int:
-        return self.config.adr.usable_entries(self.config.misu_design)
-
-    # ------------------------------------------------------------------
-    # Write path — a callback state machine instead of a generator
-    # process.  Dolos spawns one write path per persist/eviction, so the
-    # per-write Process + generator-resume machinery was the single
-    # largest simulation cost.  Each ``_write_*`` stage mirrors one
-    # segment of the former generator between yields; every wait becomes
-    # a ``call_after``/Signal subscription with identical scheduling, so
-    # the event interleaving (and hence every metric) is unchanged.  The
-    # zero-delay start honours the same pending-same-cycle guard as
-    # ``Process.__init__``.
-    # ------------------------------------------------------------------
-    def submit_write(self, request: WriteRequest) -> Optional[Signal]:
-        if not self._callback_paths:
-            return super().submit_write(request)
-        sim = self.sim
-        request.seq = self._seq
-        self._seq += 1
-        request.arrival = sim.now
-        self.writes_received += 1
-        self.stats.add("controller.writes")
-        done = (
-            Signal(sim, "persist")
-            if request.kind is WriteKind.PERSIST
-            else None
-        )
-        heap = sim._queue._heap
-        if sim._batch_pending or (heap and heap[0][0] == sim.now):
-            sim.call_after(0, partial(self._write_start, request, done))
-        else:
-            self._write_start(request, done)
-        return done
-
-    def _write_start(self, request: WriteRequest, done: Optional[Signal]) -> None:
-        """Acquire the Mi-SU port (Resource.acquire's uncontended path
-        inlined), then move to the busy-check/alloc stage."""
-        port = self._misu_port
-        if port.in_use < port.capacity and not port._wait_queue:
-            port.in_use += 1
-            port.total_acquisitions += 1
-            self._write_port_held(request, done)
-            return
-        gate = Signal(self.sim, name=f"{port.name}.gate")
-        port._wait_queue.append(gate)
-        started = self.sim.now
-
-        def granted(_value: object) -> None:
-            port.total_wait_cycles += self.sim.now - started
-            port.in_use += 1
-            port.total_acquisitions += 1
-            self._write_port_held(request, done)
-
-        gate._waiters.append(granted)
-
-    def _write_port_held(self, request: WriteRequest, done: Optional[Signal]) -> None:
-        # Post-WPQ-MiSU: a previous deferred secure op may still be
-        # running; only one may be outstanding (Section 4.3).
-        if self._misu_deferred and self.misu.is_busy(self.sim.now):
-            wait = self.misu.busy_until - self.sim.now
-            self.stats.add("misu.busy_stalls")
-            self.stats.add("misu.busy_wait_cycles", wait)
-            self.sim.call_after(
-                wait, partial(self._write_alloc, request, done, False)
-            )
-            return
-        self._write_alloc(request, done, False)
-
-    def _write_alloc(
-        self, request: WriteRequest, done: Optional[Signal], blocked: bool
-    ) -> None:
-        """_acquire_wpq_slot's retry loop (Table 2 retry semantics)."""
-        wpq = self.wpq
-        if self.config.wpq_coalescing:
-            entry = wpq.try_coalesce(request)
-            if entry is not None:
-                self.stats.add("wpq.coalesced")
-                self._write_committed(entry, request, done)
-                return
-        entry = wpq.try_allocate(request)
-        if entry is not None:
-            self._write_committed(entry, request, done)
-            return
-        if not blocked:
-            wpq.record_retry()
-            self.stats.add("wpq.retries")
-        self.slot_freed._waiters.append(
-            lambda _value: self._write_alloc(request, done, True)
-        )
-
-    def _write_committed(
-        self, entry, request: WriteRequest, done: Optional[Signal]
-    ) -> None:
-        sim = self.sim
-        misu = self.misu
-        if self._misu_deferred:
-            # Commit immediately; the secure op runs post-commit on the
-            # (reservable-by-ADR) deferred engine.  The port is held
-            # through commit so the "at most one outstanding deferred
-            # op" invariant (Section 4.3) cannot be raced.
-            sim.call_after(
-                misu.insertion_latency(),
-                partial(self._write_deferred_commit, entry, request, done),
-            )
-            return
-        # Full/Partial: XOR + MAC(s) before commit, on the pipelined
-        # Mi-SU MAC engine (the port is released as soon as the op is
-        # booked, so inserts pipeline at the engine's initiation
-        # interval).
-        _start, finish = self._misu_lane.book(sim.now, misu.insertion_latency())
-        self._misu_port.release()
-        sim.call_after(
-            finish - sim.now, partial(self._write_protect, entry, request, done)
-        )
-
-    def _write_deferred_commit(
-        self, entry, request: WriteRequest, done: Optional[Signal]
-    ) -> None:
-        entry.mac_pending = True
-        entry.protected = True  # committed; ADR covers the MAC
-        deferred_done = self.misu.start_deferred(self.sim.now)
-        self.sim.call_after(
-            deferred_done - self.sim.now,
-            lambda e=entry: self._finish_deferred(e),
-        )
-        self._misu_port.release()
-        self._write_done(entry, done)
-
-    def _write_protect(
-        self, entry, request: WriteRequest, done: Optional[Signal]
-    ) -> None:
-        if request.data is not None:
-            self.misu.protect(entry)
-        entry.protected = True
-        self.stats.add("misu.protected")
-        if self.timeline is not None:
-            self.timeline.event(
-                self.sim.now, "misu.protect", f"{entry.index}:{request.seq}"
-            )
-        self._write_done(entry, done)
-
-    def _write_done(self, entry, done: Optional[Signal]) -> None:
-        if done is not None:
-            done.fire(self.sim.now)
-            self.stats.add("persist.completed")
-        self.entry_added.fire(entry)
-
-    def _finish_deferred(self, entry) -> None:
-        """Complete a Post-WPQ deferred protection."""
-        if entry.occupied and entry.request is not None:
-            if entry.request.data is not None:
-                self.misu.protect(entry)
-            entry.mac_pending = False
-            self.stats.add("misu.protected")
-            if self.timeline is not None:
-                self.timeline.event(
-                    self.sim.now,
-                    "misu.protect",
-                    f"{entry.index}:{entry.request.seq}",
-                )
-
-    # ------------------------------------------------------------------
-    # Read path — same callback-machine treatment as the write path.
-    # ------------------------------------------------------------------
-    def read(self, address: int) -> Signal:
-        if not self._callback_paths:
-            return super().read(address)
-        sim = self.sim
-        self.reads_received += 1
-        self.stats.add("controller.reads")
-        done = Signal(sim, "read")
-        request = ReadRequest(address, sim.now)
-        heap = sim._queue._heap
-        if sim._batch_pending or (heap and heap[0][0] == sim.now):
-            sim.call_after(0, partial(self._read_start, request, done))
-        else:
-            self._read_start(request, done)
-        return done
-
-    def _read_start(self, request: ReadRequest, done: Signal) -> None:
-        sim = self.sim
-        if self.wpq.lookup(request.address) is not None:
-            self.wpq.read_hits += 1
-            sim.call_after(
-                self._wpq_read_hit_latency(),
-                partial(self._read_fire, request, done),
-            )
-            return
-        finish = self.nvm.timed_access(sim.now, request.address, False)
-        sim.call_after(
-            finish - sim.now, partial(self._read_verify, request, done)
-        )
-
-    def _read_verify(self, request: ReadRequest, done: Signal) -> None:
-        verify = self.masu.read_verify_latency(self.sim.now, request.address)
-        self.sim.call_after(verify, partial(self._read_fire, request, done))
-
-    def _read_fire(self, request: ReadRequest, done: Signal) -> None:
-        done.fire(self.sim.now - request.arrival)
-
-    def _read_path(self, request: ReadRequest, done: Signal) -> Generator:
-        # Generator twin of the callback read path, used by the Fig 5-c
-        # and secure-eADR subclasses (which go through the base-class
-        # ``read``).  Keep in sync with ``_read_start``/``_read_verify``.
-        hit = self.wpq.lookup(request.address)
-        if hit is not None:
-            self.wpq.read_hits += 1
-            yield self._wpq_read_hit_latency()
-            done.fire(self.sim.now - request.arrival)
-            return
-        finish = self.nvm.timed_access(self.sim.now, request.address, False)
-        yield finish - self.sim.now
-        verify = self.masu.read_verify_latency(self.sim.now, request.address)
-        yield verify
-        done.fire(self.sim.now - request.arrival)
-
-    # ------------------------------------------------------------------
-    def _drain_loop(self) -> Generator:
-        """Ma-SU's Figure 11 loop: fetch, re-secure, write back, clear.
-
-        The back-end is pipelined: a new entry issues every Ma-SU
-        initiation interval while each entry's full metadata latency
-        elapses before its redo log is ready (and hence before the WPQ
-        slot can be reclaimed).
-        """
-        sim = self.sim
-        wpq = self.wpq
-        masu = self.masu
-        lane = self._masu_lane
-        mac_latency = self.config.security.mac_latency
-        while True:
-            entry = wpq.oldest_pending()
-            if entry is None:
-                yield self.entry_added
-                continue
-            if entry.mac_pending:
-                # Let the deferred Mi-SU op finish before consuming.
-                yield mac_latency
-                continue
-            wpq.begin_fetch(entry)
-            assert entry.request is not None
-            request = entry.request
-            address = request.address
-            # Step 1 (XOR decrypt, 1 cycle) + step 2 (full security
-            # processing into the redo log) on the pipelined back-end.
-            latency = 1 + masu.write_pipeline_latency(sim.now, address)
-            start, finish = lane.book(sim.now, latency)
-
-            def complete(entry=entry, request=request, address=address) -> None:
-                if request.data is not None:
-                    self.masu.secure_write(address, request.data)
-                elif self.timeline is not None:
-                    # Timing-only runs never reach the wrapped
-                    # masu.stage/apply (no data bytes), so emit the
-                    # Fig 11 step-2/3 instants here for span assembly.
-                    # Functional (oracle) runs keep their event stream
-                    # unchanged — the wrappers already cover them.
-                    self.timeline.event(
-                        self.sim.now, "masu.stage", str(entry.index)
-                    )
-                    self.timeline.event(
-                        self.sim.now, "masu.commit", str(entry.index)
-                    )
-                # Step 3 (background): the ciphertext write to NVM; bank
-                # time is booked but nothing waits on it.  Metadata and
-                # shadow updates land in the metadata caches / the small
-                # sequential shadow region (row-buffer hits) and do not
-                # occupy data banks.
-                self.nvm.timed_access(self.sim.now, address, True)
-                # Step 4: clear the entry, freeing the slot, and reseal
-                # its MAC (the cleared flag is in the MAC domain).
-                self.wpq.mark_cleared(entry)
-                self.misu.reseal_cleared(entry)
-                self.stats.add("masu.writes")
-                self.slot_freed.fire(entry)
-
-            queue = sim._queue
-            heappush(queue._heap, (finish, queue._seq, complete))
-            queue._seq += 1
-            # Next issue no earlier than the lane's next free slot.
-            wait = lane._next_start - sim.now
-            yield wait if wait > 1 else 1
-
-    # ------------------------------------------------------------------
-    def crash(self):
-        """Power failure: drain the WPQ on ADR energy (see recovery pkg)."""
-        misu = self.misu
-        pending = 0
-        if isinstance(misu, PostWPQMiSU):
-            # ADR reserves energy to finish at most one deferred MAC.
-            for entry in self.wpq.occupied_entries():
-                if entry.mac_pending and entry.request is not None:
-                    if entry.request.data is not None:
-                        misu.protect(entry)
-                    entry.mac_pending = False
-                    pending += 1
-        return self.adr_drain.drain(self.wpq, pending_macs=pending)
-
-
-# ======================================================================
-# Fig 5-c: hypothetical post-WPQ security, no Mi-SU
-# ======================================================================
-class PostWPQHypotheticalController(DolosController):
+class PostWPQHypotheticalController(MemoryController):
     """Security strictly after the WPQ with no WPQ protection at all.
 
     Infeasible in practice (ADR would have to power the full security
@@ -770,28 +387,8 @@ class PostWPQHypotheticalController(DolosController):
 
     kind = ControllerKind.POST_WPQ_HYPOTHETICAL
 
-    def _wpq_capacity(self) -> int:
-        return self.config.adr.budget_entries
 
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        entry = yield from self._acquire_wpq_slot(request)
-        yield 1
-        if done is not None:
-            done.fire(self.sim.now)
-            self.stats.add("persist.completed")
-        self.entry_added.fire(entry)
-
-    def crash(self):  # pragma: no cover - exercised via recovery tests
-        raise RuntimeError(
-            "Fig 5-c cannot drain within the ADR budget: entries are "
-            "unprotected and the security pipeline needs external power"
-        )
-
-
-# ======================================================================
-# Secure eADR (intro comparison: the battery-backed alternative)
-# ======================================================================
-class EADRSecureController(DolosController):
+class EADRSecureController(MemoryController):
     """Secure eADR: persistence domain = the whole cache hierarchy.
 
     A persist completes the moment the flush reaches the controller —
@@ -804,57 +401,9 @@ class EADRSecureController(DolosController):
 
     kind = ControllerKind.EADR_SECURE
 
-    #: Buffered dirty lines the persistent cache domain can hold.
+    #: Buffered dirty lines the persistent cache domain can hold
+    #: (mirrors the spec's ``eadr_buffer_entries``).
     EADR_BUFFER_ENTRIES = 512
-
-    def _wpq_capacity(self) -> int:
-        return self.EADR_BUFFER_ENTRIES
-
-    def _write_path(self, request: WriteRequest, done: Optional[Signal]) -> Generator:
-        entry = yield from self._acquire_wpq_slot(request)
-        yield 1
-        entry.protected = True  # inside the (battery-backed) domain
-        if done is not None:
-            done.fire(self.sim.now)
-            self.stats.add("persist.completed")
-        self.entry_added.fire(entry)
-
-    def crash(self):
-        """Quantify why this needs a non-standard battery."""
-        pending = self.wpq.occupancy
-        energy = pending * (1 + self.config.security.masu_hash_latency // 100)
-        raise RuntimeError(
-            f"eADR drain needs the full security pipeline over {pending} "
-            f"buffered lines (~{energy} ADR-entry-equivalents of energy) — "
-            "beyond the standard ADR budget; use Dolos instead"
-        )
-
-    def battery_drain(self):
-        """Power failure *with* the non-standard battery fitted.
-
-        The battery runs the full Ma-SU pipeline over every buffered
-        line in FIFO order (exactly what the lazy drain loop would have
-        done), leaving nothing for ADR to flush — the drained WPQ image
-        is empty.  The Ma-SU's volatile in-flight bookkeeping is lost,
-        but an in-flight entry whose completion callback had not run is
-        still occupied and is re-processed here; a completed entry was
-        cleared atomically with its ``secure_write`` and is skipped.
-        """
-        for entry in self.wpq.entries:
-            entry.in_flight = False
-        flushed = 0
-        while True:
-            entry = self.wpq.oldest_pending()
-            if entry is None:
-                break
-            request = entry.request
-            if request is not None and request.data is not None:
-                self.masu.secure_write(request.address, request.data)
-            self.wpq.mark_cleared(entry)
-            self.misu.reseal_cleared(entry)
-            flushed += 1
-        self.stats.add("eadr.battery_flushes", flushed)
-        return self.adr_drain.drain(self.wpq)
 
 
 # ======================================================================
@@ -866,7 +415,11 @@ _CONTROLLERS = {
     ControllerKind.POST_WPQ_HYPOTHETICAL: PostWPQHypotheticalController,
     ControllerKind.DOLOS: DolosController,
     ControllerKind.EADR_SECURE: EADRSecureController,
+    ControllerKind.TRIAD_NVM: TriadNVMController,
+    ControllerKind.WRITE_THROUGH: WriteThroughController,
 }
+
+assert set(_CONTROLLERS) == set(CONTROLLER_SPECS)
 
 
 def make_controller(

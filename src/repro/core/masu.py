@@ -88,7 +88,11 @@ class MajorSecurityUnit:
         self.shadow = ShadowTracker(nvm)
         self.osiris = OsirisRecovery(nvm, keys.memory_key, keys.mac_key)
         self.scheme = config.security.tree_update
-        if self.scheme is TreeUpdateScheme.EAGER:
+        #: Functional tree family: eager and pipelined (Freij) updates
+        #: persist the same Merkle structure (they differ in timing
+        #: only); lazy uses the ToC.  Recovery branches on the family.
+        self._merkle = config.security.tree_family == "merkle"
+        if self._merkle:
             self.tree: MerkleTree = MerkleTree(
                 keys.mac_key, num_pages, config.security.tree_arity
             )
@@ -123,7 +127,15 @@ class MajorSecurityUnit:
         self._hash_latency = security.masu_hash_latency
         self._critical_hash_latency = security.masu_critical_hash_latency
         self._counter_cache_latency = security.counter_cache.latency
-        self._eager = self.scheme is TreeUpdateScheme.EAGER
+        #: SuperMem-style write-through counters: every counter update
+        #: goes to NVM (coalesced per counter line), so the stale-copy
+        #: Osiris window never opens and the tree walk leaves the
+        #: persist critical path.
+        self._write_through = security.counter_write_through
+        self._wt_accept_latency = config.nvm.accept_latency
+        self._wt_last_page: Optional[int] = None
+        self.counter_writes_through = 0
+        self.counter_writes_coalesced = 0
 
     def _page_walk_keys(self, page: int) -> Tuple[int, ...]:
         """Tree-node keys on the path from ``page``'s leaf to the root."""
@@ -176,7 +188,7 @@ class MajorSecurityUnit:
         log.counter_page = page
         log.mac = self.data_macs.compute(address, counter.value, ciphertext)
         log.tree_path = []
-        if self.scheme is TreeUpdateScheme.EAGER:
+        if self._merkle:
             # Predict the new root by updating a staged copy of the path.
             # The real tree is updated in apply(); we record the encoded
             # new leaf so apply() is a pure replay.
@@ -220,10 +232,16 @@ class MajorSecurityUnit:
         # written to NVM only every ``stride`` updates (the ECC check
         # value lets recovery search forward from the stale copy); the
         # Anubis shadow below always holds the fresh value.
-        if block.updates % self.osiris.stride == 1 or self.osiris.stride == 1:
+        # Write-through counters (SuperMem) bypass the Osiris stride:
+        # the architectural block is always fresh in NVM.
+        if (
+            self._write_through
+            or block.updates % self.osiris.stride == 1
+            or self.osiris.stride == 1
+        ):
             self.nvm.region_write(COUNTER_REGION, page, encoded)
         # Integrity tree update.
-        if self.scheme is TreeUpdateScheme.EAGER:
+        if self._merkle:
             updated = self.tree.update_leaf(page, encoded)
             self.registers.tree_root = self.tree.root
             log.tree_path = [
@@ -352,7 +370,7 @@ class MajorSecurityUnit:
         return xor_bytes(ciphertext, pad)
 
     def _verify_counter_block(self, page: int, encoded: bytes) -> None:
-        if self.scheme is TreeUpdateScheme.EAGER:
+        if self._merkle:
             if not self.tree.verify_leaf(page, encoded):
                 self.integrity_failures += 1
                 raise IntegrityError(f"Merkle path mismatch for page {page:#x}")
@@ -424,15 +442,29 @@ class MajorSecurityUnit:
                 off-path.
         """
         latency = self.counter_access_latency(now, address, is_write=True)
+        if self._write_through:
+            # SuperMem: the updated counter line is written through to
+            # NVM.  Consecutive writes hitting the same counter line
+            # coalesce into one posted metadata write; a new line costs
+            # the device's command+data acceptance on the critical path
+            # while the media time is booked in the background.
+            page = address >> 12
+            if page != self._wt_last_page:
+                self._wt_last_page = page
+                self.nvm.timed_meta_access(now + latency, page, True)
+                latency += self._wt_accept_latency
+                self.counter_writes_through += 1
+            else:
+                self.counter_writes_coalesced += 1
         latency += self._aes_latency
         if critical_path:
             latency += self._critical_hash_latency
         else:
             latency += self._hash_latency
-        # Touch the MT cache for the updated path (eager) — hits keep
-        # the lump latency; misses were already charged via the counter
-        # walk, so we only mark dirtiness here.
-        if self._eager:
+        # Touch the MT cache for the updated path (merkle family) — hits
+        # keep the lump latency; misses were already charged via the
+        # counter walk, so we only mark dirtiness here.
+        if self._merkle:
             self.mt_cache.access_path(self._page_walk_keys(address >> 12), True)
         return latency
 
@@ -448,7 +480,7 @@ class MajorSecurityUnit:
     # Stats
     # ==================================================================
     def stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "writes_processed": self.writes_processed,
             "reads_verified": self.reads_verified,
             "integrity_failures": self.integrity_failures,
@@ -458,3 +490,9 @@ class MajorSecurityUnit:
             "dedup_cancelled_writes": self.dedup_cancelled_writes,
             "page_reencryptions": self.page_reencryptions,
         }
+        if self._write_through:
+            # Keyed only when the feature is on so legacy designs keep
+            # their exact stats dictionaries (bit-identity contract).
+            stats["counter_writes_through"] = self.counter_writes_through
+            stats["counter_writes_coalesced"] = self.counter_writes_coalesced
+        return stats

@@ -61,6 +61,10 @@ class MinorSecurityUnit:
     """Base Mi-SU: pad pre-generation, entry encryption, accounting."""
 
     design: MiSUDesign
+    #: Whether protection runs *after* commit on the deferred engine
+    #: (Design Option 3).  The write strategy and the ADR crash domain
+    #: branch on this flag instead of on the concrete class.
+    deferred = False
 
     def __init__(
         self,
@@ -328,6 +332,7 @@ class PostWPQMiSU(PartialWPQMiSU):
     """
 
     design = MiSUDesign.POST_WPQ
+    deferred = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

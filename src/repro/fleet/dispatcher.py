@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import signal
 import subprocess
@@ -59,6 +60,8 @@ from repro.service.protocol import (
     result_payload,
 )
 from repro.workloads import ALL_WORKLOADS, ORACLE_SEMANTICS
+
+logger = logging.getLogger(__name__)
 
 #: Seconds to wait for a worker subprocess to write its ready file.
 WORKER_START_TIMEOUT = 30.0
@@ -713,7 +716,15 @@ class FleetDispatcher:
             try:
                 client.close()
             except Exception:
-                pass
+                # Best-effort teardown: the unit ledger is already
+                # consistent, but a socket that will not close is worth
+                # a trace in the log rather than a silent swallow.
+                logger.warning(
+                    "fleet worker %s: client close failed during "
+                    "dispatcher teardown",
+                    worker.worker_id,
+                    exc_info=True,
+                )
 
 
 # ----------------------------------------------------------------------

@@ -60,6 +60,10 @@ def main(argv=None) -> int:
         from repro.fleet.dispatcher import main as fleet_main
 
         return fleet_main(list(argv[1:]))
+    if argv and argv[0] == "matrix":
+        from repro.matrix import main as matrix_main
+
+        return matrix_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -70,10 +74,10 @@ def main(argv=None) -> int:
         "motivation), 'all', 'list', 'check' (crash oracle), "
         "'trace' (persist-span tracing), 'faults' (fault-injection "
         "campaign), 'serve' (experiment service), 'submit' (service "
-        "client), 'golden' (golden-result gate), or 'fleet' "
-        "(distributed campaign dispatcher); see python -m "
-        "repro.harness {check,trace,faults,serve,submit,golden,fleet} "
-        "--help",
+        "client), 'golden' (golden-result gate), 'fleet' (distributed "
+        "campaign dispatcher), or 'matrix' (print controller-matrix "
+        "labels); see python -m repro.harness "
+        "{check,trace,faults,serve,submit,golden,fleet,matrix} --help",
     )
     parser.add_argument(
         "--transactions",

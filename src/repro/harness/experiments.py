@@ -47,6 +47,13 @@ DESIGN_LABELS = {
     MiSUDesign.POST_WPQ: "Post-WPQ-MiSU",
 }
 
+#: The designs added beyond the paper's Figure 5 matrix (PR 8): matrix
+#: label -> display label.
+NEW_DESIGN_LABELS = {
+    "triad": "Triad-NVM",
+    "writethrough": "Write-Through",
+}
+
 DEFAULT_TRANSACTIONS = 300
 DEFAULT_SEED = 1
 
@@ -404,6 +411,55 @@ def fig15_wpq_size(
 
 
 # ======================================================================
+# Beyond Figure 5: the Triad-NVM and write-through designs (PR 8)
+# ======================================================================
+def newdesigns_speedup(
+    transactions: int = DEFAULT_TRANSACTIONS, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    """Speedup of the two post-Figure-5 designs over Pre-WPQ-Secure.
+
+    Triad-NVM relaxes tree persistence to the lowest
+    ``triad_persist_levels`` levels; the SuperMem-style write-through
+    design removes the tree walk from the persist critical path but
+    pays an NVM counter write per (coalesced) counter line.  Same
+    baseline and traces as Figure 12, so the columns are directly
+    comparable with the Dolos speedups.
+    """
+    from repro.matrix import controller_matrix
+
+    cache = TraceCache()
+    matrix = controller_matrix()
+    result = ExperimentResult(
+        "newdesigns",
+        "Beyond Fig 5: Triad-NVM / write-through speedup vs Pre-WPQ-Secure",
+        ["workload"] + list(NEW_DESIGN_LABELS.values()),
+    )
+    per_design: Dict[str, List[float]] = {d: [] for d in NEW_DESIGN_LABELS}
+    for workload in WORKLOADS:
+        baseline = _run(
+            cache, matrix["prewpq-eager"], workload, transactions, seed
+        )
+        row: List = [workload]
+        for label in NEW_DESIGN_LABELS:
+            run = _run(cache, matrix[label], workload, transactions, seed)
+            value = baseline.cycles / run.cycles
+            per_design[label].append(value)
+            row.append(value)
+        result.rows.append(row)
+    for label, values in per_design.items():
+        result.summary[f"mean {NEW_DESIGN_LABELS[label]}"] = (
+            sum(values) / len(values)
+        )
+    result.notes = (
+        "Triad-NVM (Awad et al.) and SuperMem write-through (Zuo/Hua/"
+        "Xie): both beat the strict pre-WPQ baseline but stay below the "
+        "Dolos designs, which remove *all* Ma-SU work from the critical "
+        "path."
+    )
+    return result
+
+
+# ======================================================================
 # Table 3: Mi-SU storage overhead
 # ======================================================================
 def tab03_storage() -> ExperimentResult:
@@ -526,6 +582,7 @@ EXPERIMENTS = {
     "fig14": fig14_speedup_txnsize,
     "fig15": fig15_wpq_size,
     "fig16": fig16_speedup_lazy,
+    "newdesigns": newdesigns_speedup,
     "tab02": tab02_retries,
     "tab03": tab03_storage,
     "sec55": sec55_recovery,

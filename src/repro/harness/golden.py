@@ -11,6 +11,8 @@ tier-1 transaction count:
 * **Figure 15** — mean speedup and retries/KWR per WPQ size (the
   saturation point at ~28 entries and the ~2.1x ceiling);
 * **Figure 16** — mean speedup per design under lazy ToC;
+* **New designs** — mean Triad-NVM / write-through speedup over the
+  Pre-WPQ-Secure baseline (the PR-8 matrix extension);
 * **Table 2** — the NStore:YCSB retry row (the known-delta outlier);
 * **Table 3** — Mi-SU storage overhead (exact integers);
 * **Section 5.5** — recovery-cycle totals (exact integers).
@@ -40,6 +42,7 @@ from typing import Dict, List, Optional, Union
 from repro.harness.experiments import (
     DESIGN_LABELS,
     DESIGNS,
+    NEW_DESIGN_LABELS,
     run_experiment,
 )
 from repro.workloads import GENERATOR_VERSION
@@ -88,6 +91,14 @@ def compute_metrics(
         kind = "mean_speedup" if "speedup" in name else "mean_retries_kwr"
         size = name.rsplit("=", 1)[1]
         metrics[f"fig15.{kind}.wpq{size}"] = value
+
+    newdesigns = run_experiment(
+        "newdesigns", jobs=jobs, transactions=transactions, seed=seed
+    )
+    for label, pretty in NEW_DESIGN_LABELS.items():
+        metrics[f"newdesigns.mean_speedup.{label}"] = newdesigns.summary[
+            f"mean {pretty}"
+        ]
 
     tab02 = run_experiment("tab02", jobs=jobs, transactions=transactions, seed=seed)
     for row in tab02.rows:

@@ -162,6 +162,11 @@ class UnitMemo:
     def enabled(self) -> bool:
         return self._store is not None
 
+    @property
+    def quarantined_entries(self) -> int:
+        """Corrupt entries moved aside by the backing store."""
+        return self._store.quarantined if self._store is not None else 0
+
     # ------------------------------------------------------------------
     def key_for(self, config: SimConfig, trace) -> str:
         """The unit's content key (full trace chain + fingerprints)."""
@@ -189,6 +194,14 @@ class UnitMemo:
         try:
             result = _result_from_payload(payload)
         except Exception:
+            # The payload passed the store's byte-digest check but does
+            # not decode to a RunResult (bad enum value, missing field).
+            # Quarantine it like any other corrupt entry — leaving it in
+            # place would fail every future load of this key while
+            # blocking regeneration from ever being consulted.
+            self._store.hits -= 1
+            self._store._quarantine(self._store.path_for(key))
+            self._store.misses += 1
             self.misses += 1
             return None
         self.hits += 1

@@ -1,0 +1,107 @@
+"""The shared controller-design matrix.
+
+Single source of truth for the (label -> :class:`~repro.config.SimConfig`)
+registry that the oracle checker, fault campaign, trace tooling, golden
+suite, fleet dispatcher, experiment service, Makefile targets and CI jobs
+all sweep.  Adding a design here is the *only* step needed for it to flow
+through every harness entry point.
+
+The first six labels are the legacy Figure 5 design space and their
+order is stable (CLI defaults and golden metrics key off it); new
+designs are appended after them.
+
+``python -m repro.matrix --group <name>`` prints a comma-joined label
+list so shell tooling (Makefile, CI) can iterate the registry instead of
+hard-coding design lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.config import (
+    ControllerKind,
+    MiSUDesign,
+    SimConfig,
+    lazy_config,
+    triad_config,
+    writethrough_config,
+)
+
+
+def controller_matrix() -> Dict[str, SimConfig]:
+    """The eight controller configurations the harnesses sweep.
+
+    Six legacy Figure 5 designs first (stable order), then the two
+    designs added on top of the paper's matrix: Triad-NVM (Awad et al.)
+    and the SuperMem-style write-through secure counter design
+    (Zuo/Hua/Xie, arXiv 1901.00620).
+    """
+    return {
+        "dolos-full": SimConfig().with_(misu_design=MiSUDesign.FULL_WPQ),
+        "dolos-partial": SimConfig().with_(misu_design=MiSUDesign.PARTIAL_WPQ),
+        "dolos-post": SimConfig().with_(misu_design=MiSUDesign.POST_WPQ),
+        "prewpq-eager": SimConfig().with_(
+            controller=ControllerKind.PRE_WPQ_SECURE
+        ),
+        "prewpq-lazy": lazy_config(controller=ControllerKind.PRE_WPQ_SECURE),
+        "eadr": SimConfig().with_(controller=ControllerKind.EADR_SECURE),
+        "triad": triad_config(),
+        "writethrough": writethrough_config(),
+    }
+
+
+#: Stable label tuple (CLI default order).
+CONTROLLER_MATRIX = tuple(controller_matrix())
+
+#: The six pre-refactor designs whose metrics are bit-pinned.
+LEGACY_MATRIX = CONTROLLER_MATRIX[:6]
+
+#: Designs added after the Figure 5 space.
+NEW_MATRIX = CONTROLLER_MATRIX[6:]
+
+#: Named label groups for shell tooling (Makefile / CI).
+MATRIX_GROUPS: Dict[str, tuple] = {
+    "all": CONTROLLER_MATRIX,
+    "legacy": LEGACY_MATRIX,
+    "new": NEW_MATRIX,
+    # Quick cross-section: one Dolos design, one baseline, the battery
+    # design, and both new designs.
+    "smoke": ("dolos-partial", "prewpq-eager", "eadr") + NEW_MATRIX,
+    # Minimal two-design pair for the cheapest smoke targets.
+    "pair": ("dolos-partial", "prewpq-eager"),
+}
+
+
+def matrix_labels(group: str = "all") -> List[str]:
+    """Resolve a named group to its label list."""
+    try:
+        return list(MATRIX_GROUPS[group])
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix group {group!r}; choose from "
+            f"{sorted(MATRIX_GROUPS)}"
+        ) from None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="harness matrix",
+        description="Print controller-matrix labels for shell tooling.",
+    )
+    parser.add_argument(
+        "--group", default="all", choices=sorted(MATRIX_GROUPS),
+        help="named label group (default: all)",
+    )
+    parser.add_argument(
+        "--sep", default=",", help="label separator (default: ',')",
+    )
+    args = parser.parse_args(argv)
+    print(args.sep.join(matrix_labels(args.group)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,8 @@ For every (workload, controller) unit:
    tamper with it through :mod:`repro.attacks`, and assert recovery (or
    log reconstruction) *detects* the tampering.
 
-Across controllers the checker is *differential*: all six
-configurations must recover the same final logical state for the same
+Across controllers the checker is *differential*: every configuration
+in :mod:`repro.matrix` must recover the same final logical state for the same
 trace — any controller whose quiescent recovery diverges from the
 golden model (or from its peers) fails the run.
 
@@ -32,12 +32,7 @@ import sys
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import (
-    ControllerKind,
-    MiSUDesign,
-    SimConfig,
-    lazy_config,
-)
+from repro.config import ControllerKind, SimConfig
 from repro.attacks.verify import choose_crash_attack
 from repro.core.masu import IntegrityError
 from repro.oracle.driver import OracleExecution
@@ -50,22 +45,9 @@ from repro.recovery.recover import RecoveryError, recover_system
 from repro.workloads import ORACLE_SEMANTICS
 
 
-def controller_matrix() -> Dict[str, SimConfig]:
-    """The six controller configurations the oracle sweeps."""
-    return {
-        "dolos-full": SimConfig().with_(misu_design=MiSUDesign.FULL_WPQ),
-        "dolos-partial": SimConfig().with_(misu_design=MiSUDesign.PARTIAL_WPQ),
-        "dolos-post": SimConfig().with_(misu_design=MiSUDesign.POST_WPQ),
-        "prewpq-eager": SimConfig().with_(
-            controller=ControllerKind.PRE_WPQ_SECURE
-        ),
-        "prewpq-lazy": lazy_config(controller=ControllerKind.PRE_WPQ_SECURE),
-        "eadr": SimConfig().with_(controller=ControllerKind.EADR_SECURE),
-    }
-
-
-#: Stable label list (CLI default order).
-CONTROLLER_MATRIX = tuple(controller_matrix())
+# The matrix lives in repro.matrix (the shared registry every harness
+# entry point sweeps); re-exported here for the many historical callers.
+from repro.matrix import CONTROLLER_MATRIX, controller_matrix  # noqa: F401
 
 
 @dataclass

@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import MiSUDesign, TreeUpdateScheme
+from repro.config import MiSUDesign
 from repro.core.masu import (
     COUNTER_REGION,
     MajorSecurityUnit,
@@ -202,7 +202,7 @@ def _rebuild_tree(
     image: CrashImage, masu: MajorSecurityUnit, report: RecoveryReport
 ) -> None:
     registers = image.registers
-    if masu.scheme is TreeUpdateScheme.EAGER:
+    if masu._merkle:
         leaves = {
             page: block.encode() for page, block in masu.counters.pages().items()
         }

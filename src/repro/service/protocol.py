@@ -83,9 +83,10 @@ class ProtocolError(ValueError):
 class JobSpec:
     """One experiment job: the unit of submission and dedup.
 
-    ``design`` names a column of the oracle's six-config controller
+    ``design`` names a column of the shared eight-config controller
     matrix (``dolos-full``, ``dolos-partial``, ``dolos-post``,
-    ``prewpq-eager``, ``prewpq-lazy``, ``eadr``); ``overrides`` tweaks
+    ``prewpq-eager``, ``prewpq-lazy``, ``eadr``, ``triad``,
+    ``writethrough`` — see :mod:`repro.matrix`); ``overrides`` tweaks
     the whitelisted :class:`~repro.config.SimConfig` knobs.
     ``experiment_id`` is a client-side label (echoed in progress
     events, excluded from the job hash).

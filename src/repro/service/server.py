@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import signal
 import sys
 from pathlib import Path
@@ -41,6 +42,8 @@ from repro.service.scheduler import (
     Job,
     JobStatus,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Default per-client token bucket: sustained messages/second + burst.
 DEFAULT_RATE = 200.0
@@ -427,7 +430,18 @@ class ExperimentServer:
             try:
                 await server.wait_closed()
             except Exception:
-                pass
+                # Shutdown proceeds regardless, but a listener that
+                # errors while closing should leave a trace for the
+                # operator instead of vanishing.
+                logger.debug(
+                    "experiment service: listener on %s failed to close "
+                    "cleanly during drain",
+                    ", ".join(
+                        str(sock.getsockname())
+                        for sock in (server.sockets or [])
+                    ) or "<no socket>",
+                    exc_info=True,
+                )
         self._stopped.set()
 
 

@@ -39,8 +39,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     matrix = controller_matrix()
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness trace",
-        description="Trace per-write persist spans across the six "
-        "controller configurations and report per-stage latency.",
+        description="Trace per-write persist spans across the "
+        "controller matrix and report per-stage latency.",
     )
     parser.add_argument("workload", help="workload name (e.g. hashmap)")
     parser.add_argument(

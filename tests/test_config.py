@@ -82,9 +82,35 @@ class TestADRSizing:
         adr = ADRConfig(budget_entries=18)
         assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == 16
 
-    def test_post_always_at_least_one(self):
-        adr = ADRConfig(budget_entries=4)
-        assert adr.usable_entries(MiSUDesign.POST_WPQ) >= 1
+    def test_paper_splits_across_budgets(self):
+        """Pin the 16/32/64/128 splits for every Mi-SU design."""
+        expected = {
+            16: (16, 13, 10),
+            32: (32, 28, 25),
+            64: (64, 57, 54),
+            128: (128, 113, 110),
+        }
+        for budget, (full, partial, post) in expected.items():
+            adr = ADRConfig(budget_entries=budget)
+            assert adr.usable_entries(MiSUDesign.FULL_WPQ) == full
+            assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == partial
+            assert adr.usable_entries(MiSUDesign.POST_WPQ) == post
+
+    def test_infeasible_post_budget_raises(self):
+        """A budget that cannot hold one entry plus the deferred-MAC
+        reservation is a model error, not a 1-entry queue."""
+        adr = ADRConfig(budget_entries=4)  # 8/9 rule -> 3; 3 - 2 - 1 = 0
+        with pytest.raises(ValueError, match="deferred-MAC reservation"):
+            adr.usable_entries(MiSUDesign.POST_WPQ)
+        # Full/Partial stay feasible at the same budget.
+        assert adr.usable_entries(MiSUDesign.FULL_WPQ) == 4
+        assert adr.usable_entries(MiSUDesign.PARTIAL_WPQ) == 3
+
+    def test_infeasible_partial_budget_raises(self):
+        adr = ADRConfig(budget_entries=1)  # 8/9 rule -> 0 entries
+        with pytest.raises(ValueError, match="cannot hold"):
+            adr.usable_entries(MiSUDesign.PARTIAL_WPQ)
+        assert adr.usable_entries(MiSUDesign.FULL_WPQ) == 1
 
 
 class TestSimConfig:

@@ -227,6 +227,35 @@ class TestUnitMemo:
         assert result.cycles > 0
         assert fresh.hits == 0
 
+    def test_undecodable_payload_is_quarantined_and_regenerated(
+        self, tmp_path
+    ):
+        """A payload whose byte digest is valid but that does not decode
+        to a RunResult must be quarantined — not left in the store to
+        poison every future load of the key."""
+        config, packed = self._unit()
+        memo = UnitMemo(tmp_path)
+        key = memo.key_for(config, packed)
+        # Digest-valid (the store recomputes it) but decode-invalid.
+        memo._store.store(key, {"controller": "no-such-design"})
+        assert memo.load(key) is None
+        assert memo.misses == 1
+        # The poisoned entry moved to quarantine and is gone from the
+        # store, so the next load is a plain path miss.
+        assert not memo._store.path_for(key).exists()
+        assert memo._store.quarantined == 1
+        quarantine = tmp_path / memo._store.QUARANTINE_DIR
+        assert [p.name for p in quarantine.iterdir()] == [f"{key}.json"]
+        # Regeneration round-trip: run repopulates the key, and a fresh
+        # memo now hits on a decodable payload.
+        result = memo.run(config, packed, "hashmap", 20)
+        assert result.cycles > 0
+        fresh = UnitMemo(tmp_path)
+        again = fresh.load(key)
+        assert again is not None
+        assert again.cycles == result.cycles
+        assert (fresh.hits, fresh.quarantined_entries) == (1, 0)
+
     def test_env_off_disables(self, monkeypatch):
         monkeypatch.setenv("REPRO_UNIT_MEMO", "off")
         assert default_unit_memo_dir() is None

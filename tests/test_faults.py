@@ -100,7 +100,7 @@ class TestDetectionMatrix:
     @pytest.mark.parametrize("label", sorted(MATRIX))
     def test_no_silent_corruption_across_plan(self, label, site_cache):
         """Every applicable catalogue fault is detected or tolerated —
-        never silent — on every one of the six controller configs."""
+        never silent — on every matrix controller config."""
         execution, image, ops, states = site_cache(label)
         plan = FaultPlan.generate(SEED, image)
         assert plan.faults, "plan generated no faults at a live site"

@@ -122,12 +122,23 @@ class TestFleetMatchesSerial:
 
 
 class TestWorkerKill:
-    def test_killed_worker_is_redispatched_bit_identically(self, tmp_path):
+    def test_killed_worker_is_redispatched_bit_identically(
+        self, tmp_path, monkeypatch, caplog
+    ):
         """SIGKILL one of two workers after its first recorded unit.
 
         The survivor completes the campaign via requeue + stealing; the
         database still matches serial execution with zero lost units.
+        A client whose socket refuses to close on the teardown path must
+        be *logged* (with the worker id), never silently swallowed.
         """
+        real_close = ServiceClient.close
+
+        def close_raises(self):
+            real_close(self)
+            raise OSError("socket already reaped")
+
+        monkeypatch.setattr(ServiceClient, "close", close_raises)
         campaign = _tiny_campaign()
         serial = _serial_digests(campaign)
         db = FleetDB(tmp_path / "fleet.sqlite")
@@ -147,7 +158,16 @@ class TestWorkerKill:
                 dispatcher.worker_handles["worker-0"].kill()
 
         dispatcher.on_record = kill_after_first_record
-        summary = dispatcher.run()
+        with caplog.at_level("WARNING", logger="repro.fleet.dispatcher"):
+            summary = dispatcher.run()
+        teardown_logs = [
+            record for record in caplog.records
+            if "client close failed" in record.getMessage()
+        ]
+        assert teardown_logs, "close failure on teardown was not logged"
+        assert any(
+            "worker-" in record.getMessage() for record in teardown_logs
+        )
         assert killed.is_set()
         assert summary.worker_deaths == 1
         assert summary.units_recorded == summary.units_total == len(serial)

@@ -21,7 +21,10 @@ import pytest
 from repro.harness import golden
 from repro.workloads import GENERATOR_VERSION
 
-FAMILIES = ("fig12.", "fig15.", "fig16.", "tab02.", "tab03.", "sec55.")
+FAMILIES = (
+    "fig12.", "fig15.", "fig16.", "newdesigns.", "tab02.", "tab03.",
+    "sec55.",
+)
 
 
 @pytest.fixture(scope="module")

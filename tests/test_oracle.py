@@ -1,7 +1,7 @@
 """Tests for the differential crash-consistency oracle.
 
 The fast tests here are tier-1 (every ``pytest -x -q`` run); the
-exhaustive 200-transaction sweep over all six controller configurations
+exhaustive 200-transaction sweep over every matrix controller configuration
 is marked ``oracle`` (and ``slow``) and runs via ``make check-oracle``
 or ``pytest -m oracle``.
 """
@@ -194,7 +194,7 @@ class TestCheckFast:
 @pytest.mark.parametrize("label", sorted(CONTROLLER_MATRIX))
 def test_full_sweep_200tx(workload, label):
     """The acceptance sweep: every enumerated crash site, 200
-    transactions, all six controller configurations, attacks on every
+    transactions, every matrix controller configuration, attacks on every
     4th site — no recovery failure, no golden-model divergence, 100%
     attack detection."""
     unit = check_unit(

@@ -532,11 +532,19 @@ class TestServer:
 
         _run_async(_with_server(scenario))
 
-    def test_shutdown_drains_accepted_jobs_then_refuses(self):
+    def test_shutdown_drains_accepted_jobs_then_refuses(self, caplog):
         async def scenario():
             scheduler = _scheduler()
             server = ExperimentServer(scheduler, port=0)
             await server.start()
+            # A listener that errors while closing must be logged with
+            # its address on the drain path, never silently swallowed.
+            for listener in server._servers:
+
+                async def wait_closed_raises():
+                    raise ConnectionResetError("listener torn down")
+
+                listener.wait_closed = wait_closed_raises
             client = await _AsyncClient.connect(server)
             await client.send(
                 {"type": "submit", "id": "r1", "job": SPEC.to_wire()}
@@ -558,9 +566,15 @@ class TestServer:
             await client.close()
             return scheduler.stats()
 
-        stats = _run_async(scenario())
+        with caplog.at_level("DEBUG", logger="repro.service.server"):
+            stats = _run_async(scenario())
         assert stats["draining"] is True
         assert stats["completed"] == 1
+        drain_logs = [
+            record for record in caplog.records
+            if "failed to close" in record.getMessage()
+        ]
+        assert drain_logs, "listener close failure on drain was not logged"
 
     def test_blocking_service_client_against_inprocess_server(self, tmp_path):
         specs = [SPEC, _spec(design="dolos-post"), SPEC]
