@@ -4,9 +4,9 @@ PYTHON ?= python
 # Worker processes for experiment run units (0 = all cores).
 JOBS ?= 0
 
-.PHONY: install test check-oracle fault-smoke fleet-smoke bench bench-perf \
-	perf-gate profile-kernel trace-smoke service-smoke golden golden-update \
-	coverage experiments examples clean
+.PHONY: install test check-oracle fault-smoke fleet-smoke chaos-smoke \
+	bench bench-perf perf-gate profile-kernel trace-smoke service-smoke \
+	golden golden-update coverage experiments examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -54,6 +54,17 @@ fleet-smoke:
 		--report-dir results/fleet
 	REPRO_FLEET_DB=results/fleet/fleet.sqlite \
 	$(PYTHON) -m repro.harness fleet status
+
+# Chaos-hardened fleet smoke (docs/robustness.md): run a real
+# multi-worker campaign under three seeded fault schedules (wire
+# resets/garbles/stalls, SIGSTOP/SIGKILL workers, torn-WAL and
+# killed-writer storage drills) and assert the zero-loss invariant —
+# every unit recorded exactly once, digests bit-identical to a calm
+# baseline, no silent fault.  JSON report under results/chaos/.
+chaos-smoke:
+	mkdir -p results/chaos
+	$(PYTHON) -m repro.harness chaos --chaos-seeds 1,2,3 \
+		--workers 2 --transactions 8 --out results/chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

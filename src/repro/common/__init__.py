@@ -1,0 +1,1 @@
+"""Cross-cutting utilities shared by the harness, service, and fleet."""

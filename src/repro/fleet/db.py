@@ -415,6 +415,17 @@ class FleetDB:
         ).fetchall()
         return [row["unit_key"] for row in rows]
 
+    def integrity_check(self) -> str:
+        """Run sqlite's own ``PRAGMA integrity_check``; "ok" = healthy.
+
+        The chaos harness calls this after every faulted campaign —
+        a torn WAL tail or a writer killed mid-transaction must leave
+        a database sqlite itself still certifies, or the run counts as
+        a silent storage failure.
+        """
+        row = self._conn().execute("PRAGMA integrity_check").fetchone()
+        return str(row[0])
+
     def status(self, experiment_id: str) -> Dict[str, object]:
         """Roll-up counts for ``fleet status`` and the wire report."""
         experiment = self.experiment(experiment_id)

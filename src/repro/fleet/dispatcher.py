@@ -48,7 +48,13 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.retry import CircuitBreaker
 from repro.fleet.db import FleetDB, current_git_hash, default_db_path
+from repro.fleet.supervisor import (
+    HeartbeatMonitor,
+    SupervisionConfig,
+    SupervisionLog,
+)
 from repro.harness.parallel import RunUnit, run_units
 from repro.oracle.check import controller_matrix
 from repro.service.client import ServiceClient, ServiceError
@@ -65,8 +71,30 @@ logger = logging.getLogger(__name__)
 
 #: Seconds to wait for a worker subprocess to write its ready file.
 WORKER_START_TIMEOUT = 30.0
+#: Seconds SIGTERM gets before :meth:`ServiceWorker.stop` escalates.
+WORKER_STOP_TIMEOUT = 10.0
 #: Poll interval while a worker thread waits on other shards' units.
 _IDLE_POLL = 0.02
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+def worker_start_timeout() -> float:
+    """``REPRO_FLEET_START_TIMEOUT`` or :data:`WORKER_START_TIMEOUT`."""
+    return _env_float("REPRO_FLEET_START_TIMEOUT", WORKER_START_TIMEOUT)
+
+
+def worker_stop_timeout() -> float:
+    """``REPRO_FLEET_STOP_TIMEOUT`` or :data:`WORKER_STOP_TIMEOUT`."""
+    return _env_float("REPRO_FLEET_STOP_TIMEOUT", WORKER_STOP_TIMEOUT)
+
+
+def idle_poll() -> float:
+    """``REPRO_FLEET_IDLE_POLL`` or :data:`_IDLE_POLL`."""
+    return _env_float("REPRO_FLEET_IDLE_POLL", _IDLE_POLL)
 
 
 class FleetError(RuntimeError):
@@ -400,7 +428,16 @@ class UnitLedger:
 # Worker processes
 # ----------------------------------------------------------------------
 class ServiceWorker:
-    """One fleet worker: a ``harness serve`` subprocess + Unix socket."""
+    """One fleet worker: a ``harness serve`` subprocess + Unix socket.
+
+    A worker id is stable for the whole campaign; each (re)start is a
+    new *incarnation* with its own socket and ready file
+    (``worker-0.sock``, then ``worker-0.r1.sock``, ...), so a respawn
+    can never race the dead process's stale paths.  ``connect`` dials
+    ``client_socket_path`` — normally the worker's own socket, but the
+    chaos harness repoints it at a fault-injecting proxy while the
+    supervision plane keeps probing ``socket_path`` directly.
+    """
 
     def __init__(
         self,
@@ -415,13 +452,29 @@ class ServiceWorker:
         self.jobs = jobs
         self.env = dict(os.environ if env is None else env)
         self.submit_timeout = submit_timeout
-        self.socket_path = str(self.runtime_dir / f"{worker_id}.sock")
-        self.ready_path = self.runtime_dir / f"{worker_id}.ready"
+        self.instance = 0
         self.process: Optional[subprocess.Popen] = None
+        self._set_paths()
+
+    def _set_paths(self) -> None:
+        suffix = f".r{self.instance}" if self.instance else ""
+        self.socket_path = str(
+            self.runtime_dir / f"{self.worker_id}{suffix}.sock"
+        )
+        self.ready_path = self.runtime_dir / f"{self.worker_id}{suffix}.ready"
+        #: Where :meth:`connect` actually dials (chaos proxies repoint).
+        self.client_socket_path = self.socket_path
+        #: True once this incarnation's ready file appeared.  The
+        #: heartbeat monitor must not start a staleness clock on a
+        #: worker that is still booting (interpreter start can exceed
+        #: stale_after on a loaded machine) — probing begins here.
+        self.ready = False
 
     def start(self) -> None:
         self.runtime_dir.mkdir(parents=True, exist_ok=True)
         self.ready_path.unlink(missing_ok=True)
+        Path(self.socket_path).unlink(missing_ok=True)
+        start_timeout = worker_start_timeout()
         self.process = subprocess.Popen(
             [
                 sys.executable,
@@ -439,7 +492,7 @@ class ServiceWorker:
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
-        deadline = time.monotonic() + WORKER_START_TIMEOUT
+        deadline = time.monotonic() + start_timeout
         while not self.ready_path.exists():
             if self.process.poll() is not None:
                 raise FleetError(
@@ -450,12 +503,22 @@ class ServiceWorker:
                 self.process.kill()
                 raise FleetError(
                     f"worker {self.worker_id} did not become ready within "
-                    f"{WORKER_START_TIMEOUT}s"
+                    f"{start_timeout}s (REPRO_FLEET_START_TIMEOUT)"
                 )
             time.sleep(0.01)
+        self.ready = True
+
+    def respawn(self) -> None:
+        """Start the next incarnation (same id, fresh socket paths)."""
+        self.kill()
+        self.instance += 1
+        self._set_paths()
+        self.start()
 
     def connect(self) -> ServiceClient:
-        return ServiceClient(self.socket_path, timeout=self.submit_timeout)
+        return ServiceClient(
+            self.client_socket_path, timeout=self.submit_timeout
+        )
 
     @property
     def alive(self) -> bool:
@@ -473,7 +536,7 @@ class ServiceWorker:
             return
         self.process.send_signal(signal.SIGTERM)
         try:
-            self.process.wait(timeout=10)
+            self.process.wait(timeout=worker_stop_timeout())
         except subprocess.TimeoutExpired:
             self.process.kill()
             self.process.wait()
@@ -484,12 +547,21 @@ class ServiceWorker:
 # ----------------------------------------------------------------------
 @dataclass
 class WorkerReport:
-    """Per-worker tally for the run summary."""
+    """Per-worker tally for the run summary.
+
+    ``died`` is sticky: a worker that died at least once keeps it even
+    if a respawned incarnation finished the campaign cleanly (the
+    ``deaths`` counter carries the exact number).
+    """
 
     worker_id: str
     completed: int = 0
     duplicates: int = 0
     died: bool = False
+    deaths: int = 0
+    respawns: int = 0
+    quarantined: bool = False
+    breaker: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -505,6 +577,9 @@ class FleetRunSummary:
     straggler_clones: int
     worker_deaths: int
     elapsed_s: float
+    hangs: int = 0
+    respawns: int = 0
+    quarantined: List[str] = field(default_factory=list)
     workers: List[WorkerReport] = field(default_factory=list)
 
     def to_payload(self) -> Dict[str, object]:
@@ -525,6 +600,8 @@ class FleetDispatcher:
         straggler_after: Optional[float] = None,
         worker_env: Optional[Dict[str, str]] = None,
         on_record: Optional[Callable[[str, str], None]] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        on_worker_start: Optional[Callable[[ServiceWorker], None]] = None,
     ) -> None:
         self.campaign = campaign.validate()
         self.db = db
@@ -537,8 +614,25 @@ class FleetDispatcher:
         #: ``on_record(worker_id, unit_key)`` fires after every db
         #: record — the integration tests' kill-injection hook.
         self.on_record = on_record
+        #: Heartbeats / breakers / respawn; defaults to the inert
+        #: env-derived config (everything off unless REPRO_FLEET_* set).
+        self.supervision = (
+            supervision
+            if supervision is not None
+            else SupervisionConfig.from_env()
+        )
+        #: ``on_worker_start(worker)`` fires after every incarnation
+        #: becomes ready (initial start *and* respawns) — the chaos
+        #: harness uses it to stand up a wire proxy per incarnation.
+        self.on_worker_start = on_worker_start
         #: Live handles, keyed by worker id (kill-injection surface).
         self.worker_handles: Dict[str, ServiceWorker] = {}
+        #: Everything the supervision plane observed this run.
+        self.supervision_log = SupervisionLog()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._respawns_left = self.supervision.respawn_budget
+        self._respawn_lock = threading.Lock()
+        self._monitor: Optional[HeartbeatMonitor] = None
 
     # ------------------------------------------------------------------
     def run(self) -> FleetRunSummary:
@@ -582,6 +676,9 @@ class FleetDispatcher:
             straggler_clones=ledger.straggler_clones if ledger else 0,
             worker_deaths=sum(1 for r in reports if r.died),
             elapsed_s=time.monotonic() - started,
+            hangs=self._monitor.hangs if self._monitor else 0,
+            respawns=sum(r.respawns for r in reports),
+            quarantined=[r.worker_id for r in reports if r.quarantined],
             workers=reports,
         )
 
@@ -637,9 +734,41 @@ class FleetDispatcher:
             for index in range(self.workers)
         ]
         reports = [WorkerReport(worker_id=h.worker_id) for h in handles]
+        logger.info(
+            "fleet timeouts: start=%.1fs (REPRO_FLEET_START_TIMEOUT) "
+            "stop=%.1fs (REPRO_FLEET_STOP_TIMEOUT) idle-poll=%.3fs "
+            "(REPRO_FLEET_IDLE_POLL)",
+            worker_start_timeout(),
+            worker_stop_timeout(),
+            idle_poll(),
+        )
+        if self.supervision.heartbeat_enabled:
+            logger.info(
+                "fleet supervision: heartbeat=%.2fs stale-after=%.2fs "
+                "respawn-budget=%d (REPRO_FLEET_HEARTBEAT / "
+                "REPRO_FLEET_STALE_AFTER / REPRO_FLEET_RESPAWNS)",
+                self.supervision.heartbeat_interval,
+                self.supervision.effective_stale_after,
+                self.supervision.respawn_budget,
+            )
         for handle in handles:
             handle.start()
             self.worker_handles[handle.worker_id] = handle
+            self._breakers[handle.worker_id] = self.supervision.breaker()
+            self.supervision_log.record(
+                "worker-start", handle.worker_id, "incarnation 0"
+            )
+            if self.on_worker_start is not None:
+                self.on_worker_start(handle)
+
+        if self.supervision.heartbeat_enabled:
+            self._monitor = HeartbeatMonitor(
+                workers=lambda: list(self.worker_handles.values()),
+                config=self.supervision,
+                log=self.supervision_log,
+                on_stale=self._kill_stale_worker,
+            )
+            self._monitor.start()
 
         threads = [
             threading.Thread(
@@ -661,9 +790,24 @@ class FleetDispatcher:
                     f"{ledger.outstanding()} units outstanding"
                 )
         finally:
+            if self._monitor is not None:
+                self._monitor.stop()
             for handle in handles:
                 handle.stop()
         return ledger, reports
+
+    def _kill_stale_worker(self, worker: ServiceWorker) -> None:
+        """Heartbeat verdict: the worker is hung — kill it.
+
+        The blocked submit in its driver thread then fails fast, which
+        routes the hang through the ordinary death path (requeue,
+        breaker, respawn) with no special casing.
+        """
+        logger.warning(
+            "fleet worker %s hung (stale heartbeat); killing",
+            worker.worker_id,
+        )
+        worker.kill()
 
     def _worker_loop(
         self,
@@ -672,12 +816,116 @@ class FleetDispatcher:
         ledger: UnitLedger,
         report: WorkerReport,
     ) -> None:
+        """Drive ``worker`` incarnations until the campaign drains.
+
+        Each incarnation runs in :meth:`_drive_worker`; a death hands
+        its claims back to the ledger, feeds the worker's breaker, and
+        — budget and breaker permitting — respawns a replacement
+        incarnation for this same thread to keep driving.
+        """
+        breaker = self._breakers.get(worker.worker_id)
+        while True:
+            death = self._drive_worker(worker, shard, ledger, report)
+            if death is None:
+                report.breaker = breaker.snapshot() if breaker else {}
+                return
+            report.died = True
+            report.deaths += 1
+            ledger.requeue(worker.worker_id)
+            self.supervision_log.record(
+                "worker-death", worker.worker_id,
+                f"incarnation {worker.instance}: {death}",
+            )
+            if breaker is not None:
+                before = breaker.state
+                breaker.record_failure(death)
+                if breaker.state != before:
+                    kind = (
+                        "breaker-quarantine"
+                        if breaker.quarantined
+                        else "breaker-open"
+                    )
+                    self.supervision_log.record(
+                        kind, worker.worker_id, breaker.reason
+                    )
+                report.breaker = breaker.snapshot()
+                if breaker.quarantined:
+                    report.quarantined = True
+                    logger.warning(
+                        "fleet worker %s quarantined: %s",
+                        worker.worker_id, breaker.reason,
+                    )
+                    return
+            if not self._try_respawn(worker, report, breaker):
+                return
+
+    def _try_respawn(
+        self,
+        worker: ServiceWorker,
+        report: WorkerReport,
+        breaker: Optional[CircuitBreaker],
+    ) -> bool:
+        """Respawn ``worker`` if the fleet budget and breaker allow."""
+        with self._respawn_lock:
+            if self._respawns_left <= 0:
+                if self.supervision.respawn_budget:
+                    self.supervision_log.record(
+                        "respawn-exhausted", worker.worker_id,
+                        f"budget {self.supervision.respawn_budget} spent",
+                    )
+                return False
+            self._respawns_left -= 1
+        if breaker is not None:
+            # An open breaker wants its cooldown before the half-open
+            # probe; the probe itself is the respawned incarnation.
+            while not breaker.allow():
+                if breaker.quarantined:
+                    report.quarantined = True
+                    return False
+                time.sleep(min(0.05, self.supervision.breaker_cooldown))
+        try:
+            worker.respawn()
+        except FleetError as exc:
+            self.supervision_log.record(
+                "worker-death", worker.worker_id,
+                f"respawn failed: {exc}",
+            )
+            if breaker is not None:
+                breaker.record_failure(str(exc))
+                report.breaker = breaker.snapshot()
+                if breaker.quarantined:
+                    report.quarantined = True
+            return False
+        report.respawns += 1
+        self.worker_handles[worker.worker_id] = worker
+        self.supervision_log.record(
+            "worker-respawn", worker.worker_id,
+            f"incarnation {worker.instance}",
+        )
+        if self.on_worker_start is not None:
+            self.on_worker_start(worker)
+        return True
+
+    def _drive_worker(
+        self,
+        worker: ServiceWorker,
+        shard: int,
+        ledger: UnitLedger,
+        report: WorkerReport,
+    ) -> Optional[str]:
+        """Drive one incarnation; None = clean drain, str = death reason."""
+        poll = idle_poll()
+        breaker = self._breakers.get(worker.worker_id)
         try:
             client = worker.connect()
-        except OSError:
-            report.died = True
-            ledger.requeue(worker.worker_id)
-            return
+        except (OSError, ProtocolError) as exc:
+            # OSError: dial refused / reset.  ProtocolError: the hello
+            # frame arrived garbled (chaos wire) — same verdict.
+            return f"connect failed: {type(exc).__name__}: {exc}"
+        client.on_retry = lambda attempt, exc: self.supervision_log.record(
+            "client-retry", worker.worker_id,
+            f"attempt {attempt}: {type(exc).__name__}",
+        )
         try:
             while True:
                 unit = ledger.claim(
@@ -686,18 +934,17 @@ class FleetDispatcher:
                 )
                 if unit is None:
                     if ledger.outstanding() == 0:
-                        return
-                    time.sleep(_IDLE_POLL)
+                        return None
+                    time.sleep(poll)
                     continue
                 submit_started = time.monotonic()
                 try:
                     frame = client.submit(unit.spec)
-                except (ConnectionError, ServiceError, OSError, ValueError):
+                except (ConnectionError, ServiceError, OSError, ValueError) \
+                        as exc:
                     # The worker died (or refused) mid-unit: hand the
                     # claim back for the survivors and bow out.
-                    report.died = True
-                    ledger.requeue(worker.worker_id)
-                    return
+                    return f"{type(exc).__name__}: {exc}"
                 status = self.db.record_unit(
                     self.experiment_id,
                     unit.key,
@@ -710,6 +957,8 @@ class FleetDispatcher:
                 report.completed += 1
                 if status == "duplicate":
                     report.duplicates += 1
+                if breaker is not None:
+                    breaker.record_success()
                 if self.on_record is not None:
                     self.on_record(worker.worker_id, unit.key)
         finally:
@@ -756,6 +1005,21 @@ def _campaign_from_args(args) -> CampaignSpec:
     ).validate()
 
 
+def _supervision_from_args(args) -> SupervisionConfig:
+    """Env-derived config with explicit CLI flags layered on top."""
+    from dataclasses import replace as _replace
+
+    config = SupervisionConfig.from_env()
+    overrides = {}
+    if args.heartbeat is not None:
+        overrides["heartbeat_interval"] = args.heartbeat
+    if args.stale_after is not None:
+        overrides["stale_after"] = args.stale_after
+    if args.respawns is not None:
+        overrides["respawn_budget"] = args.respawns
+    return _replace(config, **overrides) if overrides else config
+
+
 def _cmd_run(args) -> int:
     campaign = _campaign_from_args(args)
     db = FleetDB(Path(args.db) if args.db else None)
@@ -766,6 +1030,7 @@ def _cmd_run(args) -> int:
         experiment_id=args.experiment or None,
         worker_jobs=args.worker_jobs,
         straggler_after=args.straggler_after,
+        supervision=_supervision_from_args(args),
     )
     summary = dispatcher.run()
     print(
@@ -775,6 +1040,12 @@ def _cmd_run(args) -> int:
         f"{summary.duplicates} duplicates, {summary.worker_deaths} worker "
         f"deaths)"
     )
+    if summary.hangs or summary.respawns or summary.quarantined:
+        print(
+            f"[fleet] supervision: {summary.hangs} hangs detected, "
+            f"{summary.respawns} respawns, quarantined: "
+            f"{summary.quarantined or 'none'}"
+        )
     if args.json:
         print(json.dumps(summary.to_payload(), sort_keys=True))
     if args.report_dir:
@@ -853,6 +1124,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument(
         "--straggler-after", type=float, default=None,
         help="clone units held longer than this many seconds",
+    )
+    run.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="seconds between worker health probes (0 = off; "
+        "default $REPRO_FLEET_HEARTBEAT or off)",
+    )
+    run.add_argument(
+        "--stale-after", type=float, default=None,
+        help="kill a worker silent for this many seconds "
+        "(default 3x heartbeat)",
+    )
+    run.add_argument(
+        "--respawns", type=int, default=None,
+        help="fleet-wide worker respawn budget (default "
+        "$REPRO_FLEET_RESPAWNS or 0)",
     )
     run.add_argument("--json", action="store_true")
     run.add_argument(

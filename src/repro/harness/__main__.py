@@ -60,6 +60,10 @@ def main(argv=None) -> int:
         from repro.fleet.dispatcher import main as fleet_main
 
         return fleet_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        from repro.chaos.campaign import main as chaos_main
+
+        return chaos_main(list(argv[1:]))
     if argv and argv[0] == "matrix":
         from repro.matrix import main as matrix_main
 
@@ -75,9 +79,11 @@ def main(argv=None) -> int:
         "'trace' (persist-span tracing), 'faults' (fault-injection "
         "campaign), 'serve' (experiment service), 'submit' (service "
         "client), 'golden' (golden-result gate), 'fleet' (distributed "
-        "campaign dispatcher), or 'matrix' (print controller-matrix "
+        "campaign dispatcher), 'chaos' (fault-injection fleet "
+        "hardening campaign), or 'matrix' (print controller-matrix "
         "labels); see python -m repro.harness "
-        "{check,trace,faults,serve,submit,golden,fleet,matrix} --help",
+        "{check,trace,faults,serve,submit,golden,fleet,chaos,matrix} "
+        "--help",
     )
     parser.add_argument(
         "--transactions",

@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common.retry import RetryPolicy
 from repro.config import SimConfig
 from repro.harness.breakdown import CycleBreakdown, run_with_breakdown
 from repro.harness.runner import RunResult, run_trace
@@ -282,6 +283,22 @@ def _worker_backoff() -> float:
     return float(env) if env else 0.05
 
 
+def _worker_retry_policy() -> RetryPolicy:
+    """Pool-replacement backoff as a shared :class:`RetryPolicy`.
+
+    Jitter defaults to 0 so the parallel path stays bit-deterministic;
+    ``REPRO_WORKER_RETRY_JITTER`` opts in when thundering-herd matters.
+    """
+    env = os.environ.get("REPRO_WORKER_RETRY_JITTER", "").strip()
+    return RetryPolicy(
+        attempts=_worker_retries() + 1,
+        base_delay=_worker_backoff(),
+        multiplier=2.0,
+        max_delay=30.0,
+        jitter=float(env) if env else 0.0,
+    )
+
+
 def _resilient_map(
     worker: Callable,
     initializer: Optional[Callable],
@@ -313,18 +330,17 @@ def _resilient_map(
     must not lose the units that needed a second pool.
     """
     timeout = _worker_timeout()
-    retries = _worker_retries()
-    backoff = _worker_backoff()
+    policy = _worker_retry_policy()
     results: List = [None] * len(items)
     history: Dict[int, List[str]] = {}
     pending: List[Tuple[int, object]] = list(enumerate(items))
     ctx = multiprocessing.get_context(_START_METHOD)
 
-    for attempt in range(retries + 1):
+    for attempt in range(policy.attempts):
         if not pending:
             break
         if attempt:
-            time.sleep(backoff * (2 ** (attempt - 1)))
+            time.sleep(policy.delay(attempt - 1))
         still_failing: List[Tuple[int, object]] = []
         with ctx.Pool(
             processes=min(jobs, len(pending)),

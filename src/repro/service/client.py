@@ -4,6 +4,17 @@ Used by ``python -m repro.harness submit``, the smoke harness, and the
 soak test.  Deliberately synchronous (plain sockets, one connection):
 each *client* is simple, and concurrency is exercised by running many
 of them — exactly how the smoke and soak tests drive the server.
+
+**Resilience** — jobs are content-hash deduplicated server-side, so a
+``submit`` frame is idempotent: re-sending it after a dropped or
+garbled connection can at worst hit the dedup path.  ``submit``/
+``submit_many`` therefore ride the shared
+:class:`~repro.common.retry.RetryPolicy` (bounded attempts, jittered
+exponential backoff, ``REPRO_SERVICE_RETRY_*`` overrides): transport
+failures reconnect and re-send the outstanding specs, and only after
+exhaustion does the caller see a typed :class:`ServiceUnavailable`
+instead of a raw ``socket.error``.  Typed server replies (``error``
+frames) are never retried — they are answers, not outages.
 """
 
 from __future__ import annotations
@@ -11,10 +22,13 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import random
 import socket
 import sys
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.common.retry import RetryPolicy
 from repro.harness.tables import render_table
 from repro.oracle.check import CONTROLLER_MATRIX
 from repro.service import protocol
@@ -31,28 +45,92 @@ class ServiceError(RuntimeError):
         self.code = code
 
 
-class ServiceClient:
-    """One connection to a running experiment server."""
+class ServiceUnavailable(ServiceError):
+    """The server stayed unreachable through every retry attempt."""
 
-    def __init__(self, address: Address, timeout: float = 300.0) -> None:
-        if isinstance(address, str):
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(address)
-        else:
-            self._sock = socket.create_connection(address, timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__("unavailable", message)
+        self.attempts = attempts
+
+
+#: Transport-level failures worth a reconnect: dropped connections,
+#: socket timeouts (``TimeoutError``/``OSError``), and garbled frames
+#: from a hostile or chaos-proxied wire (``ProtocolError``).
+_RETRYABLE = (ConnectionError, ProtocolError, OSError)
+
+
+class ServiceClient:
+    """One (re-dialable) connection to a running experiment server."""
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 300.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy.from_env(
+            "REPRO_SERVICE_RETRY",
+            attempts=4,
+            base_delay=0.05,
+            max_delay=1.0,
+        )
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._ids = itertools.count(1)
         #: Progress frames observed while waiting for results.
         self.progress: List[dict] = []
-        self.hello = self._read()  # the greeting frame
+        #: Transport retries performed (supervision evidence).
+        self.retries = 0
+        #: ``on_retry(attempt, exc)`` fires before each backoff sleep.
+        self.on_retry: Optional[Callable[[int, BaseException], None]] = None
+        self.hello = self._dial()  # the greeting frame
+
+    # ------------------------------------------------------------------
+    def _dial(self) -> dict:
+        """(Re)connect and read the greeting; returns the hello frame."""
+        self._teardown()
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address)
+        else:
+            sock = socket.create_connection(
+                self.address, timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self.hello = self._read()
+        return self.hello
+
+    def _teardown(self) -> None:
+        """Drop the current socket (before a re-dial or on close)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     # ------------------------------------------------------------------
     def _send(self, message: dict) -> None:
+        if self._file is None:
+            raise ConnectionError("client connection is closed")
         self._file.write(protocol.encode_message(message))
         self._file.flush()
 
     def _read(self) -> dict:
+        if self._file is None:
+            raise ConnectionError("client connection is closed")
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
@@ -92,6 +170,11 @@ class ServiceClient:
         self._send({"type": "stats"})
         return self._wait_for({"stats"})
 
+    def health(self) -> dict:
+        """One supervision heartbeat probe (single-shot, no retry)."""
+        self._send({"type": "health"})
+        return self._wait_for({"health"})
+
     def submit(self, spec: JobSpec) -> dict:
         """Submit one job and block until its result frame arrives."""
         return self.submit_many([spec])[0]
@@ -125,12 +208,48 @@ class ServiceClient:
         """Pipeline many jobs on this connection; results in spec order.
 
         The server may complete deduplicated jobs in any order; replies
-        are matched back to requests by ``id``.
+        are matched back to requests by ``id``.  Transport failures
+        (drop, timeout, garbled frame) reconnect with backoff and
+        re-send only the specs still outstanding — submits are
+        idempotent end to end (content-hash dedup) — until the retry
+        policy is exhausted, at which point a typed
+        :class:`ServiceUnavailable` is raised.
         """
-        wanted: Dict[str, int] = {}
         specs = list(specs)
         results: List[Optional[dict]] = [None] * len(specs)
+        attempt = 0
+        while True:
+            try:
+                if self._file is None:
+                    self._dial()
+                self._pump_submissions(specs, results)
+                return results  # type: ignore[return-value]
+            except ServiceUnavailable:
+                raise
+            except ServiceError:
+                raise  # a typed server answer, not an outage
+            except _RETRYABLE as exc:
+                self._teardown()
+                attempt += 1
+                if attempt >= self.retry.attempts:
+                    raise ServiceUnavailable(
+                        f"server at {self.address!r} unreachable after "
+                        f"{attempt} attempt(s): {type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                    ) from exc
+                self.retries += 1
+                if self.on_retry is not None:
+                    self.on_retry(attempt, exc)
+                time.sleep(self.retry.delay(attempt - 1, self._rng))
+
+    def _pump_submissions(
+        self, specs: List[JobSpec], results: List[Optional[dict]]
+    ) -> None:
+        """Send every unresolved spec and collect until all land."""
+        wanted: Dict[str, int] = {}
         for index, spec in enumerate(specs):
+            if results[index] is not None:
+                continue
             request_id = f"q{next(self._ids)}"
             wanted[request_id] = index
             self._send(
@@ -155,17 +274,13 @@ class ServiceClient:
             elif kind in ("progress", "accepted", "draining"):
                 self.progress.append(frame)
             # hello/pong/stats frames interleaved here are ignorable
-        return results  # type: ignore[return-value]
 
     def close(self) -> None:
         try:
             self._send({"type": "bye"})
         except (OSError, ValueError):
             pass
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self

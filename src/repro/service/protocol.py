@@ -10,6 +10,7 @@ Client -> server::
     {"type": "submit", "id": "r1", "job": {...JobSpec...}}
     {"type": "stats"}              # scheduler/dedup counters
     {"type": "ping"}
+    {"type": "health"}             # supervision heartbeat (fleet)
     {"type": "bye"}                # polite close
 
 Server -> client::
@@ -21,6 +22,15 @@ Server -> client::
      "digest": "...", "cached": false}
     {"type": "error", "id": "r1", "code": "...", "message": "..."}
     {"type": "stats", ...} / {"type": "pong"} / {"type": "draining"}
+    {"type": "health", "status": "ok", "uptime_s": ..., "in_flight": ...}
+
+The ``health`` frame is the fleet supervision heartbeat: a cheap
+liveness probe (no event-log snapshot, unlike ``stats``) that the
+dispatcher's :class:`~repro.fleet.supervisor.HeartbeatMonitor` sends on
+a dedicated connection.  A worker that stops answering within the
+staleness window is declared hung — SIGSTOP'd, deadlocked, or
+livelocked processes all look the same from outside — and is killed
+for the normal re-dispatch machinery to absorb.
 
 **Job identity** — :func:`job_key` content-hashes the simulation-
 relevant fields of a :class:`JobSpec` exactly the way
@@ -104,6 +114,19 @@ class JobSpec:
     fault_sites: int = 2
 
     def validate(self) -> "JobSpec":
+        # Hostile-wire guard: every field must have the right *type*
+        # before it is used in a membership test or comparison — a
+        # JSON payload can put an unhashable dict where a workload
+        # name belongs, which would turn ``x in set`` into a
+        # TypeError that escapes as an unhandled server exception.
+        if not isinstance(self.workload, str):
+            raise ProtocolError("workload must be a string")
+        if not isinstance(self.design, str):
+            raise ProtocolError("design must be a string")
+        if not isinstance(self.mode, str):
+            raise ProtocolError("mode must be a string")
+        if not isinstance(self.overrides, Mapping):
+            raise ProtocolError("overrides must be an object")
         if self.mode not in JOB_MODES:
             raise ProtocolError(
                 f"unknown mode {self.mode!r}; choose from {JOB_MODES}"
@@ -115,7 +138,11 @@ class JobSpec:
                     f"(fault units need one); choose from "
                     f"{sorted(ORACLE_SEMANTICS)}"
                 )
-            if not isinstance(self.fault_sites, int) or self.fault_sites <= 0:
+            if (
+                not isinstance(self.fault_sites, int)
+                or isinstance(self.fault_sites, bool)
+                or self.fault_sites <= 0
+            ):
                 raise ProtocolError("fault_sites must be a positive integer")
         if self.workload not in ALL_WORKLOADS:
             raise ProtocolError(
@@ -127,9 +154,13 @@ class JobSpec:
                 f"unknown design {self.design!r}; "
                 f"choose from {sorted(controller_matrix())}"
             )
-        if not isinstance(self.transactions, int) or self.transactions <= 0:
+        if (
+            not isinstance(self.transactions, int)
+            or isinstance(self.transactions, bool)
+            or self.transactions <= 0
+        ):
             raise ProtocolError("transactions must be a positive integer")
-        if not isinstance(self.seed, int):
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ProtocolError("seed must be an integer")
         for key, value in dict(self.overrides).items():
             coerce = _OVERRIDE_COERCERS.get(key)
@@ -165,6 +196,9 @@ class JobSpec:
     def from_wire(cls, data: Mapping[str, object]) -> "JobSpec":
         if not isinstance(data, Mapping):
             raise ProtocolError("job must be an object")
+        overrides = data.get("overrides", {}) or {}
+        if not isinstance(overrides, Mapping):
+            raise ProtocolError("overrides must be an object")
         try:
             spec = cls(
                 workload=data["workload"],
@@ -172,7 +206,7 @@ class JobSpec:
                 transactions=data["transactions"],
                 seed=data["seed"],
                 experiment_id=str(data.get("experiment_id", "")),
-                overrides=dict(data.get("overrides", {}) or {}),
+                overrides=dict(overrides),
                 mode=str(data.get("mode", "run")),
                 fault_sites=data.get("fault_sites", 2),
             )
@@ -290,13 +324,40 @@ def encode_message(message: Mapping[str, object]) -> bytes:
 
 
 def decode_message(line: bytes) -> Dict[str, object]:
-    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    """Parse one frame; raises :class:`ProtocolError` on garbage.
+
+    Hostile bytes never escape as anything else: invalid UTF-8 and
+    malformed JSON raise ``JSONDecodeError``/``UnicodeDecodeError``,
+    and a deeply-nested-but-under-the-size-bound payload trips the
+    JSON scanner's recursion guard (``RecursionError``) — all are
+    normalised to :class:`ProtocolError` so a session task can answer
+    with a typed ``error`` frame instead of dying.
+    """
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"undecodable message: {exc}") from None
+    except RecursionError:
+        raise ProtocolError("message nesting too deep") from None
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError("message must be an object with a 'type'")
     return message
+
+
+def sanitize_request_id(message: Mapping[str, object]):
+    """A safe echo of a client-chosen ``id``.
+
+    Ids ride back on every reply; an id that is itself a huge or
+    deeply nested structure could blow the reply past the frame bound
+    (or re-trip the recursion guard) while *encoding*, killing the
+    writer task.  Scalars pass through; anything else is echoed as
+    ``None``.
+    """
+    request_id = message.get("id")
+    if isinstance(request_id, (str, int, float, bool, type(None))):
+        if isinstance(request_id, str) and len(request_id) > 256:
+            return request_id[:256]
+        return request_id
+    return None

@@ -30,6 +30,7 @@ import json
 import logging
 import signal
 import sys
+import time
 from pathlib import Path
 from typing import Dict, Optional, Set
 
@@ -134,18 +135,26 @@ class ExperimentServer:
         self._deliveries: Set[asyncio.Task] = set()
         self._draining = False
         self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listeners (TCP always; Unix when a path was given)."""
+        """Bind the listeners (TCP always; Unix when a path was given).
+
+        The stream limit is raised to the protocol's frame bound: the
+        asyncio default (64 KiB) would make ``readline`` raise on any
+        legal frame above it, killing the session task — the protocol
+        promises a typed ``oversized`` error up to 1 MiB instead.
+        """
+        limit = protocol.MAX_LINE_BYTES + 1024
         tcp = await asyncio.start_server(
-            self._handle_client, host=self.host, port=self.port
+            self._handle_client, host=self.host, port=self.port, limit=limit
         )
         self._servers.append(tcp)
         self.port = tcp.sockets[0].getsockname()[1]
         if self.unix_path:
             unix = await asyncio.start_unix_server(
-                self._handle_client, path=self.unix_path
+                self._handle_client, path=self.unix_path, limit=limit
             )
             self._servers.append(unix)
 
@@ -170,6 +179,19 @@ class ExperimentServer:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, BrokenPipeError):
+                    break
+                except ValueError:
+                    # readline() converts LimitOverrunError to
+                    # ValueError when a line exceeds the stream limit:
+                    # an oversized frame gets a typed reply, never an
+                    # unhandled session-task death.
+                    session.post(
+                        {
+                            "type": "error",
+                            "code": "oversized",
+                            "message": "line too long",
+                        }
+                    )
                     break
                 if not line:
                     break
@@ -197,7 +219,15 @@ class ExperimentServer:
                 pass
 
     async def _handle_message(self, session: _ClientSession, line: bytes) -> bool:
-        """Dispatch one frame; returns True when the session should end."""
+        """Dispatch one frame; returns True when the session should end.
+
+        Every failure mode of a hostile frame — garbage bytes, bad
+        types inside a structurally valid message, anything a fuzzer
+        invents — must come back as a typed ``error`` reply.  The
+        final catch-all is deliberate: an unhandled exception here
+        would kill the session task and silently drop every job the
+        connection still has in flight.
+        """
         try:
             message = protocol.decode_message(line)
         except ProtocolError as exc:
@@ -206,22 +236,44 @@ class ExperimentServer:
             )
             return False
         kind = message.get("type")
-        if kind == "ping":
-            session.post({"type": "pong"})
-            return False
-        if kind == "stats":
-            session.post({"type": "stats", **self.scheduler.stats()})
-            return False
-        if kind == "bye":
-            session.post(
-                {"type": "bye", "dropped_progress": session.dropped_progress}
+        try:
+            if kind == "ping":
+                session.post({"type": "pong"})
+                return False
+            if kind == "health":
+                session.post(self._health_frame())
+                return False
+            if kind == "stats":
+                session.post({"type": "stats", **self.scheduler.stats()})
+                return False
+            if kind == "bye":
+                session.post(
+                    {
+                        "type": "bye",
+                        "dropped_progress": session.dropped_progress,
+                    }
+                )
+                return True
+            if kind == "submit":
+                await self._handle_submit(session, message)
+                return False
+            if kind == "report":
+                await self._handle_report(session, message)
+                return False
+        except Exception as exc:
+            logger.warning(
+                "experiment service: %r frame raised unexpectedly",
+                kind,
+                exc_info=True,
             )
-            return True
-        if kind == "submit":
-            await self._handle_submit(session, message)
-            return False
-        if kind == "report":
-            await self._handle_report(session, message)
+            session.post(
+                {
+                    "type": "error",
+                    "id": protocol.sanitize_request_id(message),
+                    "code": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
             return False
         session.post(
             {
@@ -232,10 +284,24 @@ class ExperimentServer:
         )
         return False
 
+    def _health_frame(self) -> Dict[str, object]:
+        """The supervision heartbeat reply: cheap, no event snapshot."""
+        in_flight = sum(
+            1 for j in self.scheduler._jobs.values() if not j.finished
+        )
+        return {
+            "type": "health",
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "in_flight": in_flight,
+            "completed": self.scheduler.completed,
+            "failed": self.scheduler.failed,
+        }
+
     async def _handle_submit(
         self, session: _ClientSession, message: Dict[str, object]
     ) -> None:
-        request_id = message.get("id")
+        request_id = protocol.sanitize_request_id(message)
         try:
             spec = JobSpec.from_wire(message.get("job"))
         except ProtocolError as exc:
@@ -308,7 +374,7 @@ class ExperimentServer:
         from repro.fleet.db import FleetDB, FleetDBError
         from repro.fleet.report import build_report, render_html
 
-        request_id = message.get("id")
+        request_id = protocol.sanitize_request_id(message)
         experiment = message.get("experiment")
         fmt = message.get("format", "json")
         baseline = message.get("baseline") or None
@@ -393,7 +459,20 @@ class ExperimentServer:
                 session.queue.task_done()
                 break
             try:
-                session.writer.write(protocol.encode_message(message))
+                try:
+                    data = protocol.encode_message(message)
+                except ProtocolError:
+                    # A reply that itself exceeds the frame bound
+                    # (e.g. an error echoing pathological input) must
+                    # not kill the writer; degrade to a minimal frame.
+                    data = protocol.encode_message(
+                        {
+                            "type": "error",
+                            "code": "oversized-reply",
+                            "message": "reply exceeded the frame bound",
+                        }
+                    )
+                session.writer.write(data)
                 await session.writer.drain()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 session.closed = True
