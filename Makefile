@@ -6,7 +6,8 @@ JOBS ?= 0
 
 .PHONY: install test check-oracle fault-smoke fleet-smoke chaos-smoke \
 	bench bench-perf perf-gate profile-kernel trace-smoke service-smoke \
-	golden golden-update coverage experiments examples clean
+	loadcurve-smoke golden golden-update coverage experiments examples \
+	clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -100,6 +101,15 @@ service-smoke:
 	mkdir -p results
 	$(PYTHON) -m repro.service.smoke --clients 4 --jobs 2 \
 		--report results/service-smoke.json
+
+# Open-loop load-curve smoke (docs/scenarios.md): a tiny rate sweep
+# across the whole controller matrix — p50/p95/p99 sojourn per offered
+# load, per-config saturation knees, and the open-vs-closed p99 ratio
+# at matched throughput.  JSON artifact under results/.
+loadcurve-smoke:
+	mkdir -p results
+	$(PYTHON) -m repro.harness loadcurve --transactions 40 \
+		--rates 0.02,0.06,0.18 --out results/loadcurve-smoke.json
 
 # Golden-result gate (docs/testing.md): recompute the headline metrics
 # at tier-1 scale and compare against results/golden.json, then prove

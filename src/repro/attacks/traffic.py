@@ -1,0 +1,145 @@
+"""Static traffic-pattern scoring for scenario traces.
+
+The run-time detectors in :mod:`repro.attacks.verify` catch *tampered
+state*; the generators in :mod:`repro.scenarios.adversarial` instead
+degrade performance/endurance with perfectly well-formed traffic.
+This module scores a trace's *persist stream shape* against the three
+1902.03518 patterns the scenario layer emits:
+
+* **wpq-hammer** — persists concentrate on a handful of lines, each
+  rewritten many times (WPQ-set pressure).
+* **stride-walk** — consecutive persists march at one dominant stride
+  over almost-all-fresh lines (nothing ever coalesces).
+* **counter-wear** — persists concentrate inside one page whose lines
+  are each rewritten many times (counter hot-line wear).
+
+Benign WHISPER traffic is distinguishable on all three axes: its
+payload lines are fresh allocations (low repeat factor), but its
+commit-marker/undo-log lines recur every transaction (no dominant
+stride), and its pages spread with the heap (no single hot page).
+Thresholds were calibrated against the registry workloads at tier-1
+scale; the characterization suite pins benign → 0 flags and each
+adversary → flagged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cpu.trace import OP_ARRIVAL, OP_CLWB, unpack_arrival
+
+#: Minimum persist count before any verdict: below this the statistics
+#: are noise and everything reads benign.
+MIN_PERSISTS = 64
+
+#: wpq-hammer: share of persists landing on the 8 hottest lines, and
+#: mean rewrites per distinct line.
+HAMMER_TOP8_SHARE = 0.75
+HAMMER_REPEATS_PER_LINE = 6.0
+
+#: stride-walk: share of consecutive-persist deltas equal to the
+#: dominant stride, and share of persists touching a fresh line.
+#: Benign WHISPER streams reach ~0.8/~0.9 (payload allocation marches
+#: the heap linearly) — the walk itself sits at 1.0/1.0, so the bar
+#: splits the difference with margin on both sides.
+STRIDE_DOMINANT_SHARE = 0.95
+STRIDE_FRESH_SHARE = 0.95
+
+#: counter-wear: share of persists inside the hottest 4 KB page, and
+#: mean rewrites per distinct line within it.
+WEAR_TOP_PAGE_SHARE = 0.70
+WEAR_REPEATS_PER_LINE = 8.0
+
+
+@dataclass
+class TrafficVerdict:
+    """Outcome of scanning one persist stream."""
+
+    flagged: bool
+    kinds: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def _scan_lines(lines: List[int]) -> TrafficVerdict:
+    """Score one tenant's persist-line sequence."""
+    n = len(lines)
+    if n < MIN_PERSISTS:
+        return TrafficVerdict(False, [], {"persists": float(n)})
+    line_counts = Counter(lines)
+    distinct = len(line_counts)
+    repeats_per_line = n / distinct
+
+    top8 = sum(count for _, count in line_counts.most_common(8))
+    top8_share = top8 / n
+
+    deltas = Counter(
+        lines[i + 1] - lines[i] for i in range(n - 1) if lines[i + 1] != lines[i]
+    )
+    dominant_share = (
+        deltas.most_common(1)[0][1] / (n - 1) if deltas else 0.0
+    )
+    fresh_share = distinct / n
+
+    page_counts = Counter(addr >> 12 for addr in lines)
+    hot_page, hot_page_hits = page_counts.most_common(1)[0]
+    top_page_share = hot_page_hits / n
+    hot_page_lines = Counter(
+        addr for addr in lines if addr >> 12 == hot_page
+    )
+    hot_repeats = hot_page_hits / len(hot_page_lines)
+
+    kinds: List[str] = []
+    if (
+        top8_share >= HAMMER_TOP8_SHARE
+        and repeats_per_line >= HAMMER_REPEATS_PER_LINE
+    ):
+        kinds.append("wpq-hammer")
+    if (
+        dominant_share >= STRIDE_DOMINANT_SHARE
+        and fresh_share >= STRIDE_FRESH_SHARE
+    ):
+        kinds.append("stride-walk")
+    if (
+        top_page_share >= WEAR_TOP_PAGE_SHARE
+        and hot_repeats >= WEAR_REPEATS_PER_LINE
+    ):
+        kinds.append("counter-wear")
+    return TrafficVerdict(
+        flagged=bool(kinds),
+        kinds=kinds,
+        metrics={
+            "persists": float(n),
+            "top8_share": top8_share,
+            "repeats_per_line": repeats_per_line,
+            "dominant_stride_share": dominant_share,
+            "fresh_line_share": fresh_share,
+            "top_page_share": top_page_share,
+            "hot_page_repeats": hot_repeats,
+        },
+    )
+
+
+def scan_traffic(trace: List[Tuple]) -> TrafficVerdict:
+    """Score a whole trace's persist stream (single-tenant view)."""
+    lines = [op[1] >> 6 << 6 for op in trace if op[0] == OP_CLWB]
+    return _scan_lines(lines)
+
+
+def scan_tenants(trace: List[Tuple]) -> Dict[int, TrafficVerdict]:
+    """Score an arrival-stamped trace per tenant.
+
+    Attribution follows the ``OP_ARRIVAL`` stamps; ops before the first
+    stamp (or a stampless trace) land on tenant 0, so the function is a
+    superset of :func:`scan_traffic` for classic traces.
+    """
+    per_tenant: Dict[int, List[int]] = defaultdict(list)
+    tenant = 0
+    for op in trace:
+        code = op[0]
+        if code == OP_ARRIVAL:
+            tenant, _ = unpack_arrival(op[1])
+        elif code == OP_CLWB:
+            per_tenant[tenant].append(op[1] >> 6 << 6)
+    return {t: _scan_lines(lines) for t, lines in sorted(per_tenant.items())}

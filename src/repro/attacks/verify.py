@@ -6,6 +6,11 @@ Two attack surfaces, two detectors:
   (MAC or tree-path mismatch);
 * WPQ-image and counter attacks are detected by
   :func:`repro.recovery.recover.recover_system`.
+
+A third surface — *degradation* traffic from the scenario layer, which
+is well-formed but adversarially shaped — is scored statically by
+:func:`scan_traffic` / :func:`scan_tenants` (re-exported from
+:mod:`repro.attacks.traffic`).
 """
 
 from __future__ import annotations
@@ -14,6 +19,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.attacks.models import Attack, DataSpoofAttack, WPQImageSpoofAttack
+from repro.attacks.traffic import (  # noqa: F401  (re-exported API)
+    TrafficVerdict,
+    scan_tenants,
+    scan_traffic,
+)
 from repro.core.masu import IntegrityError, MajorSecurityUnit
 from repro.recovery.crash import CrashImage
 from repro.recovery.recover import RecoveryError, RecoveryMode, recover_system

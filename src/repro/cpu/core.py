@@ -24,6 +24,9 @@ from repro.config import SimConfig
 from repro.core.controller import MemoryController
 from repro.core.requests import WriteKind, WriteRequest
 from repro.cpu.trace import (
+    ARRIVAL_CYCLE_MASK,
+    ARRIVAL_TENANT_SHIFT,
+    OP_ARRIVAL,
     OP_CLWB,
     OP_FENCE,
     OP_LOAD,
@@ -88,6 +91,12 @@ class TraceCore:
         fence_signal = self._fence_signal
         acc = 0  # batched latency not yet yielded to the kernel
         tx_start_cycle = 0
+        # Open-loop bookkeeping (scenario traces only): the arrival
+        # stamp preceding the current transaction, or -1 when the trace
+        # is classic closed-loop.  Sojourn and queueing delay are
+        # recorded at OP_TXEND, overall and per tenant.
+        pending_arrival = -1
+        pending_tenant = 0
         for op in trace:
             code = op[0]
             if code == OP_WORK:
@@ -167,6 +176,38 @@ class TraceCore:
                     acc = 0
                 self.stats.record("core.tx_cycles", sim.now - tx_start_cycle)
                 stats_add("core.transactions")
+                if pending_arrival >= 0:
+                    sojourn = sim.now - pending_arrival
+                    queue_delay = tx_start_cycle - pending_arrival
+                    record = self.stats.record
+                    record("core.sojourn_cycles", sojourn)
+                    record("core.queue_delay_cycles", queue_delay)
+                    tenant_scope = f"core.tenant.{pending_tenant}"
+                    record(tenant_scope + ".sojourn_cycles", sojourn)
+                    record(tenant_scope + ".queue_delay_cycles", queue_delay)
+                    if self.timeline is not None:
+                        self.timeline.event(
+                            sim.now,
+                            "core.tx_sojourn",
+                            f"{pending_tenant}:{sojourn}",
+                        )
+                    pending_arrival = -1
+            elif code == OP_ARRIVAL:
+                # The next transaction was offered at the packed cycle.
+                # If the core is ahead of the arrival clock it idles
+                # (open-loop underload); if behind, the transaction has
+                # queued and its wait shows up in the sojourn.
+                if acc:
+                    yield acc
+                    acc = 0
+                operand = op[1]
+                pending_tenant = operand >> ARRIVAL_TENANT_SHIFT
+                pending_arrival = operand & ARRIVAL_CYCLE_MASK
+                stats_add("core.arrivals")
+                if pending_arrival > sim.now:
+                    yield pending_arrival - sim.now
+                else:
+                    stats_add("core.arrivals_queued")
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown trace op {op!r}")
         if acc:

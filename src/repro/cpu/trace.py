@@ -11,6 +11,11 @@ traces run to millions of ops):
   complete.
 * ``(OP_TXBEGIN, tx_id)`` / ``(OP_TXEND, tx_id)`` — transaction
   boundary markers for per-transaction statistics.
+* ``(OP_ARRIVAL, packed)`` — open-loop arrival stamp emitted by the
+  scenario layer (:mod:`repro.scenarios`): the next transaction was
+  *offered* at the packed arrival cycle by the packed tenant id.  The
+  core idles until the arrival cycle if it is ahead of the clock, and
+  reports sojourn (arrival → commit) and queueing delay per tenant.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ OP_CLWB = 3
 OP_FENCE = 4
 OP_TXBEGIN = 5
 OP_TXEND = 6
+OP_ARRIVAL = 7
 
 OP_NAMES = {
     OP_WORK: "work",
@@ -34,7 +40,28 @@ OP_NAMES = {
     OP_FENCE: "fence",
     OP_TXBEGIN: "txbegin",
     OP_TXEND: "txend",
+    OP_ARRIVAL: "arrival",
 }
+
+#: The arrival operand packs ``(tenant_id << SHIFT) | arrival_cycle``.
+#: 48 bits of cycle leaves 15 usable tenant bits inside an int64 column
+#: (the packed-trace format stores operands as signed 64-bit).
+ARRIVAL_TENANT_SHIFT = 48
+ARRIVAL_CYCLE_MASK = (1 << ARRIVAL_TENANT_SHIFT) - 1
+
+
+def pack_arrival(tenant: int, cycle: int) -> int:
+    """Pack a (tenant, arrival-cycle) pair into one int64 operand."""
+    if tenant < 0 or tenant >= (1 << 15):
+        raise ValueError(f"tenant id {tenant} outside [0, 32768)")
+    if cycle < 0 or cycle > ARRIVAL_CYCLE_MASK:
+        raise ValueError(f"arrival cycle {cycle} outside 48-bit range")
+    return (tenant << ARRIVAL_TENANT_SHIFT) | cycle
+
+
+def unpack_arrival(operand: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_arrival`: returns ``(tenant, cycle)``."""
+    return operand >> ARRIVAL_TENANT_SHIFT, operand & ARRIVAL_CYCLE_MASK
 
 
 @dataclass
@@ -47,6 +74,7 @@ class TraceSummary:
     clwbs: int = 0
     fences: int = 0
     transactions: int = 0
+    arrivals: int = 0
 
     @property
     def instructions(self) -> int:
@@ -81,4 +109,6 @@ def summarize(trace: Iterable[Tuple]) -> TraceSummary:
             summary.fences += 1
         elif code == OP_TXBEGIN:
             summary.transactions += 1
+        elif code == OP_ARRIVAL:
+            summary.arrivals += 1
     return summary

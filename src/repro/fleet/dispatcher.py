@@ -110,8 +110,9 @@ class CampaignSpec:
 
     Expansion order (and therefore shard layout) is deterministic:
     ``run`` units in workloads × designs × seeds order first, then —
-    when ``fault_sites > 0`` — one ``faults`` unit per (workload,
-    design, seed) for every workload with oracle semantics.
+    when ``scenario`` is set — one open-loop ``scenario`` unit per
+    (workload, design, seed), then — when ``fault_sites > 0`` — one
+    ``faults`` unit per cell for every workload with oracle semantics.
     """
 
     name: str
@@ -125,6 +126,11 @@ class CampaignSpec:
     #: > 0 adds a fault-injection unit per (workload, design, seed)
     #: with this many interior crash sites.
     fault_sites: int = 0
+    #: Non-empty adds an open-loop ``scenario`` unit per (workload,
+    #: design, seed): sorted (key, value) pairs describing the arrival
+    #: process (see ``repro.service.protocol`` scenario keys).  Tuple
+    #: form keeps the spec hashable.
+    scenario: Tuple[Tuple[str, object], ...] = ()
 
     def validate(self) -> "CampaignSpec":
         if not self.name:
@@ -158,6 +164,19 @@ class CampaignSpec:
                         f"workload {workload!r} has no oracle semantics; "
                         "fault units need one"
                     )
+        if self.scenario:
+            probe = JobSpec(
+                workload=self.workloads[0],
+                design=self.designs[0],
+                transactions=self.transactions,
+                seed=self.seeds[0],
+                mode="scenario",
+                scenario=dict(self.scenario),
+            )
+            try:
+                probe.validate()
+            except ProtocolError as exc:
+                raise FleetError(f"invalid campaign scenario: {exc}") from None
         return self
 
     def to_payload(self) -> Dict[str, object]:
@@ -170,11 +189,13 @@ class CampaignSpec:
             "transactions": self.transactions,
             "overrides": {key: value for key, value in self.overrides},
             "fault_sites": self.fault_sites,
+            "scenario": {key: value for key, value in self.scenario},
         }
 
     @classmethod
     def from_payload(cls, data: Dict[str, object]) -> "CampaignSpec":
         overrides = data.get("overrides", {}) or {}
+        scenario = data.get("scenario", {}) or {}
         return cls(
             name=str(data["name"]),
             workloads=tuple(data["workloads"]),
@@ -183,6 +204,7 @@ class CampaignSpec:
             transactions=int(data.get("transactions", 60)),
             overrides=tuple(sorted(overrides.items())),
             fault_sites=int(data.get("fault_sites", 0)),
+            scenario=tuple(sorted(scenario.items())),
         ).validate()
 
     @classmethod
@@ -243,6 +265,23 @@ def expand_units(campaign: CampaignSpec) -> List[FleetUnit]:
                         overrides=overrides,
                     )
                 )
+    if campaign.scenario:
+        scenario = {key: value for key, value in campaign.scenario}
+        for workload in workloads:
+            for design in designs:
+                for seed in seeds:
+                    add(
+                        JobSpec(
+                            workload=workload,
+                            design=design,
+                            transactions=campaign.transactions,
+                            seed=seed,
+                            experiment_id=campaign.name,
+                            overrides=overrides,
+                            mode="scenario",
+                            scenario=scenario,
+                        )
+                    )
     if campaign.fault_sites > 0:
         for workload in workloads:
             for design in designs:
@@ -290,6 +329,11 @@ def spec_to_run_unit(spec: JobSpec) -> RunUnit:
         spec.seed,
         mode=spec.mode,
         fault_sites=spec.fault_sites if spec.mode == "faults" else 0,
+        scenario=(
+            tuple(sorted(dict(spec.scenario).items()))
+            if spec.mode == "scenario"
+            else ()
+        ),
     )
 
 

@@ -137,6 +137,44 @@ def _fault_rollups(
     return out
 
 
+def _scenario_rollups(
+    scenarios: Dict[Tuple[str, str], Dict[int, UnitRow]]
+) -> List[Dict[str, object]]:
+    """Cross-seed open-loop tail-latency and traffic-verdict rollups."""
+    out: List[Dict[str, object]] = []
+    for (workload, design) in sorted(scenarios):
+        seeds = sorted(scenarios[(workload, design)])
+        payloads = [scenarios[(workload, design)][s].payload for s in seeds]
+        sojourn = MetricStats(
+            [float(p.get("sojourn_p99", 0)) for p in payloads]
+        )
+        queue = MetricStats(
+            [float(p.get("queue_delay_p99", 0)) for p in payloads]
+        )
+        flagged_tenants = 0
+        kinds: List[str] = []
+        for p in payloads:
+            for verdict in (p.get("tenants") or {}).values():
+                if verdict.get("flagged"):
+                    flagged_tenants += 1
+                    kinds.extend(verdict.get("kinds", []))
+        out.append(
+            {
+                "workload": workload,
+                "design": design,
+                "seeds": seeds,
+                "sojourn_p99": sojourn.as_dict(),
+                "queue_delay_p99": queue.as_dict(),
+                "arrivals_queued": sum(
+                    int(p.get("arrivals_queued", 0)) for p in payloads
+                ),
+                "flagged_tenants": flagged_tenants,
+                "flag_kinds": sorted(set(kinds)),
+            }
+        )
+    return out
+
+
 def _trends(
     runs: Dict[Tuple[str, str], Dict[int, UnitRow]],
     base_runs: Dict[Tuple[str, str], Dict[int, UnitRow]],
@@ -180,6 +218,7 @@ def build_report(
     rows = db.unit_rows(experiment_id)
     runs = _by_config(rows, "run")
     faults = _by_config(rows, "faults")
+    scenarios = _by_config(rows, "scenario")
 
     report: Dict[str, object] = {
         "report_version": REPORT_VERSION,
@@ -192,12 +231,14 @@ def build_report(
             "total": len(rows),
             "run": sum(len(v) for v in runs.values()),
             "faults": sum(len(v) for v in faults.values()),
+            "scenario": sum(len(v) for v in scenarios.values()),
             "duplicates": sum(row.duplicates for row in rows),
         },
         "workers": sorted({row.worker_id for row in rows if row.worker_id}),
         "aggregates": _aggregates(runs),
         "speedups": _speedups(runs),
         "faults": _fault_rollups(faults),
+        "scenarios": _scenario_rollups(scenarios),
     }
     if baseline:
         base_rows = db.unit_rows(baseline)
@@ -262,6 +303,7 @@ def render_html(report: Dict[str, object]) -> str:
         f"generator v{report['generator_version']} · "
         f"{report['units']['total']} units "
         f"({report['units']['run']} run, {report['units']['faults']} fault, "
+        f"{report['units'].get('scenario', 0)} scenario, "
         f"{report['units']['duplicates']} duplicates) · workers: "
         f"{html.escape(', '.join(report['workers']) or '-')}</p>",
     ]
@@ -338,6 +380,38 @@ def render_html(report: Dict[str, object]) -> str:
         )
     else:
         parts.append("<p class='meta'>no fault units in this campaign</p>")
+
+    parts.append("<h2>Open-loop scenarios (sojourn p99, traffic verdicts)</h2>")
+    if report.get("scenarios"):
+        rows = []
+        for s in report["scenarios"]:
+            flagged = (
+                f"<span class='bad'>{s['flagged_tenants']}</span> "
+                f"({html.escape(', '.join(s['flag_kinds']))})"
+                if s["flagged_tenants"]
+                else "<span class='good'>0</span>"
+            )
+            rows.append(
+                [
+                    html.escape(s["workload"]),
+                    html.escape(s["design"]),
+                    str(len(s["seeds"])),
+                    _stat(s["sojourn_p99"]),
+                    _stat(s["queue_delay_p99"]),
+                    str(s["arrivals_queued"]),
+                    flagged,
+                ]
+            )
+        parts.append(
+            _table(
+                ["workload", "design", "seeds", "sojourn p99",
+                 "queue delay p99", "queued", "flagged"],
+                rows,
+                left=2,
+            )
+        )
+    else:
+        parts.append("<p class='meta'>no scenario units in this campaign</p>")
 
     if report.get("trend"):
         baseline_id = html.escape(

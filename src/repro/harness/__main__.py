@@ -68,6 +68,10 @@ def main(argv=None) -> int:
         from repro.matrix import main as matrix_main
 
         return matrix_main(list(argv[1:]))
+    if argv and argv[0] == "loadcurve":
+        from repro.scenarios.cli import main as loadcurve_main
+
+        return loadcurve_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Dolos paper's tables and figures.",
@@ -80,10 +84,11 @@ def main(argv=None) -> int:
         "campaign), 'serve' (experiment service), 'submit' (service "
         "client), 'golden' (golden-result gate), 'fleet' (distributed "
         "campaign dispatcher), 'chaos' (fault-injection fleet "
-        "hardening campaign), or 'matrix' (print controller-matrix "
-        "labels); see python -m repro.harness "
-        "{check,trace,faults,serve,submit,golden,fleet,chaos,matrix} "
-        "--help",
+        "hardening campaign), 'matrix' (print controller-matrix "
+        "labels), or 'loadcurve' (open-loop latency vs offered load); "
+        "see python -m repro.harness "
+        "{check,trace,faults,serve,submit,golden,fleet,chaos,matrix,"
+        "loadcurve} --help",
     )
     parser.add_argument(
         "--transactions",

@@ -571,10 +571,81 @@ def breakdown_experiment(
 
 
 # ======================================================================
+# Open-loop load curves (scenario layer; not a paper artifact)
+# ======================================================================
+def loadcurve_experiment(
+    transactions: int = 60,
+    seed: int = DEFAULT_SEED,
+    workload: str = "hashmap",
+    rates: Optional[Sequence[float]] = None,
+    configs: Optional[Sequence[str]] = None,
+    skew: float = 0.8,
+    knee_factor: float = 2.0,
+) -> ExperimentResult:
+    """Sojourn-latency percentiles vs offered load, with knee detection.
+
+    The paper's methodology is closed-loop (the next transaction starts
+    when the previous commits), which hides queueing delay entirely;
+    this sweep replays the identical instruction stream under open-loop
+    Poisson arrivals across the controller matrix.  See
+    :mod:`repro.scenarios.loadcurve` and ``docs/scenarios.md``.
+    """
+    # Imported lazily: the scenario layer sits above the harness.
+    from repro.scenarios.loadcurve import DEFAULT_RATES, loadcurve_report
+
+    report = loadcurve_report(
+        workload=workload,
+        transactions=transactions,
+        seed=seed,
+        rates=tuple(rates) if rates else DEFAULT_RATES,
+        configs=configs,
+        skew=skew,
+        knee_factor=knee_factor,
+    )
+    result = ExperimentResult(
+        "loadcurve",
+        f"Sojourn latency vs offered load ({workload}, "
+        f"zipf s={skew:g}, {transactions} tx)",
+        [
+            "config",
+            "rate (tx/kcycle)",
+            "p50",
+            "p95",
+            "p99",
+            "completed/kcycle",
+        ],
+    )
+    for label, entry in report["configs"].items():
+        for point in entry["points"]:
+            result.rows.append(
+                [
+                    label,
+                    point["rate"],
+                    point["p50"],
+                    point["p95"],
+                    point["p99"],
+                    round(point["completed_per_kcycle"], 4),
+                ]
+            )
+        result.summary[f"knee.{label}"] = entry["knee_rate"]
+        result.summary[f"open_closed_p99_ratio.{label}"] = round(
+            entry["matched_load"]["open_closed_p99_ratio"], 3
+        )
+    result.notes = (
+        "Not a paper artifact: open-loop arrivals expose the queueing "
+        "delay the paper's closed-loop methodology cannot measure.  "
+        "The knee is the first rate whose p99 sojourn exceeds "
+        f"{knee_factor:g}x the lightest-load p99."
+    )
+    return result
+
+
+# ======================================================================
 # Registry
 # ======================================================================
 EXPERIMENTS = {
     "breakdown": breakdown_experiment,
+    "loadcurve": loadcurve_experiment,
     "motivation": motivation_overhead,
     "fig06": fig06_cpi,
     "fig12": fig12_speedup_eager,

@@ -119,6 +119,25 @@ def compute_metrics(
         slug = _DESIGN_SLUGS[design]
         # row: [label, entries, read, old pads, drain, new pads, total, ms]
         metrics[f"sec55.total_cycles.{slug}"] = row[6]
+
+    # Open-loop saturation shape (PR 10): the knee ordering
+    # eadr > dolos-full > prewpq-eager is the loadcurve's headline, and
+    # the open/closed p99 ratio pins the queueing-delay divergence the
+    # closed-loop methodology hides.
+    loadcurve = run_experiment(
+        "loadcurve",
+        jobs=jobs,
+        transactions=transactions,
+        seed=seed,
+        configs=("prewpq-eager", "dolos-full", "eadr"),
+    )
+    for label in ("prewpq-eager", "dolos-full", "eadr"):
+        metrics[f"loadcurve.knee_rate.{label}"] = loadcurve.summary[
+            f"knee.{label}"
+        ]
+    metrics["loadcurve.p99_open_closed_ratio.dolos-full"] = loadcurve.summary[
+        "open_closed_p99_ratio.dolos-full"
+    ]
     return metrics
 
 

@@ -66,10 +66,15 @@ class RunUnit:
     #: :class:`RunResult`; ``"breakdown"`` →
     #: :func:`repro.harness.breakdown.run_with_breakdown` →
     #: ``(RunResult, CycleBreakdown)``; ``"faults"`` →
-    #: :func:`repro.faults.campaign.run_fault_unit` → payload dict.
+    #: :func:`repro.faults.campaign.run_fault_unit` → payload dict;
+    #: ``"scenario"`` → :func:`repro.scenarios.loadcurve.run_scenario`
+    #: → open-loop sojourn/queueing payload dict.
     mode: str = "run"
     #: Interior crash sites per fault unit (``"faults"`` mode only).
     fault_sites: int = 0
+    #: Arrival-process descriptor as sorted key/value pairs
+    #: (``"scenario"`` mode only; tuple form keeps the unit hashable).
+    scenario: Tuple = ()
 
 
 #: Per-process unit memo (lazily constructed; see repro.harness.memo).
@@ -126,6 +131,24 @@ def execute_unit(unit: RunUnit, cache: TraceCache):
             sites=unit.fault_sites or 2,
         )
         return fault_unit_payload(report)
+    if unit.mode == "scenario":
+        # Scenario units replay an arrival-stamped open-loop trace and
+        # return the JSON-shaped sojourn/queueing payload.  They bypass
+        # the trace cache and unit memo: the stamped trace is built
+        # fresh (it is cheap relative to simulation and keyed by more
+        # knobs than the cache folds today).
+        from repro.scenarios.loadcurve import run_scenario, scenario_tenants
+
+        tenants = scenario_tenants(unit.workload, dict(unit.scenario))
+        payload = run_scenario(
+            unit.config,
+            tenants,
+            unit.transactions,
+            seed=unit.seed,
+            workload_name=unit.workload,
+        )
+        payload["kind"] = "scenario"
+        return payload
     packed = cache.get_packed(
         unit.workload, unit.transactions, unit.config.transaction_size, unit.seed
     )

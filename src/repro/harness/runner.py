@@ -77,6 +77,18 @@ def run_trace(
         )
     merged = dict(stats.as_dict())
     merged.update(controller.stats_snapshot())
+    # Histograms are folded into the flat stats dict as integer summary
+    # counters so RunResult (and everything downstream: golden metrics,
+    # fleet payloads, the service protocol) sees tail latency without a
+    # schema change — ``core.tx_cycles.p99``, ``core.sojourn_cycles.p95``
+    # and friends come from here.
+    for name, hist in stats.histograms():
+        merged[name + ".count"] = hist.count
+        merged[name + ".total"] = hist.total
+        merged[name + ".p50"] = hist.percentile(0.50)
+        merged[name + ".p95"] = hist.percentile(0.95)
+        merged[name + ".p99"] = hist.percentile(0.99)
+        merged[name + ".max"] = hist.max_value or 0
     return RunResult(
         workload=workload_name,
         controller=config.controller,

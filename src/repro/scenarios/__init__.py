@@ -1,0 +1,68 @@
+"""Open-loop traffic scenarios (arrival processes over workloads).
+
+Everything in the repo up to this layer is *closed-loop*: the core
+starts the next transaction the cycle the previous one commits, so
+offered load always equals service rate and queueing delay is zero by
+construction.  This package decouples the two (ROADMAP item 5):
+
+* :mod:`repro.scenarios.arrivals` — seeded open-loop arrival
+  generators (Poisson, bursty MMPP) that produce the cycle at which
+  each transaction is *offered*.
+* :mod:`repro.scenarios.skew` — a zipfian key-skew dial that layers
+  over any registered workload's key-pick RNG.
+* :mod:`repro.scenarios.tenants` — multi-tenant mixes: several
+  (workload, arrival process, skew) streams interleaved into one
+  arrival-stamped trace the existing controllers consume unchanged.
+* :mod:`repro.scenarios.adversarial` — traffic patterns from the
+  Yao & Venkataramani persistence-attack taxonomy (arXiv 1902.03518):
+  WPQ-set hammering, counter hot-line wear, coalesce-defeating stride
+  walks.  Scored by :mod:`repro.attacks.verify`.
+* :mod:`repro.scenarios.loadcurve` — the ``harness loadcurve``
+  experiment: latency vs offered load across the controller matrix,
+  with saturation-knee detection, plus the long-horizon soak campaign.
+"""
+
+from repro.scenarios.adversarial import ADVERSARIES, adversarial_trace
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.scenarios.loadcurve import (
+    DEFAULT_RATES,
+    knee_rate,
+    loadcurve_report,
+    run_scenario,
+    soak_campaign,
+)
+from repro.scenarios.skew import SkewedRandom
+from repro.scenarios.tenants import (
+    TENANT_ADDR_STRIDE,
+    TenantSpec,
+    build_scenario_trace,
+    build_tenant_stream,
+    merge_tenant_streams,
+    split_transactions,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "ArrivalProcess",
+    "DEFAULT_RATES",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "SkewedRandom",
+    "TENANT_ADDR_STRIDE",
+    "TenantSpec",
+    "adversarial_trace",
+    "build_scenario_trace",
+    "build_tenant_stream",
+    "knee_rate",
+    "loadcurve_report",
+    "make_arrivals",
+    "merge_tenant_streams",
+    "run_scenario",
+    "soak_campaign",
+    "split_transactions",
+]

@@ -1,0 +1,136 @@
+"""Adversarial traffic generators (arXiv 1902.03518 taxonomy).
+
+Yao & Venkataramani catalogue persistence-based degradation attacks
+against secure NVM controllers; three map directly onto this model's
+bottlenecks and are reproduced here as trace generators:
+
+* ``wpq-hammer`` — WPQ-set hammering: each transaction persists a
+  burst wider than the WPQ (16 entries) drawn from a tiny pinned line
+  set, forcing insertion retries and serialising the fence.
+* ``counter-wear`` — counter hot-line wear: all persists land inside
+  one 4 KB page so its shared counter line absorbs every increment —
+  the write-endurance hot spot the taxonomy's wear-out attacks target.
+* ``stride-walk`` — coalesce-defeating stride walk: every persist
+  touches a *fresh* line at a fixed page stride, so WPQ coalescing
+  never fires and the counter-cache working set thrashes.
+
+The generators emit the standard trace vocabulary (TXBEGIN … TXEND
+blocks), so the tenant layer interleaves them with benign streams like
+any other workload, and :func:`repro.attacks.verify.scan_traffic`
+scores the result.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List, Tuple
+
+from repro.cpu.trace import (
+    OP_CLWB,
+    OP_FENCE,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    OP_WORK,
+)
+
+#: Base of the attacker's address range: far above any benign heap so
+#: adversarial tenants never alias application lines before tenant
+#: remapping even runs.
+_ATTACK_BASE = 1 << 28
+_LINE = 64
+_PAGE = 4096
+
+
+def _rng(seed: int, salt: str) -> random.Random:
+    mix = zlib.crc32(salt.encode("utf-8")) & 0xFFFFFFFF
+    return random.Random((seed << 8) ^ mix)
+
+
+def wpq_hammer(
+    transactions: int, payload_bytes: int = 1024, seed: int = 0
+) -> List[Tuple]:
+    """Persist bursts over 8 pinned lines, each burst wider than the WPQ."""
+    rng = _rng(seed, "attack/wpq-hammer")
+    # One line per page: the set pressure targets the WPQ, not any
+    # single page's counter line (that is counter-wear's signature).
+    lines = [_ATTACK_BASE + i * _PAGE for i in range(8)]
+    burst = 24  # > 16 WPQ entries even with full coalescing of 8 lines
+    ops: List[Tuple] = []
+    for tx in range(transactions):
+        ops.append((OP_TXBEGIN, tx))
+        ops.append((OP_WORK, 4))
+        start = rng.randrange(len(lines))
+        for i in range(burst):
+            line = lines[(start + i) % len(lines)]
+            ops.append((OP_STORE, line))
+            ops.append((OP_CLWB, line))
+        ops.append((OP_FENCE,))
+        ops.append((OP_TXEND, tx))
+    return ops
+
+
+def counter_wear(
+    transactions: int, payload_bytes: int = 1024, seed: int = 0
+) -> List[Tuple]:
+    """Concentrate every persist inside one page's counter line."""
+    rng = _rng(seed, "attack/counter-wear")
+    page = _ATTACK_BASE + _PAGE  # one fixed hot page
+    ops: List[Tuple] = []
+    for tx in range(transactions):
+        ops.append((OP_TXBEGIN, tx))
+        ops.append((OP_WORK, 8))
+        for _ in range(16):
+            # Spread over half the page's 64 lines: the *page* is hot
+            # (its counter line absorbs every increment) without any
+            # 8-line set dominating (that is wpq-hammer's signature).
+            line = page + rng.randrange(32) * _LINE
+            ops.append((OP_STORE, line))
+            ops.append((OP_CLWB, line))
+        ops.append((OP_FENCE,))
+        ops.append((OP_TXEND, tx))
+    return ops
+
+
+def stride_walk(
+    transactions: int, payload_bytes: int = 1024, seed: int = 0
+) -> List[Tuple]:
+    """Walk fresh lines at a fixed page stride — nothing ever coalesces."""
+    ops: List[Tuple] = []
+    addr = _ATTACK_BASE + 2 * _PAGE
+    for tx in range(transactions):
+        ops.append((OP_TXBEGIN, tx))
+        ops.append((OP_WORK, 8))
+        for _ in range(16):
+            ops.append((OP_STORE, addr))
+            ops.append((OP_CLWB, addr))
+            addr += _PAGE
+        ops.append((OP_FENCE,))
+        ops.append((OP_TXEND, tx))
+    return ops
+
+
+#: Registry consumed by the tenant layer and campaign specs; names are
+#: deliberately disjoint from the workload registry.
+ADVERSARIES: Dict[str, Callable[..., List[Tuple]]] = {
+    "wpq-hammer": wpq_hammer,
+    "counter-wear": counter_wear,
+    "stride-walk": stride_walk,
+}
+
+
+def adversarial_trace(
+    name: str,
+    transactions: int,
+    payload_bytes: int = 1024,
+    seed: int = 0,
+) -> List[Tuple]:
+    """Build one adversarial trace by registry name."""
+    try:
+        generator = ADVERSARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
+        ) from None
+    return generator(transactions, payload_bytes, seed)

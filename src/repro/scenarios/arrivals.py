@@ -1,0 +1,129 @@
+"""Seeded open-loop arrival processes.
+
+An arrival process answers one question: *at which cycle was the k-th
+transaction offered to the system?*  Rates are expressed in
+transactions per kilocycle (tx/kcycle) so the numbers stay O(0.1) at
+the service rates the controller matrix exhibits.
+
+Determinism contract: ``sample(n, seed)`` is a pure function of
+``(process parameters, n, seed)`` — the same call is bit-identical
+across interpreter invocations and pool workers (crc32 salting, no
+``hash()``), which the property suite pins.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List
+
+
+def _salted(seed: int, salt: str) -> random.Random:
+    """A ``Random`` seeded from ``seed`` and a crc32-hashed salt."""
+    mix = zlib.crc32(salt.encode("utf-8")) & 0xFFFFFFFF
+    return random.Random((seed << 8) ^ mix)
+
+
+class ArrivalProcess:
+    """Base arrival process: produces monotone integer arrival cycles."""
+
+    kind: str = "base"
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        #: Offered load in transactions per kilocycle.
+        self.rate = rate
+
+    # ------------------------------------------------------------------
+    def inter_arrivals(self, n: int, rng: random.Random) -> List[float]:
+        """Draw ``n`` inter-arrival gaps in cycles (subclass hook)."""
+        raise NotImplementedError
+
+    def sample(self, n: int, seed: int) -> List[int]:
+        """Arrival cycles for ``n`` transactions, non-decreasing ints."""
+        if n < 0:
+            raise ValueError(f"need a non-negative count, got {n}")
+        rng = _salted(seed, f"scenarios/arrivals/{self.kind}")
+        cycles: List[int] = []
+        clock = 0.0
+        for gap in self.inter_arrivals(n, rng):
+            clock += gap
+            cycles.append(int(clock))
+        return cycles
+
+    def describe(self) -> str:
+        return f"{self.kind}(rate={self.rate:g}/kcycle)"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless open-loop arrivals at a fixed mean rate."""
+
+    kind = "poisson"
+
+    def inter_arrivals(self, n: int, rng: random.Random) -> List[float]:
+        mean_gap = 1000.0 / self.rate  # cycles between arrivals
+        expovariate = rng.expovariate
+        scale = mean_gap
+        return [expovariate(1.0) * scale for _ in range(n)]
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The process alternates between a *hot* state offering
+    ``rate * burst`` and a *cold* state offering
+    ``rate * burst / (2 * burst - 1)``; dwell times in each state are
+    geometric with mean ``dwell`` transactions.  Because dwell is
+    measured in *arrivals* (each gap contributes ``1/state_rate`` of
+    time), the long-run offered rate is the **harmonic** mean of the
+    two state rates — the cold rate is chosen so that harmonic mean is
+    exactly ``rate``, which the property suite pins.  ``burst`` must
+    lie in (1, 2): 1 would degenerate to Poisson, and the cold rate
+    stays positive throughout that range.
+    """
+
+    kind = "mmpp"
+
+    def __init__(
+        self, rate: float, burst: float = 1.6, dwell: int = 12
+    ) -> None:
+        super().__init__(rate)
+        if not 1.0 < burst < 2.0:
+            raise ValueError(f"burst factor must be in (1, 2), got {burst}")
+        if dwell < 1:
+            raise ValueError(f"dwell must be >= 1 transaction, got {dwell}")
+        self.burst = burst
+        self.dwell = dwell
+
+    def inter_arrivals(self, n: int, rng: random.Random) -> List[float]:
+        # Harmonic-mean-preserving pair: mean gap per arrival is
+        # (hot_gap + cold_gap) / 2 = 1000 / rate exactly.
+        hot_gap = 1000.0 / (self.rate * self.burst)
+        cold_gap = 2000.0 / self.rate - hot_gap
+        switch_p = 1.0 / self.dwell
+        hot = True
+        gaps: List[float] = []
+        for _ in range(n):
+            scale = hot_gap if hot else cold_gap
+            gaps.append(rng.expovariate(1.0) * scale)
+            if rng.random() < switch_p:
+                hot = not hot
+        return gaps
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}(rate={self.rate:g}/kcycle, "
+            f"burst={self.burst:g}, dwell={self.dwell})"
+        )
+
+
+def make_arrivals(
+    kind: str, rate: float, burst: float = 1.6, dwell: int = 12
+) -> ArrivalProcess:
+    """Factory used by campaign specs and the CLI."""
+    if kind == "poisson":
+        return PoissonArrivals(rate)
+    if kind == "mmpp":
+        return MMPPArrivals(rate, burst=burst, dwell=dwell)
+    raise ValueError(f"unknown arrival process {kind!r} (poisson|mmpp)")

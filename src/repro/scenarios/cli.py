@@ -1,0 +1,122 @@
+"""``python -m repro.harness loadcurve`` — latency vs offered load.
+
+Sweeps open-loop Poisson arrival rates over one workload across the
+controller matrix, prints the per-config percentile table with its
+saturation knee, and (with ``--out``) writes the full JSON report —
+the artifact the CI smoke job uploads and the characterization suite
+snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.harness.tables import render_table
+from repro.scenarios.loadcurve import (
+    DEFAULT_KNEE_FACTOR,
+    DEFAULT_RATES,
+    loadcurve_report,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness loadcurve",
+        description="Sojourn latency vs offered load across the "
+        "controller matrix (open-loop Poisson arrivals).",
+    )
+    parser.add_argument("--workload", default="hashmap")
+    parser.add_argument("--transactions", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--rates",
+        default=",".join(str(rate) for rate in DEFAULT_RATES),
+        help="comma-separated offered loads in tx/kcycle "
+        f"(default {','.join(str(r) for r in DEFAULT_RATES)})",
+    )
+    parser.add_argument(
+        "--configs",
+        default="",
+        help="comma-separated matrix labels (default: all 8; see "
+        "python -m repro.harness matrix)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float,
+        default=0.8,
+        help="zipfian key-skew exponent layered over the workload "
+        "(0 = uniform; default 0.8)",
+    )
+    parser.add_argument(
+        "--knee-factor",
+        type=float,
+        default=DEFAULT_KNEE_FACTOR,
+        help="p99 multiple over the lightest-load p99 that marks the "
+        f"saturation knee (default {DEFAULT_KNEE_FACTOR:g})",
+    )
+    parser.add_argument(
+        "--out", default="", help="write the full JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    rates = tuple(float(token) for token in args.rates.split(",") if token)
+    configs = (
+        [token for token in args.configs.split(",") if token]
+        if args.configs
+        else None
+    )
+    report = loadcurve_report(
+        workload=args.workload,
+        transactions=args.transactions,
+        seed=args.seed,
+        rates=rates,
+        configs=configs,
+        skew=args.skew,
+        knee_factor=args.knee_factor,
+    )
+
+    rows = []
+    for label, entry in report["configs"].items():
+        for point in entry["points"]:
+            rows.append(
+                [
+                    label,
+                    point["rate"],
+                    point["p50"],
+                    point["p95"],
+                    point["p99"],
+                    round(point["completed_per_kcycle"], 4),
+                ]
+            )
+    print(
+        render_table(
+            ["config", "rate", "p50", "p95", "p99", "done/kcycle"],
+            rows,
+            title=f"Sojourn latency vs offered load "
+            f"({args.workload}, zipf s={args.skew:g}, "
+            f"{args.transactions} tx)",
+        )
+    )
+    for label, entry in report["configs"].items():
+        matched = entry["matched_load"]
+        print(
+            f"{label}: knee {entry['knee_rate']:g} tx/kcycle, "
+            f"open/closed p99 ratio at matched load "
+            f"{matched['open_closed_p99_ratio']:.2f}"
+        )
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"[wrote {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Zipfian key-skew dial layered over a workload's RNG.
+
+Workloads pick keys with ``self.rng.randrange(KEY_SPACE)``.  Rather
+than teach every workload about skew, :class:`SkewedRandom` *is* a
+``random.Random`` whose ``randrange`` returns zipf-distributed ranks;
+installing it as the workload's ``rng_factory`` skews every key pick
+while mix decisions (``random()``, small-op ``choice``) pass through
+untouched.
+
+The dial: ``s = 0`` is exactly uniform (``floor(u * n)`` of the same
+underlying stream — the property suite pins this); ``s > 0``
+concentrates mass on low ranks via the analytic inverse CDF of the
+bounded continuous zipf (``P(rank ≤ k) ∝ (k+1)^(1-s)``), which is
+O(1) per draw for *any* range size — workload key spaces reach 2^20+,
+so building discrete weight tables is off the table.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class SkewedRandom(random.Random):
+    """A ``Random`` whose ``randrange`` draws zipfian ranks."""
+
+    def __init__(self, seed: int, s: float = 0.0) -> None:
+        if s < 0.0:
+            raise ValueError(f"skew exponent must be >= 0, got {s}")
+        super().__init__(seed)
+        self.s = s
+
+    # ------------------------------------------------------------------
+    def _zipf_index(self, n: int) -> int:
+        """A rank in [0, n) with mass concentrated on low ranks."""
+        if n <= 0:
+            raise ValueError(f"empty range for zipf draw (n={n})")
+        u = self.random()
+        s = self.s
+        if s == 0.0:
+            # Exact uniform degeneration: the same floor(u*n) a plain
+            # Random would produce from this underlying stream.
+            return int(u * n)
+        if abs(s - 1.0) < 1e-9:
+            # s = 1: the inverse CDF is n^u (log-uniform ranks).
+            rank = int(math.pow(float(n), u)) - 1
+        else:
+            # Bounded zipf, continuous approximation:
+            #   CDF(k) = ((k+1)^(1-s) - 1) / (n^(1-s) - 1)
+            exp = 1.0 - s
+            span = math.pow(float(n), exp) - 1.0
+            rank = int(math.pow(u * span + 1.0, 1.0 / exp)) - 1
+        if rank < 0:
+            return 0
+        return min(rank, n - 1)
+
+    # ------------------------------------------------------------------
+    def randrange(self, start, stop=None, step=1):
+        """Zipf-distributed pick with ``randrange`` range semantics."""
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if step == 1:
+            if width <= 0:
+                raise ValueError(f"empty range ({start}, {stop})")
+            return start + self._zipf_index(width)
+        n = (width + step - 1) // step if step > 0 else 0
+        if n <= 0:
+            raise ValueError(f"empty range ({start}, {stop}, step={step})")
+        return start + step * self._zipf_index(n)

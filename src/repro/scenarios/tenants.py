@@ -1,0 +1,205 @@
+"""Multi-tenant stream construction and interleaving.
+
+A *tenant* is one (workload, arrival process, skew) triple.  Its trace
+is chunked into per-transaction blocks, each block is stamped with an
+``OP_ARRIVAL`` marker carrying (tenant id, arrival cycle), its
+addresses are remapped into a tenant-private window, and the blocks of
+all tenants are merged into a single arrival-ordered trace the
+existing controllers replay unchanged.
+
+The merge is a *stable, per-tenant-order-preserving* interleaving
+(ties broken by tenant id then per-tenant sequence number) — the
+property suite pins this.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cpu.trace import (
+    OP_ARRIVAL,
+    OP_CLWB,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXBEGIN,
+    OP_TXEND,
+    pack_arrival,
+)
+from repro.scenarios.adversarial import ADVERSARIES, adversarial_trace
+from repro.scenarios.arrivals import ArrivalProcess, make_arrivals
+from repro.scenarios.skew import SkewedRandom
+
+#: Each tenant's addresses live in a private 8 GiB window: far above
+#: any benign heap or adversarial range, so cross-tenant lines never
+#: alias in the hierarchy, the WPQ, or the security metadata caches.
+TENANT_ADDR_STRIDE = 1 << 33
+
+#: Ops whose operand is a memory address (remapped per tenant).
+_ADDR_OPS = frozenset((OP_LOAD, OP_STORE, OP_CLWB))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant stream: what it runs, how it arrives, how it skews."""
+
+    workload: str
+    rate: float
+    skew: float = 0.0
+    arrivals: str = "poisson"
+    burst: float = 1.6
+    dwell: int = 12
+
+    def process(self) -> ArrivalProcess:
+        return make_arrivals(
+            self.arrivals, self.rate, burst=self.burst, dwell=self.dwell
+        )
+
+    # -- wire form (campaign specs / service jobs) ---------------------
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "rate": self.rate,
+            "skew": self.skew,
+            "arrivals": self.arrivals,
+            "burst": self.burst,
+            "dwell": self.dwell,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TenantSpec":
+        return cls(
+            workload=str(payload["workload"]),
+            rate=float(payload["rate"]),
+            skew=float(payload.get("skew", 0.0)),
+            arrivals=str(payload.get("arrivals", "poisson")),
+            burst=float(payload.get("burst", 1.6)),
+            dwell=int(payload.get("dwell", 12)),
+        )
+
+
+@dataclass
+class TenantBlock:
+    """One transaction block of one tenant, ready for merging."""
+
+    arrival: int
+    tenant: int
+    index: int
+    ops: List[Tuple] = field(default_factory=list)
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.arrival, self.tenant, self.index)
+
+
+def split_transactions(trace: List[Tuple]) -> List[List[Tuple]]:
+    """Chunk a trace into per-transaction blocks.
+
+    Ops preceding the first ``TXBEGIN`` attach to the first block and
+    trailing ops after the last ``TXEND`` to the last, so no op is ever
+    dropped; a trace with no transaction markers yields one block.
+    """
+    blocks: List[List[Tuple]] = []
+    current: List[Tuple] = []
+    for op in trace:
+        current.append(op)
+        if op[0] == OP_TXEND:
+            blocks.append(current)
+            current = []
+    if current:
+        if blocks:
+            blocks[-1].extend(current)
+        else:
+            blocks.append(current)
+    return blocks
+
+
+def _tenant_seed(seed: int, tenant: int, spec: TenantSpec) -> int:
+    """Per-tenant seed derivation (crc32 — stable across processes)."""
+    salt = zlib.crc32(
+        f"tenant/{tenant}/{spec.workload}".encode("utf-8")
+    ) & 0xFFFFFFFF
+    return (seed ^ salt) & 0x7FFFFFFF
+
+
+def _generate(
+    spec: TenantSpec, transactions: int, payload_bytes: int, seed: int
+) -> List[Tuple]:
+    """Trace for one tenant: workload registry first, then adversaries."""
+    if spec.workload in ADVERSARIES:
+        return adversarial_trace(
+            spec.workload, transactions, payload_bytes, seed
+        )
+    # Imported here: workloads -> scenarios must stay acyclic.
+    from repro.workloads import get_workload
+
+    workload = get_workload(spec.workload)
+    if spec.skew > 0.0:
+        skew = spec.skew
+        workload.rng_factory = lambda s: SkewedRandom(s, skew)
+    return workload.generate(transactions, payload_bytes, seed)
+
+
+def build_tenant_stream(
+    spec: TenantSpec,
+    tenant: int,
+    transactions: int,
+    payload_bytes: int = 1024,
+    seed: int = 0,
+) -> List[TenantBlock]:
+    """Arrival-stamped, address-remapped blocks for one tenant."""
+    tenant_seed = _tenant_seed(seed, tenant, spec)
+    trace = _generate(spec, transactions, payload_bytes, tenant_seed)
+    blocks = split_transactions(trace)
+    arrivals = spec.process().sample(len(blocks), tenant_seed)
+    offset = tenant * TENANT_ADDR_STRIDE
+    out: List[TenantBlock] = []
+    for index, (ops, arrival) in enumerate(zip(blocks, arrivals)):
+        if offset:
+            ops = [
+                (op[0], op[1] + offset) if op[0] in _ADDR_OPS else op
+                for op in ops
+            ]
+        stamped = [(OP_ARRIVAL, pack_arrival(tenant, arrival))]
+        stamped.extend(ops)
+        out.append(TenantBlock(arrival, tenant, index, stamped))
+    return out
+
+
+def merge_tenant_streams(
+    streams: List[List[TenantBlock]],
+) -> List[Tuple]:
+    """Stable arrival-ordered interleaving of tenant block streams.
+
+    Sorting by ``(arrival, tenant, index)`` keeps every tenant's blocks
+    in their original order (arrivals are non-decreasing per tenant and
+    ``index`` breaks equal-cycle ties), and makes the interleaving a
+    pure function of the stamped streams.
+    """
+    merged: List[Tuple] = []
+    for block in sorted(
+        (b for stream in streams for b in stream),
+        key=TenantBlock.sort_key,
+    ):
+        merged.extend(block.ops)
+    return merged
+
+
+def build_scenario_trace(
+    tenants: List[TenantSpec],
+    transactions: int,
+    payload_bytes: int = 1024,
+    seed: int = 0,
+) -> List[Tuple]:
+    """One arrival-stamped trace from ``tenants`` interleaved streams.
+
+    ``transactions`` is the per-tenant count: each tenant offers that
+    many transactions at its own rate.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    streams = [
+        build_tenant_stream(spec, i, transactions, payload_bytes, seed)
+        for i, spec in enumerate(tenants)
+    ]
+    return merge_tenant_streams(streams)

@@ -67,8 +67,23 @@ PROTOCOL_VERSION = 1
 #: (:class:`RunResult` payload); ``faults`` runs the seeded
 #: fault-injection campaign for one (workload, design) unit and
 #: returns its detected/tolerated/silent classification payload
-#: (see :func:`repro.faults.campaign.fault_unit_payload`).
-JOB_MODES = ("run", "faults")
+#: (see :func:`repro.faults.campaign.fault_unit_payload`); ``scenario``
+#: runs the workload under an open-loop arrival process
+#: (:mod:`repro.scenarios`) and returns the sojourn/queueing payload of
+#: :func:`repro.scenarios.loadcurve.run_scenario`.
+JOB_MODES = ("run", "faults", "scenario")
+
+#: Keys a ``scenario`` job's descriptor may carry, with coercers
+#: (same whitelist philosophy as ``overrides``).
+_SCENARIO_COERCERS = {
+    "arrivals": str,
+    "rate": float,
+    "skew": float,
+    "burst": float,
+    "dwell": int,
+    "adversary": str,
+    "adversary_rate": float,
+}
 
 #: Newline-framed JSON lines are bounded to keep a hostile or buggy
 #: client from ballooning server memory.
@@ -108,10 +123,14 @@ class JobSpec:
     seed: int
     experiment_id: str = ""
     overrides: Mapping[str, object] = field(default_factory=dict)
-    #: ``run`` (default) or ``faults`` — see :data:`JOB_MODES`.
+    #: ``run`` (default), ``faults`` or ``scenario`` — :data:`JOB_MODES`.
     mode: str = "run"
     #: Interior crash sites per fault unit (``faults`` mode only).
     fault_sites: int = 2
+    #: Arrival-process descriptor (``scenario`` mode only): the
+    #: whitelisted keys of :data:`_SCENARIO_COERCERS`; ``rate`` is
+    #: mandatory.
+    scenario: Mapping[str, object] = field(default_factory=dict)
 
     def validate(self) -> "JobSpec":
         # Hostile-wire guard: every field must have the right *type*
@@ -144,6 +163,47 @@ class JobSpec:
                 or self.fault_sites <= 0
             ):
                 raise ProtocolError("fault_sites must be a positive integer")
+        if self.mode == "scenario":
+            if not isinstance(self.scenario, Mapping):
+                raise ProtocolError("scenario must be an object")
+            scenario = dict(self.scenario)
+            for key, value in scenario.items():
+                coerce = _SCENARIO_COERCERS.get(key)
+                if coerce is None:
+                    raise ProtocolError(
+                        f"unknown scenario key {key!r}; "
+                        f"choose from {sorted(_SCENARIO_COERCERS)}"
+                    )
+                try:
+                    coerce(value)
+                except (TypeError, ValueError):
+                    raise ProtocolError(
+                        f"scenario key {key!r} has invalid value {value!r}"
+                    ) from None
+            try:
+                rate = float(scenario.get("rate", 0))
+            except (TypeError, ValueError):
+                rate = 0.0
+            if rate <= 0.0:
+                raise ProtocolError(
+                    "scenario jobs need a positive 'rate' (tx/kcycle)"
+                )
+            if str(scenario.get("arrivals", "poisson")) not in (
+                "poisson",
+                "mmpp",
+            ):
+                raise ProtocolError(
+                    "scenario 'arrivals' must be 'poisson' or 'mmpp'"
+                )
+            adversary = scenario.get("adversary")
+            if adversary is not None:
+                from repro.scenarios.adversarial import ADVERSARIES
+
+                if adversary not in ADVERSARIES:
+                    raise ProtocolError(
+                        f"unknown adversary {adversary!r}; choose from "
+                        f"{sorted(ADVERSARIES)}"
+                    )
         if self.workload not in ALL_WORKLOADS:
             raise ProtocolError(
                 f"unknown workload {self.workload!r}; "
@@ -190,6 +250,8 @@ class JobSpec:
         if self.mode != "run":
             wire["mode"] = self.mode
             wire["fault_sites"] = self.fault_sites
+        if self.mode == "scenario":
+            wire["scenario"] = dict(self.scenario)
         return wire
 
     @classmethod
@@ -209,6 +271,7 @@ class JobSpec:
                 overrides=dict(overrides),
                 mode=str(data.get("mode", "run")),
                 fault_sites=data.get("fault_sites", 2),
+                scenario=dict(data.get("scenario", {}) or {}),
             )
         except KeyError as exc:
             raise ProtocolError(f"job missing field {exc.args[0]!r}") from None
@@ -236,7 +299,12 @@ def canonical_job(spec: JobSpec) -> Dict[str, object]:
     }
     if spec.mode != "run":
         canonical["mode"] = spec.mode
+    if spec.mode == "faults":
         canonical["fault_sites"] = spec.fault_sites
+    if spec.mode == "scenario":
+        canonical["scenario"] = {
+            key: spec.scenario[key] for key in sorted(spec.scenario)
+        }
     return canonical
 
 
@@ -272,10 +340,10 @@ def resolve_config(spec: JobSpec) -> SimConfig:
 def result_payload(result) -> Dict[str, object]:
     """Serialise one unit result to a wire/cache-stable dict.
 
-    ``run`` units yield a :class:`RunResult`; ``faults`` units already
-    arrive as the plain dict :func:`repro.faults.campaign
-    .fault_unit_payload` builds (tagged ``"kind": "faults"``), which
-    passes through untouched so its digest is stable end to end.
+    ``run`` units yield a :class:`RunResult`; ``faults`` and
+    ``scenario`` units already arrive as plain dicts (tagged
+    ``"kind": "faults"`` / ``"kind": "scenario"``), which pass through
+    untouched so their digests are stable end to end.
     """
     if isinstance(result, Mapping):
         return dict(result)

@@ -167,6 +167,11 @@ class ExperimentScheduler:
             spec.seed,
             mode=spec.mode,
             fault_sites=spec.fault_sites if spec.mode == "faults" else 0,
+            scenario=(
+                tuple(sorted(dict(spec.scenario).items()))
+                if spec.mode == "scenario"
+                else ()
+            ),
         )
         job = Job(key=key, spec=spec, unit=unit)
         self._jobs[key] = job

@@ -14,7 +14,7 @@ from repro.workloads.base import Workload
 #: same (name, transactions, payload, seed) — e.g. RNG-seeding or data
 #: structure layout changes.  The persistent trace cache folds this
 #: into its content hash so stale traces are never replayed.
-GENERATOR_VERSION = 2
+GENERATOR_VERSION = 3
 from repro.workloads.btree import BTreeWorkload
 from repro.workloads.ctree import CTreeWorkload
 from repro.workloads.echo import EchoWorkload

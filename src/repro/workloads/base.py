@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 import zlib
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 from repro.persistence.heap import PersistentHeap
 from repro.persistence.recorder import TraceRecorder
@@ -74,6 +74,11 @@ class Workload(ABC):
         self.log = UndoLog(self.heap)
         self.commit_marker = self.heap.alloc_aligned(64, 64)
         self.rng = random.Random(0)
+        #: RNG constructor used for both generation phases.  The
+        #: scenario layer swaps in :class:`repro.scenarios.skew.
+        #: SkewedRandom` to zipf-skew key picks without the workload
+        #: knowing; the default keeps classic traces bit-identical.
+        self.rng_factory: Callable[[int], random.Random] = random.Random
 
     # ------------------------------------------------------------------
     def new_transaction(self) -> Transaction:
@@ -93,13 +98,23 @@ class Workload(ABC):
         # zlib.crc32, not hash(): str hashing is salted per process
         # (PYTHONHASHSEED), which would make "deterministic per seed"
         # traces differ across interpreter invocations and pool workers.
-        name_salt = zlib.crc32(self.name.encode("utf-8")) & 0xFFFFFFFF
-        self.rng = random.Random((seed << 8) ^ name_salt)
+        # Warm-up and traced phases draw from *independently* seeded
+        # streams: with a shared stream, changing warmup_transactions
+        # silently shifts every traced key, so "same seed" traces would
+        # not survive a warm-up-length tweak.
+        warm_salt = zlib.crc32(
+            (self.name + "/warmup").encode("utf-8")
+        ) & 0xFFFFFFFF
+        traced_salt = zlib.crc32(
+            (self.name + "/traced").encode("utf-8")
+        ) & 0xFFFFFFFF
+        self.rng = self.rng_factory((seed << 8) ^ warm_salt)
         self.setup(payload_bytes)
         self.recorder.enabled = False
         for _ in range(self.warmup_transactions):
             self.transaction(payload_bytes)
         self.recorder.enabled = True
+        self.rng = self.rng_factory((seed << 8) ^ traced_salt)
         for _ in range(transactions):
             self.transaction(payload_bytes)
         return self.recorder.ops

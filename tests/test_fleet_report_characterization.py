@@ -32,7 +32,8 @@ class TestPinnedReport:
         assert report["experiment_id"] == "fleet-fixture-b"
         assert report["git_hash"].startswith("fixture")
         assert report["units"] == {
-            "total": 24, "run": 12, "faults": 12, "duplicates": 0,
+            "total": 24, "run": 12, "faults": 12, "scenario": 0,
+            "duplicates": 0,
         }
         assert report["workers"] == ["worker-0", "worker-1", "worker-2"]
 

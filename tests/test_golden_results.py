@@ -23,7 +23,7 @@ from repro.workloads import GENERATOR_VERSION
 
 FAMILIES = (
     "fig12.", "fig15.", "fig16.", "newdesigns.", "tab02.", "tab03.",
-    "sec55.",
+    "sec55.", "loadcurve.",
 )
 
 

@@ -1,0 +1,202 @@
+"""Characterization tests for the open-loop scenario layer (PR 10).
+
+Four behavioural contracts, pinned against a checked-in fixture where
+exactness matters and against qualitative shape everywhere else:
+
+1. **Load curve shape** — p99 sojourn is non-decreasing in offered
+   load for every config, and the saturation knees order the designs
+   the paper's closed-loop numbers predict: battery-backed eADR rides
+   out the most load, Pre-WPQ-Secure (eager) saturates first, Dolos
+   sits in between.
+2. **Open vs closed divergence** — at matched throughput the open-loop
+   p99 sojourn is a multiple of the closed-loop p99 transaction
+   latency: queueing delay the paper's methodology cannot see.
+3. **Traffic verdicts** — each adversarial generator is flagged with
+   exactly its own kind at every seed swept; benign workloads stay
+   unflagged across the whole skew dial.
+4. **Fixture snapshot** — the full loadcurve report for a pinned
+   (workload, transactions, seed, configs) cell is byte-identical to
+   ``tests/data/loadcurve_fixture.json`` (the simulator is
+   deterministic; any diff is a real behaviour change).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.attacks.traffic import scan_tenants, scan_traffic
+from repro.matrix import controller_matrix
+from repro.scenarios import TenantSpec, adversarial_trace
+from repro.scenarios.loadcurve import knee_rate, loadcurve_report, run_scenario
+
+FIXTURE_PATH = Path(__file__).parent / "data" / "loadcurve_fixture.json"
+FIXTURE = json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Recompute the fixture's loadcurve cell once per module."""
+    return loadcurve_report(
+        workload=FIXTURE["workload"],
+        transactions=FIXTURE["transactions"],
+        seed=FIXTURE["seed"],
+        rates=tuple(FIXTURE["rates"]),
+        configs=tuple(sorted(FIXTURE["configs"])),
+        skew=FIXTURE["skew"],
+        knee_factor=FIXTURE["knee_factor"],
+    )
+
+
+# ----------------------------------------------------------------------
+# 1 + 4. Load-curve shape, pinned byte-for-byte
+# ----------------------------------------------------------------------
+class TestLoadCurve:
+    def test_report_matches_fixture_exactly(self, report):
+        assert json.loads(json.dumps(report, sort_keys=True)) == FIXTURE
+
+    def test_p99_sojourn_non_decreasing_in_offered_load(self, report):
+        for label, entry in report["configs"].items():
+            p99s = [point["p99"] for point in entry["points"]]
+            assert p99s == sorted(p99s), (
+                f"{label}: p99 not monotone in load: {p99s}"
+            )
+
+    def test_knees_order_the_designs(self, report):
+        knees = {
+            label: entry["knee_rate"]
+            for label, entry in report["configs"].items()
+        }
+        assert knees["prewpq-eager"] < knees["dolos-full"] < knees["eadr"]
+
+    def test_knee_detector_contract(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        assert knee_rate(rates, [100, 150, 250, 900]) == 0.3
+        assert knee_rate(rates, [100, 110, 120, 130]) == 0.4  # never crosses
+        with pytest.raises(ValueError):
+            knee_rate([0.1], [1, 2])
+
+    def test_heavier_load_never_lowers_light_load_p99(self, report):
+        """The lightest rate's p99 approximates the no-queueing floor:
+        every heavier point must sit at or above it."""
+        for entry in report["configs"].values():
+            floor = entry["points"][0]["p99"]
+            assert all(point["p99"] >= floor for point in entry["points"])
+
+
+# ----------------------------------------------------------------------
+# 2. Open vs closed loop
+# ----------------------------------------------------------------------
+class TestOpenVsClosed:
+    def test_open_loop_p99_diverges_at_matched_throughput(self, report):
+        """At 90% of each config's closed-loop completion rate, the
+        open-loop tail is a clear multiple of the closed-loop tail —
+        the queueing delay closed-loop measurement structurally hides."""
+        for label, entry in report["configs"].items():
+            ratio = entry["matched_load"]["open_closed_p99_ratio"]
+            assert ratio > 1.5, f"{label}: open/closed p99 ratio {ratio}"
+
+    def test_closed_loop_reference_is_populated(self, report):
+        for entry in report["configs"].values():
+            closed = entry["closed_loop"]
+            assert closed["cycles"] > 0
+            assert closed["tx_p99"] > 0
+            assert closed["completed_per_kcycle"] > 0
+
+
+# ----------------------------------------------------------------------
+# 3. Traffic verdicts
+# ----------------------------------------------------------------------
+ADVERSARY_KINDS = ("wpq-hammer", "counter-wear", "stride-walk")
+
+
+class TestTrafficVerdicts:
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_every_adversarial_trace_is_flagged_as_itself(self, kind, seed):
+        verdict = scan_traffic(adversarial_trace(kind, 30, seed=seed))
+        assert verdict.flagged
+        assert verdict.kinds == [kind], (
+            f"{kind} seed {seed} misclassified as {verdict.kinds}: "
+            f"{verdict.metrics}"
+        )
+
+    @pytest.mark.parametrize("workload", ["hashmap", "btree", "redis"])
+    @pytest.mark.parametrize("skew", [0.0, 0.8, 1.2])
+    def test_benign_traffic_never_flags(self, workload, skew):
+        from repro.scenarios.tenants import build_tenant_stream
+
+        blocks = build_tenant_stream(
+            TenantSpec(workload, 0.05, skew=skew), 0, 30, seed=1
+        )
+        trace = [op for block in blocks for op in block.ops]
+        verdict = scan_traffic(trace)
+        assert not verdict.flagged, (
+            f"{workload} skew={skew} false positive {verdict.kinds}: "
+            f"{verdict.metrics}"
+        )
+
+    def test_scenario_attributes_verdicts_per_tenant(self):
+        """A benign tenant and a hammering tenant in one interleaved
+        trace: the scanner convicts exactly the attacker."""
+        config = controller_matrix()["dolos-full"]
+        payload = run_scenario(
+            config,
+            [
+                TenantSpec("hashmap", 0.05, skew=0.8),
+                TenantSpec("wpq-hammer", 0.05),
+            ],
+            20,
+            seed=2,
+        )
+        assert payload["tenants"]["0"]["flagged"] is False
+        assert payload["tenants"]["1"]["flagged"] is True
+        assert payload["tenants"]["1"]["kinds"] == ["wpq-hammer"]
+        assert payload["tenants"]["0"]["sojourn_p99"] > 0
+        assert payload["tenants"]["1"]["sojourn_p99"] > 0
+
+    def test_scan_tenants_defaults_unstamped_trace_to_tenant_zero(self):
+        verdicts = scan_tenants(adversarial_trace("stride-walk", 20, seed=0))
+        assert list(verdicts) == [0]
+        assert verdicts[0].kinds == ["stride-walk"]
+
+
+class TestLoadcurveCli:
+    """`python -m repro.harness loadcurve` — the surface the CI smoke
+    job and the docs both lean on."""
+
+    def test_cli_prints_table_and_writes_report(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        out_path = tmp_path / "lc" / "report.json"
+        code = main(
+            [
+                "--workload", "hashmap",
+                "--transactions", "12",
+                "--seed", "1",
+                "--rates", "0.02,0.18",
+                "--configs", "dolos-full",
+                "--out", str(out_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Sojourn latency vs offered load" in captured
+        assert "dolos-full: knee" in captured
+        assert f"[wrote {out_path}]" in captured
+
+        report = json.loads(out_path.read_text())
+        assert list(report["configs"]) == ["dolos-full"]
+        assert report["configs"]["dolos-full"]["knee_rate"] in (0.02, 0.18)
+        # CLI output must be the library report verbatim.
+        direct = loadcurve_report(
+            workload="hashmap",
+            transactions=12,
+            seed=1,
+            rates=(0.02, 0.18),
+            configs=["dolos-full"],
+            skew=0.8,
+        )
+        assert json.loads(json.dumps(direct, sort_keys=True)) == report

@@ -169,3 +169,63 @@ class TestEchoSemantics:
         workload = EchoWorkload()
         workload.generate(50, 512, seed=2)
         assert workload.timestamp > 0
+
+
+class TestWarmupStreamIsolation:
+    """Warm-up and traced phases draw from independent RNG streams.
+
+    A shared stream would make every traced key a function of how many
+    draws warm-up consumed — tweaking ``warmup_transactions`` (or a
+    structure's warm-up internals) would silently shift all measured
+    traffic.  The split streams pin the traced draw sequence to
+    ``(name, seed)`` alone.
+    """
+
+    def test_traced_draws_survive_warmup_length_change(self):
+        import random
+
+        def traced_stream(warmup):
+            streams = []
+
+            class SplittingRandom(random.Random):
+                def __init__(self, seed):
+                    super().__init__(seed)
+                    self.log = []
+                    streams.append(self)
+
+                def random(self):
+                    value = super().random()
+                    self.log.append(value)
+                    return value
+
+            workload = get_workload("hashmap")
+            workload.warmup_transactions = warmup
+            workload.rng_factory = SplittingRandom
+            workload.generate(10, 256, seed=5)
+            # generate() constructs exactly two RNGs: warm-up, traced.
+            assert len(streams) == 2
+            return streams[1].log
+
+        assert traced_stream(10) == traced_stream(200)
+
+    def test_warmup_and_traced_streams_differ(self):
+        import random
+
+        seeds = []
+
+        class SeedSpy(random.Random):
+            def __init__(self, seed):
+                super().__init__(seed)
+                seeds.append(seed)
+
+        workload = get_workload("hashmap")
+        workload.rng_factory = SeedSpy
+        workload.generate(5, 256, seed=5)
+        assert len(seeds) == 2 and seeds[0] != seeds[1]
+
+    def test_trace_is_seed_sensitive_and_repeatable(self):
+        def trace_with(seed):
+            return get_workload("hashmap").generate(10, 256, seed=seed)
+
+        assert trace_with(7) == trace_with(7)
+        assert trace_with(7) != trace_with(8)

@@ -1,0 +1,80 @@
+"""Regenerate ``tests/data/legacy_matrix_fixture.json``.
+
+The fixture pins the six legacy Figure 5 configurations bit-for-bit:
+timing metrics and a stats digest from :func:`run_workload`, plus the
+crash-site enumeration (count, final cycle, state-hash digest) from the
+differential oracle.  Rebuild it whenever trace generation legitimately
+changes (``GENERATOR_VERSION`` bump) — never to paper over an
+unexplained diff.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_legacy_fixture.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+WORKLOAD = "hashmap"
+TRANSACTIONS = 40
+SEED = 3
+ORACLE_TRANSACTIONS = 12
+
+
+def _digest(material: str) -> str:
+    return hashlib.sha256(material.encode()).hexdigest()[:24]
+
+
+def main() -> int:
+    # The fixture captures raw simulation output, not cache behaviour.
+    os.environ["REPRO_TRACE_CACHE"] = "off"
+    os.environ["REPRO_UNIT_MEMO"] = "off"
+
+    from repro.harness.runner import run_workload
+    from repro.matrix import LEGACY_MATRIX, controller_matrix
+    from repro.oracle.check import enumerate_sites
+    from repro.oracle.ops import generate_ops
+
+    matrix = controller_matrix()
+    configs = {}
+    for label in sorted(LEGACY_MATRIX):
+        config = matrix[label]
+        res = run_workload(
+            config, WORKLOAD, transactions=TRANSACTIONS, seed=SEED
+        )
+        stats_material = json.dumps(sorted(res.stats.items()), sort_keys=True)
+        ops = generate_ops(WORKLOAD, ORACLE_TRANSACTIONS, 0)
+        enum = enumerate_sites(config, ops)
+        site_material = json.dumps(
+            [[s.cycle, s.kind, s.state_hash] for s in enum.sites]
+        )
+        configs[label] = {
+            "cycles": res.cycles,
+            "instructions": res.instructions,
+            "stats_digest": _digest(stats_material),
+            "sites": len(enum.sites),
+            "final_cycle": enum.final_cycle,
+            "site_digest": _digest(site_material),
+        }
+        print(f"{label}: cycles={res.cycles} sites={len(enum.sites)}")
+
+    fixture = {
+        "workload": WORKLOAD,
+        "transactions": TRANSACTIONS,
+        "seed": SEED,
+        "oracle_transactions": ORACLE_TRANSACTIONS,
+        "configs": configs,
+    }
+    out = Path(__file__).resolve().parent.parent / "tests" / "data"
+    path = out / "legacy_matrix_fixture.json"
+    path.write_text(json.dumps(fixture, sort_keys=True, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
